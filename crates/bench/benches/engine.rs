@@ -1,0 +1,159 @@
+//! Engine micro-ablations: costs of the design choices DESIGN.md calls
+//! out — the wire codec, spill batching vs per-message puts (implicit in
+//! the transport design), combiner on/off, and queue-set implementations.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_core::{
+    ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, QueueKind,
+};
+use ripple_store_mem::MemStore;
+
+/// A fan-in job: `senders` components each send `per` messages to one sink.
+struct FanIn {
+    per: u32,
+    combine: bool,
+}
+
+impl Job for FanIn {
+    type Key = u32;
+    type State = i64;
+    type Message = i64;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["fanin".to_owned()]
+    }
+
+    fn combine_messages(&self, _k: &u32, a: &i64, b: &i64) -> Option<i64> {
+        self.combine.then_some(a + b)
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if *ctx.key() == u32::MAX {
+            let total: i64 = ctx.messages().iter().sum();
+            ctx.write_state(0, &total)?;
+        } else {
+            for i in 0..self.per {
+                ctx.send(u32::MAX, i64::from(i));
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn bench_combiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combiner_ablation");
+    group.sample_size(10);
+    for combine in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("fan_in", if combine { "combined" } else { "raw" }),
+            &combine,
+            |b, &combine| {
+                b.iter(|| {
+                    let store = MemStore::builder().default_parts(4).build();
+                    let job = Arc::new(FanIn { per: 32, combine });
+                    JobRunner::new(store)
+                        .run_with_loaders(
+                            job,
+                            vec![Box::new(FnLoader::new(
+                                |sink: &mut dyn LoadSink<FanIn>| {
+                                    for k in 0..64u32 {
+                                        sink.enable(k)?;
+                                    }
+                                    Ok(())
+                                },
+                            ))],
+                        )
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A message-driven relay ring used to compare queue-set implementations.
+struct Relay {
+    hops: u32,
+    ring: u32,
+}
+
+impl Job for Relay {
+    type Key = u32;
+    type State = ();
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["relay".to_owned()]
+    }
+
+    fn properties(&self) -> ripple_core::JobProperties {
+        ripple_core::JobProperties {
+            incremental: true,
+            deterministic: true,
+            ..Default::default()
+        }
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        for hop in ctx.take_messages() {
+            if hop < self.hops {
+                ctx.send((me + 1) % self.ring, hop + 1);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn bench_queue_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_kind_ablation");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("channel", QueueKind::Channel),
+        ("table", QueueKind::Table),
+    ] {
+        group.bench_function(BenchmarkId::new("relay_ring", label), |b| {
+            b.iter(|| {
+                let store = MemStore::builder().default_parts(4).build();
+                let job = Arc::new(Relay {
+                    hops: 200,
+                    ring: 16,
+                });
+                JobRunner::new(store)
+                    .queue_kind(kind)
+                    .run_with_loaders(
+                        job,
+                        vec![Box::new(FnLoader::new(
+                            |sink: &mut dyn LoadSink<Relay>| sink.message(0, 0),
+                        ))],
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let value: Vec<(u32, f64, Vec<u32>)> = (0..256)
+        .map(|i| (i, f64::from(i) * 0.5, (0..8).collect()))
+        .collect();
+    group.bench_function("encode_256_records", |b| {
+        b.iter(|| ripple_wire::to_wire(&value));
+    });
+    let bytes = ripple_wire::to_wire(&value);
+    group.bench_function("decode_256_records", |b| {
+        b.iter(|| ripple_wire::from_wire::<Vec<(u32, f64, Vec<u32>)>>(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combiner, bench_queue_kinds, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind Table I: direct vs MapReduce-variant PageRank on
+//! a small biased power-law graph.  The paper-scale regenerator is
+//! `src/bin/table1.rs`; this keeps the comparison continuously measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_graph::generate::power_law_graph;
+use ripple_graph::pagerank::{run_direct, run_mapreduce_variant, PageRankConfig};
+use ripple_store_mem::MemStore;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank_table1");
+    group.sample_size(10);
+    let config = PageRankConfig {
+        damping: 0.85,
+        iterations: 5,
+    };
+    for (vertices, edges) in [(500u32, 5_000u64), (500, 10_000)] {
+        let graph = power_law_graph(vertices, edges, 0.8, 7);
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("{vertices}v{edges}e")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let store = MemStore::builder().default_parts(6).build();
+                    run_direct(&store, "pr", graph, config).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mapreduce", format!("{vertices}v{edges}e")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let store = MemStore::builder().default_parts(6).build();
+                    run_mapreduce_variant(&store, "pr", graph, config).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind the §V-C experiment: reacting to a mutation
+//! batch with selective enablement vs full scans (paper-scale regenerator:
+//! `src/bin/sssp_incremental.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_graph::generate::{random_change_batch, random_undirected};
+use ripple_graph::sssp::{FullScanInstance, SelectiveInstance};
+use ripple_store_mem::MemStore;
+
+const N: u32 = 1000;
+const EDGES: u64 = 9_000;
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_incremental");
+    group.sample_size(10);
+
+    group.bench_function("selective_batch", |b| {
+        b.iter_batched(
+            || {
+                let graph = random_undirected(N, EDGES, 0.8, 3);
+                let store = MemStore::builder().default_parts(6).build();
+                let (inst, _) =
+                    SelectiveInstance::initialize(&store, "sel", graph.graph(), 0).unwrap();
+                let batch = random_change_batch(N, 20, 0.8, 11);
+                (inst, batch)
+            },
+            |(inst, batch)| inst.apply_batch(&batch).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("fullscan_batch", |b| {
+        b.iter_batched(
+            || {
+                let graph = random_undirected(N, EDGES, 0.8, 3);
+                let store = MemStore::builder().default_parts(6).build();
+                let (inst, _) =
+                    FullScanInstance::initialize(&store, "fs", graph.graph(), 0).unwrap();
+                let batch = random_change_batch(N, 20, 0.8, 11);
+                (inst, batch)
+            },
+            |(inst, batch)| inst.apply_batch(&batch).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind the §V-B experiment: SUMMA with vs without
+//! synchronization barriers (paper-scale regenerator:
+//! `src/bin/summa_sync.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_core::ExecMode;
+use ripple_store_mem::MemStore;
+use ripple_summa::{multiply, DenseMatrix, SummaOptions};
+
+fn bench_summa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summa_sync_vs_nosync");
+    group.sample_size(10);
+    for block in [16usize, 32] {
+        let dim = 3 * block;
+        let a = DenseMatrix::random(dim, dim, 1);
+        let b = DenseMatrix::random(dim, dim, 2);
+        for (label, mode) in [
+            ("synchronized", ExecMode::Synchronized),
+            ("unsynchronized", ExecMode::Unsynchronized),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{dim}x{dim}")),
+                &(&a, &b),
+                |bench, (a, b)| {
+                    bench.iter(|| {
+                        let store = MemStore::builder().default_parts(3).build();
+                        multiply(
+                            &store,
+                            a,
+                            b,
+                            &SummaOptions {
+                                grid: 3,
+                                mode,
+                                trace: false,
+                            },
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summa);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Shared harness for the experiment regenerators: one binary per table or
+//! figure of the paper's evaluation (see `DESIGN.md` §5 and
+//! `EXPERIMENTS.md`), plus small statistics and CLI helpers.
+//!
+//! Absolute numbers will not match the paper's 2013 testbed; the harness
+//! reports the *shape* — who wins, by what factor — alongside the engine's
+//! own cost metrics (synchronizations, I/O rounds, invocations), which are
+//! hardware-independent.
+
+use std::time::{Duration, Instant};
+
+/// Mean and (sample) standard deviation of a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes stats over raw samples.
+    pub fn of(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        assert!(n > 0, "stats need at least one sample");
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var =
+                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        Stats { mean, stddev, n }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.stddev)
+    }
+}
+
+/// Runs `f` for `trials` timed trials, returning per-trial seconds.
+pub fn timed_trials(trials: usize, mut f: impl FnMut(usize)) -> Vec<f64> {
+    (0..trials)
+        .map(|t| {
+            let start = Instant::now();
+            f(t);
+            start.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Seconds as a `Duration`, for printing.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Minimal flag parser: `--name value` pairs from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// From an explicit vector (for tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// The value following `--name`, parsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        let flag = format!("--{name}");
+        match self.raw.iter().position(|a| *a == flag) {
+            None => default,
+            Some(i) => {
+                let v = self
+                    .raw
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} needs a value"));
+                v.parse()
+                    .unwrap_or_else(|e| panic!("{flag} {v}: {e}"))
+            }
+        }
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+}
+
+/// Prints an aligned table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_and_stddev() {
+        let s = Stats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138).abs() < 1e-3);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Stats::of(&[3.5]);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn args_parse_flags() {
+        let args = Args::from_vec(vec![
+            "--scale".into(),
+            "10".into(),
+            "--verbose".into(),
+        ]);
+        assert_eq!(args.get("scale", 1u32), 10);
+        assert_eq!(args.get("trials", 7u32), 7);
+        assert!(args.has("verbose"));
+        assert!(!args.has("quiet"));
+    }
+
+    #[test]
+    fn timed_trials_counts() {
+        let times = timed_trials(3, |_| {});
+        assert_eq!(times.len(), 3);
+    }
+}

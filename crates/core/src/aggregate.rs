@@ -1,0 +1,380 @@
+//! Individual aggregators (paper §II): named, fed values during compute
+//! invocations, results readable in the following step.
+//!
+//! The engine aggregates partially in each part as components are invoked,
+//! then merges the partials at the barrier — exactly the strategy §IV-A
+//! describes for a modest number of aggregators.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
+
+use crate::EbspError;
+
+/// A value flowing into or out of an aggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggValue {
+    /// A signed integer.
+    I64(i64),
+    /// A double-precision float.
+    F64(f64),
+}
+
+impl AggValue {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `I64` — aggregator type confusion is a
+    /// programming error.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            AggValue::I64(v) => *v,
+            AggValue::F64(v) => panic!("expected I64 aggregate, found F64({v})"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `F64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            AggValue::F64(v) => *v,
+            AggValue::I64(v) => panic!("expected F64 aggregate, found I64({v})"),
+        }
+    }
+}
+
+impl From<i64> for AggValue {
+    fn from(v: i64) -> Self {
+        AggValue::I64(v)
+    }
+}
+
+impl From<f64> for AggValue {
+    fn from(v: f64) -> Self {
+        AggValue::F64(v)
+    }
+}
+
+impl Encode for AggValue {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            AggValue::I64(v) => {
+                w.push(0);
+                v.encode(w);
+            }
+            AggValue::F64(v) => {
+                w.push(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for AggValue {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(AggValue::I64(i64::decode(r)?)),
+            1 => Ok(AggValue::F64(f64::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                target: "AggValue",
+                tag,
+            }),
+        }
+    }
+}
+
+/// An aggregation technique: an identity element and an associative,
+/// commutative combine.
+pub trait Aggregate: Send + Sync + 'static {
+    /// The identity element (what an aggregator reads as before any input).
+    fn identity(&self) -> AggValue;
+
+    /// Combines two partial results.
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue;
+}
+
+/// Sums `I64` inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumI64;
+
+impl Aggregate for SumI64 {
+    fn identity(&self) -> AggValue {
+        AggValue::I64(0)
+    }
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue {
+        AggValue::I64(a.as_i64() + b.as_i64())
+    }
+}
+
+/// Sums `F64` inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumF64;
+
+impl Aggregate for SumF64 {
+    fn identity(&self) -> AggValue {
+        AggValue::F64(0.0)
+    }
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue {
+        AggValue::F64(a.as_f64() + b.as_f64())
+    }
+}
+
+/// Minimum of `I64` inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinI64;
+
+impl Aggregate for MinI64 {
+    fn identity(&self) -> AggValue {
+        AggValue::I64(i64::MAX)
+    }
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue {
+        AggValue::I64(a.as_i64().min(b.as_i64()))
+    }
+}
+
+/// Maximum of `I64` inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxI64;
+
+impl Aggregate for MaxI64 {
+    fn identity(&self) -> AggValue {
+        AggValue::I64(i64::MIN)
+    }
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue {
+        AggValue::I64(a.as_i64().max(b.as_i64()))
+    }
+}
+
+/// Counts inputs, ignoring their payloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountAgg;
+
+impl Aggregate for CountAgg {
+    fn identity(&self) -> AggValue {
+        AggValue::I64(0)
+    }
+    fn combine(&self, a: AggValue, b: AggValue) -> AggValue {
+        // Inputs fed by compute invocations count as 1 each; the engine
+        // feeds `I64(1)` per `aggregate` call for counting aggregators,
+        // so combine is a plain sum.
+        AggValue::I64(a.as_i64() + b.as_i64())
+    }
+}
+
+/// The job's named aggregators, shared by all parts of a run.
+#[derive(Clone)]
+pub struct AggregatorRegistry {
+    aggs: Arc<Vec<(String, Arc<dyn Aggregate>)>>,
+}
+
+impl std::fmt::Debug for AggregatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregatorRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl AggregatorRegistry {
+    /// Builds a registry from (name, technique) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::InvalidJob`] on duplicate names.
+    pub fn new(aggs: Vec<(String, Arc<dyn Aggregate>)>) -> Result<Self, EbspError> {
+        for (i, (name, _)) in aggs.iter().enumerate() {
+            if aggs[..i].iter().any(|(n, _)| n == name) {
+                return Err(EbspError::InvalidJob {
+                    reason: format!("duplicate aggregator name {name:?}"),
+                });
+            }
+        }
+        Ok(Self {
+            aggs: Arc::new(aggs),
+        })
+    }
+
+    /// Whether no aggregators were declared (the detected `no-agg`
+    /// property).
+    pub fn is_empty(&self) -> bool {
+        self.aggs.is_empty()
+    }
+
+    /// Declared aggregator names, in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.aggs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The technique registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::NoSuchAggregator`].
+    pub fn technique(&self, name: &str) -> Result<&dyn Aggregate, EbspError> {
+        self.aggs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| a.as_ref())
+            .ok_or_else(|| EbspError::NoSuchAggregator {
+                name: name.to_owned(),
+            })
+    }
+
+    /// A fresh partial-aggregation map holding each identity.
+    pub fn identities(&self) -> HashMap<String, AggValue> {
+        self.aggs
+            .iter()
+            .map(|(n, a)| (n.clone(), a.identity()))
+            .collect()
+    }
+
+    /// Folds `value` into the partial map under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::NoSuchAggregator`].
+    pub fn fold(
+        &self,
+        partial: &mut HashMap<String, AggValue>,
+        name: &str,
+        value: AggValue,
+    ) -> Result<(), EbspError> {
+        let technique = self.technique(name)?;
+        let slot = partial
+            .entry(name.to_owned())
+            .or_insert_with(|| technique.identity());
+        *slot = technique.combine(*slot, value);
+        Ok(())
+    }
+
+    /// Merges partial map `b` into `a`.
+    pub fn merge(&self, a: &mut HashMap<String, AggValue>, b: HashMap<String, AggValue>) {
+        for (name, value) in b {
+            if let Ok(technique) = self.technique(&name) {
+                let slot = a.entry(name).or_insert_with(|| technique.identity());
+                *slot = technique.combine(*slot, value);
+            }
+        }
+    }
+}
+
+/// The aggregator results of a completed step, readable by compute
+/// invocations (and the aborter) in the following step.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateSnapshot {
+    values: HashMap<String, AggValue>,
+}
+
+impl AggregateSnapshot {
+    /// Wraps merged step results.
+    pub fn new(values: HashMap<String, AggValue>) -> Self {
+        Self { values }
+    }
+
+    /// The result of aggregator `name`, if it was declared.
+    pub fn get(&self, name: &str) -> Option<AggValue> {
+        self.values.get(name).copied()
+    }
+
+    /// All (name, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, AggValue)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> AggregatorRegistry {
+        AggregatorRegistry::new(vec![
+            ("sum".to_owned(), Arc::new(SumI64)),
+            ("min".to_owned(), Arc::new(MinI64)),
+            ("fsum".to_owned(), Arc::new(SumF64)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = AggregatorRegistry::new(vec![
+            ("a".to_owned(), Arc::new(SumI64) as Arc<dyn Aggregate>),
+            ("a".to_owned(), Arc::new(MinI64)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EbspError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn fold_and_merge() {
+        let reg = registry();
+        let mut a = HashMap::new();
+        reg.fold(&mut a, "sum", 3i64.into()).unwrap();
+        reg.fold(&mut a, "sum", 4i64.into()).unwrap();
+        reg.fold(&mut a, "min", 9i64.into()).unwrap();
+        let mut b = HashMap::new();
+        reg.fold(&mut b, "sum", 10i64.into()).unwrap();
+        reg.fold(&mut b, "min", 2i64.into()).unwrap();
+        reg.fold(&mut b, "fsum", 0.5f64.into()).unwrap();
+        reg.merge(&mut a, b);
+        assert_eq!(a["sum"], AggValue::I64(17));
+        assert_eq!(a["min"], AggValue::I64(2));
+        assert_eq!(a["fsum"], AggValue::F64(0.5));
+    }
+
+    #[test]
+    fn unknown_aggregator_is_an_error() {
+        let reg = registry();
+        let mut m = HashMap::new();
+        assert!(matches!(
+            reg.fold(&mut m, "nope", 1i64.into()),
+            Err(EbspError::NoSuchAggregator { .. })
+        ));
+    }
+
+    #[test]
+    fn techniques_behave() {
+        assert_eq!(
+            SumF64.combine(AggValue::F64(1.5), AggValue::F64(2.5)),
+            AggValue::F64(4.0)
+        );
+        assert_eq!(
+            MaxI64.combine(AggValue::I64(3), AggValue::I64(9)),
+            AggValue::I64(9)
+        );
+        assert_eq!(MinI64.identity(), AggValue::I64(i64::MAX));
+        assert_eq!(
+            CountAgg.combine(AggValue::I64(2), AggValue::I64(5)),
+            AggValue::I64(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I64")]
+    fn type_confusion_panics() {
+        AggValue::F64(1.0).as_i64();
+    }
+
+    #[test]
+    fn agg_value_wire_roundtrip() {
+        for v in [AggValue::I64(-5), AggValue::F64(2.75)] {
+            let back: AggValue = ripple_wire::from_wire(&ripple_wire::to_wire(&v)).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn snapshot_reads() {
+        let mut m = HashMap::new();
+        m.insert("x".to_owned(), AggValue::I64(4));
+        let snap = AggregateSnapshot::new(m);
+        assert_eq!(snap.get("x"), Some(AggValue::I64(4)));
+        assert_eq!(snap.get("y"), None);
+        assert_eq!(snap.iter().count(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use ripple_kv::{KvError, PartId, RoutedKey};
+use ripple_wire::{from_wire, to_wire, Decode, Encode};
+
+use crate::{
+    key_to_routed, AggValue, AggregateSnapshot, AggregatorRegistry, EbspError, Envelope, Exporter,
+    Job,
+};
+
+/// Object-safe access to the job's state tables (and broadcast table) for
+/// one compute invocation.  The engine provides a collocated implementation
+/// for pinned execution and a table-handle implementation for
+/// *run-anywhere* execution.
+pub(crate) trait StateOps {
+    /// Reads from state table `tab`.
+    fn get(&self, tab: usize, key: &RoutedKey) -> Result<Option<Bytes>, KvError>;
+    /// Writes to state table `tab`.
+    fn put(&self, tab: usize, key: RoutedKey, value: Bytes) -> Result<(), KvError>;
+    /// Deletes from state table `tab`.
+    fn delete(&self, tab: usize, key: &RoutedKey) -> Result<bool, KvError>;
+    /// Reads from the broadcast table, if the job declared one.
+    fn broadcast_get(&self, key: &RoutedKey) -> Result<Option<Option<Bytes>>, KvError>;
+    /// Number of state tables.
+    fn table_count(&self) -> usize;
+}
+
+/// Everything a batch of compute invocations produces, gathered per part
+/// (or per worker) and merged by the engine.
+pub(crate) struct Outbox<J: Job> {
+    /// Outgoing envelopes (messages, continues, creations).
+    pub(crate) envelopes: Vec<Envelope<J>>,
+    /// Partial aggregation, folded as invocations aggregate values.
+    pub(crate) agg: HashMap<String, AggValue>,
+    /// Per-part metric counters.
+    pub(crate) metrics: crate::metrics::PartCounters,
+}
+
+impl<J: Job> Outbox<J> {
+    pub(crate) fn new() -> Self {
+        Self {
+            envelopes: Vec::new(),
+            agg: HashMap::new(),
+            metrics: crate::metrics::PartCounters::default(),
+        }
+    }
+}
+
+/// The context handed to [`Job::compute`]: the paper's `ComputeContext`
+/// (Listing 3) in idiomatic Rust.
+///
+/// Through it an invocation reads/writes/deletes its own local state,
+/// requests creation of other components' state, consumes the messages
+/// sent to it in the previous step, sends messages to arbitrary components
+/// (delivered next step), feeds and reads aggregators, reads broadcast
+/// data, and emits direct job output.
+pub struct ComputeContext<'a, J: Job> {
+    pub(crate) step: u32,
+    pub(crate) mode: crate::ExecMode,
+    pub(crate) part: PartId,
+    pub(crate) key: J::Key,
+    pub(crate) routed: RoutedKey,
+    pub(crate) messages: Vec<J::Message>,
+    pub(crate) ops: &'a dyn StateOps,
+    pub(crate) out: &'a mut Outbox<J>,
+    pub(crate) registry: &'a AggregatorRegistry,
+    pub(crate) prev_agg: &'a AggregateSnapshot,
+    pub(crate) direct: Option<&'a dyn Exporter<J::OutKey, J::OutValue>>,
+}
+
+impl<'a, J: Job> ComputeContext<'a, J> {
+    /// The current step number (1-based).  In unsynchronized execution this
+    /// is the component's invocation index instead, since steps do not
+    /// exist there.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Which engine is running the job: synchronized jobs may pace
+    /// per-step work against the barrier, unsynchronized jobs should do
+    /// all the work each delivery allows.
+    pub fn mode(&self) -> crate::ExecMode {
+        self.mode
+    }
+
+    /// The key identifying this component.
+    pub fn key(&self) -> &J::Key {
+        &self.key
+    }
+
+    /// The part this invocation runs at.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// The messages sent to this component in the previous step.
+    pub fn messages(&self) -> &[J::Message] {
+        &self.messages
+    }
+
+    /// Takes ownership of the input messages (they are consumed either
+    /// way at the end of the invocation).
+    pub fn take_messages(&mut self) -> Vec<J::Message> {
+        std::mem::take(&mut self.messages)
+    }
+
+    fn check_tab(&self, tab: usize) -> Result<(), EbspError> {
+        let tables = self.ops.table_count();
+        if tab >= tables {
+            return Err(EbspError::StateTableIndex { index: tab, tables });
+        }
+        Ok(())
+    }
+
+    /// Reads this component's state from state table `tab`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::StateTableIndex`] for a bad index, or a
+    /// store/codec error.
+    pub fn read_state(&mut self, tab: usize) -> Result<Option<J::State>, EbspError> {
+        self.check_tab(tab)?;
+        self.out.metrics.state_reads += 1;
+        match self.ops.get(tab, &self.routed)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(from_wire(&bytes)?)),
+        }
+    }
+
+    /// Writes this component's state into state table `tab`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComputeContext::read_state`].
+    pub fn write_state(&mut self, tab: usize, state: &J::State) -> Result<(), EbspError> {
+        self.check_tab(tab)?;
+        self.out.metrics.state_writes += 1;
+        self.ops.put(tab, self.routed.clone(), to_wire(state))?;
+        Ok(())
+    }
+
+    /// Deletes this component's state from state table `tab`, returning
+    /// whether an entry existed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComputeContext::read_state`].
+    pub fn delete_state(&mut self, tab: usize) -> Result<bool, EbspError> {
+        self.check_tab(tab)?;
+        self.out.metrics.state_deletes += 1;
+        Ok(self.ops.delete(tab, &self.routed)?)
+    }
+
+    /// Requests creation of a *new component's* state: an entry for `key`
+    /// in state table `tab`, applied at the next barrier; collisions are
+    /// merged with [`Job::combine_states`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::StateTableIndex`] for a bad index.
+    pub fn create_state(
+        &mut self,
+        tab: usize,
+        key: J::Key,
+        state: J::State,
+    ) -> Result<(), EbspError> {
+        self.check_tab(tab)?;
+        self.out.metrics.creates += 1;
+        self.out.envelopes.push(Envelope::Create {
+            tab: tab as u16,
+            key,
+            state,
+        });
+        Ok(())
+    }
+
+    /// Sends `msg` to component `to`; it will be delivered in the following
+    /// step (and enable `to` for that step).
+    pub fn send(&mut self, to: J::Key, msg: J::Message) {
+        self.out.metrics.messages_sent += 1;
+        self.out.envelopes.push(Envelope::Message { to, msg });
+    }
+
+    /// Feeds `value` into the aggregator named `name`; the merged result is
+    /// readable next step via [`ComputeContext::aggregate_prev`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::NoSuchAggregator`] for undeclared names.
+    pub fn aggregate(&mut self, name: &str, value: AggValue) -> Result<(), EbspError> {
+        self.registry.fold(&mut self.out.agg, name, value)
+    }
+
+    /// The result of aggregator `name` from the previous step.
+    pub fn aggregate_prev(&self, name: &str) -> Option<AggValue> {
+        self.prev_agg.get(name)
+    }
+
+    /// Reads a broadcast datum by key from the job's ubiquitous broadcast
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::InvalidJob`] if the job declared no
+    /// broadcast table, or a store/codec error.
+    pub fn broadcast<Q: Encode, T: Decode>(&self, key: &Q) -> Result<Option<T>, EbspError> {
+        let routed = key_to_routed(key);
+        match self.ops.broadcast_get(&routed)? {
+            None => Err(EbspError::InvalidJob {
+                reason: "job declared no broadcast table".to_owned(),
+            }),
+            Some(None) => Ok(None),
+            Some(Some(bytes)) => Ok(Some(from_wire(&bytes)?)),
+        }
+    }
+
+    /// Emits one pair of direct job output.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::InvalidJob`] if the job configured no direct
+    /// output exporter.
+    pub fn output(&mut self, key: J::OutKey, value: J::OutValue) -> Result<(), EbspError> {
+        match self.direct {
+            Some(exporter) => {
+                self.out.metrics.direct_outputs += 1;
+                exporter.export(self.part, &key, &value);
+                Ok(())
+            }
+            None => Err(EbspError::InvalidJob {
+                reason: "job configured no direct output exporter".to_owned(),
+            }),
+        }
+    }
+
+    /// Convenience: read-modify-write state in one call (the paper's
+    /// `readWriteState` access pattern).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComputeContext::read_state`] / [`ComputeContext::write_state`].
+    pub fn modify_state<F>(&mut self, tab: usize, f: F) -> Result<(), EbspError>
+    where
+        F: FnOnce(Option<J::State>) -> Option<J::State>,
+    {
+        let current = self.read_state(tab)?;
+        match f(current) {
+            Some(new) => self.write_state(tab, &new),
+            None => {
+                self.delete_state(tab)?;
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The *run-anywhere* compute phase (§II-A): `no-collect ∧ rare-state ⇒
+//! run-anywhere` — "the implementation can freely engage in work-stealing,
+//! for example to balance load.  As the work done by a given component in a
+//! given step requires little access to its associated state, there is
+//! little penalty to performing this work at a location distant from the
+//! state.  As there is at most one message per key and step, there is no
+//! need to pin a compute invocation to a rendezvous point for multiple
+//! messages."
+//!
+//! Implementation: each part drains its inbox and hands the entries to the
+//! controller, which puts them in a shared work queue; one worker per part
+//! then steals batches from that queue and invokes components *wherever it
+//! runs*, reaching state through ordinary table handles (paying remote
+//! marshalling where non-local — cheap by the `rare-state` assumption).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use ripple_kv::{KvStore, PartId, RoutedKey};
+use ripple_wire::from_wire;
+
+use crate::context::Outbox;
+use crate::engine::{write_spills, GlobalStateOps, JobEnv};
+use crate::metrics::PartCounters;
+use crate::{AggValue, AggregateSnapshot, EbspError, Job};
+
+/// How many inbox entries a worker steals per lock acquisition.
+const STEAL_BATCH: usize = 16;
+
+/// Runs one step's compute invocations with work-stealing across all
+/// parts, returning merged aggregates and counters.
+pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    step: u32,
+    prev_agg: &AggregateSnapshot,
+    transport: &S::Table,
+    inbox_name: &str,
+) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
+    let parts = env.parts();
+
+    // Phase A: every part drains its inbox and ships the entries to the
+    // controller (this is the "distant from the state" traffic the
+    // rare-state property declares cheap).
+    let drained: Vec<Vec<(RoutedKey, Bytes)>> = {
+        let inbox = inbox_name.to_owned();
+        env.store.run_at_all(&env.reference, move |view| {
+            let mut entries = Vec::new();
+            let _ = view.drain(&inbox, &mut |k, v| {
+                entries.push((k, v));
+                ripple_kv::ScanControl::Continue
+            });
+            entries
+        })?
+    };
+    let mut queue: Vec<(RoutedKey, Bytes)> = drained.into_iter().flatten().collect();
+    // Deterministic stealing order (matters for deterministic replay).
+    queue.sort_by(|a, b| a.0.cmp(&b.0));
+    let queue = Arc::new(Mutex::new(queue));
+
+    // Phase B: one stealing worker per part.
+    let handles: Vec<_> = (0..parts)
+        .map(|p| {
+            let job = Arc::clone(&env.job);
+            let queue = Arc::clone(&queue);
+            let transport = transport.clone();
+            let registry = env.registry.clone();
+            let prev = prev_agg.clone();
+            let direct = env.direct.clone();
+            let ops = GlobalStateOps::<S> {
+                tables: env.tables.clone(),
+                broadcast: env
+                    .broadcast_name
+                    .as_ref()
+                    .and_then(|n| env.store.lookup_table(n).ok()),
+            };
+            env.store
+                .run_at(&env.reference, PartId(p), move |view| -> Result<
+                    (HashMap<String, AggValue>, PartCounters),
+                    EbspError,
+                > {
+                    let part = view.part();
+                    let mut out = Outbox::<J>::new();
+                    loop {
+                        let batch: Vec<(RoutedKey, Bytes)> = {
+                            let mut q = queue.lock();
+                            let take = q.len().min(STEAL_BATCH);
+                            if take == 0 {
+                                break;
+                            }
+                            let at = q.len() - take;
+                            q.split_off(at)
+                        };
+                        for (routed, bytes) in batch {
+                            let key: J::Key = from_wire(routed.body())?;
+                            let messages: Vec<J::Message> = from_wire(&bytes)?;
+                            out.metrics.invocations += 1;
+                            let mut ctx = crate::ComputeContext {
+                                step,
+                                mode: crate::ExecMode::Synchronized,
+                                part,
+                                key: key.clone(),
+                                routed,
+                                messages,
+                                ops: &ops,
+                                out: &mut out,
+                                registry: &registry,
+                                prev_agg: &prev,
+                                direct: direct.as_deref(),
+                            };
+                            let cont = job.compute(&mut ctx)?;
+                            if cont {
+                                // run-anywhere implies no-collect implies
+                                // no-continue; the plan guaranteed this.
+                                return Err(EbspError::PropertyViolation {
+                                    property: "no-continue",
+                                    detail: "compute returned the positive continue signal"
+                                        .to_owned(),
+                                });
+                            }
+                        }
+                    }
+                    let envelopes = std::mem::take(&mut out.envelopes);
+                    write_spills(&transport, parts, step, part.0, envelopes, &mut out.metrics)?;
+                    Ok((out.agg, out.metrics))
+                })
+        })
+        .collect();
+
+    let mut aggs = env.registry.identities();
+    let mut counters = PartCounters::default();
+    let mut first_err: Option<EbspError> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((partial, c))) => {
+                env.registry.merge(&mut aggs, partial);
+                counters.merge(&c);
+            }
+            Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
+            Err(e) => first_err = Some(first_err.unwrap_or(EbspError::Kv(e))),
+        }
+    }
+    match first_err {
+        None => Ok((aggs, counters)),
+        Some(e) => Err(e),
+    }
+}

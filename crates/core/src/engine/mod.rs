@@ -1,0 +1,425 @@
+//! The K/V EBSP execution engines and their shared plumbing.
+
+pub(crate) mod anywhere;
+pub(crate) mod nosync;
+pub(crate) mod sync;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ripple_kv::{KvError, KvStore, PartView, RoutedKey, Table};
+use ripple_wire::{from_wire, to_wire, Encode};
+
+use crate::context::{Outbox, StateOps};
+use crate::metrics::PartCounters;
+use crate::{
+    key_to_routed, AggValue, AggregatorRegistry, EbspError, Envelope, ExecutionPlan, Exporter,
+    Job, LoadSink,
+};
+
+/// Everything about one job run that both engines (and every part task)
+/// need: the store, job, plan, table handles, registry, and exporters.
+pub(crate) struct JobEnv<S: KvStore, J: Job> {
+    pub(crate) store: S,
+    pub(crate) job: Arc<J>,
+    pub(crate) registry: AggregatorRegistry,
+    pub(crate) plan: ExecutionPlan,
+    pub(crate) table_names: Arc<Vec<String>>,
+    pub(crate) tables: Vec<S::Table>,
+    pub(crate) reference: S::Table,
+    pub(crate) broadcast_name: Option<String>,
+    pub(crate) direct: Option<Arc<dyn Exporter<J::OutKey, J::OutValue>>>,
+}
+
+impl<S: KvStore, J: Job> JobEnv<S, J> {
+    pub(crate) fn parts(&self) -> u32 {
+        self.reference.part_count()
+    }
+}
+
+/// Collocated state access for pinned execution.
+pub(crate) struct LocalStateOps<'a> {
+    pub(crate) view: &'a dyn PartView,
+    pub(crate) tables: &'a [String],
+    pub(crate) broadcast: Option<&'a str>,
+}
+
+impl StateOps for LocalStateOps<'_> {
+    fn get(&self, tab: usize, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        self.view.get(&self.tables[tab], key)
+    }
+    fn put(&self, tab: usize, key: RoutedKey, value: Bytes) -> Result<(), KvError> {
+        self.view.put(&self.tables[tab], key, value)?;
+        Ok(())
+    }
+    fn delete(&self, tab: usize, key: &RoutedKey) -> Result<bool, KvError> {
+        self.view.delete(&self.tables[tab], key)
+    }
+    fn broadcast_get(&self, key: &RoutedKey) -> Result<Option<Option<Bytes>>, KvError> {
+        match self.broadcast {
+            None => Ok(None),
+            Some(name) => Ok(Some(self.view.get(name, key)?)),
+        }
+    }
+    fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Table-handle state access for *run-anywhere* execution (used by the
+/// work-stealing compute phase): a stolen
+/// invocation may run at any part, so state operations go through the
+/// ordinary table handles and pay marshalling when non-local — cheap by
+/// assumption (`rare-state`).
+pub(crate) struct GlobalStateOps<S: KvStore> {
+    pub(crate) tables: Vec<S::Table>,
+    pub(crate) broadcast: Option<S::Table>,
+}
+
+impl<S: KvStore> StateOps for GlobalStateOps<S> {
+    fn get(&self, tab: usize, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        self.tables[tab].get(key)
+    }
+    fn put(&self, tab: usize, key: RoutedKey, value: Bytes) -> Result<(), KvError> {
+        self.tables[tab].put(key, value)?;
+        Ok(())
+    }
+    fn delete(&self, tab: usize, key: &RoutedKey) -> Result<bool, KvError> {
+        self.tables[tab].delete(key)
+    }
+    fn broadcast_get(&self, key: &RoutedKey) -> Result<Option<Option<Bytes>>, KvError> {
+        match &self.broadcast {
+            None => Ok(None),
+            Some(t) => Ok(Some(t.get(key)?)),
+        }
+    }
+    fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// The destination part of an envelope addressed to `key`.
+pub(crate) fn dst_part<K: Encode>(key: &K, parts: u32) -> u32 {
+    key_to_routed(key).part_for(parts).0
+}
+
+/// Groups `envelopes` by destination part and writes one spill batch per
+/// non-empty destination into the transport table, keyed `(step, src, seq)`
+/// and routed to the destination part.
+pub(crate) fn write_spills<T: Table, J: Job>(
+    transport: &T,
+    parts: u32,
+    step: u32,
+    src: u32,
+    envelopes: Vec<Envelope<J>>,
+    counters: &mut PartCounters,
+) -> Result<(), EbspError> {
+    if envelopes.is_empty() {
+        return Ok(());
+    }
+    let mut by_dst: Vec<Vec<Envelope<J>>> = (0..parts).map(|_| Vec::new()).collect();
+    for env in envelopes {
+        let dst = dst_part(env.key(), parts) as usize;
+        by_dst[dst].push(env);
+    }
+    for (dst, batch) in by_dst.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let body = to_wire(&(step, src, counters.spill_batches));
+        let key = RoutedKey::with_route(dst as u64, body.to_vec().into());
+        transport.put(key, to_wire(&batch))?;
+        counters.spill_batches += 1;
+    }
+    Ok(())
+}
+
+/// Drains this part's slice of the transport table and builds the inbox
+/// for the next step: per-component message lists (combined pairwise where
+/// the job's combiner applies), continue-enabled components, and applied
+/// state creations.  Returns the number of enabled components.
+pub(crate) fn build_inbox_at_part<J: Job>(
+    job: &J,
+    plan: &ExecutionPlan,
+    view: &dyn PartView,
+    transport_name: &str,
+    inbox_name: &str,
+    table_names: &[String],
+) -> Result<(u64, PartCounters), EbspError> {
+    let mut counters = PartCounters::default();
+    // Drain spills; order deterministically by (step, src, seq) so that
+    // replay after recovery sees identical message orders.
+    let mut batches: Vec<((u32, u32, u64), Bytes)> = Vec::new();
+    view.drain(transport_name, &mut |key, value| {
+        if let Ok(tag) = from_wire::<(u32, u32, u64)>(key.body()) {
+            batches.push((tag, value));
+        }
+        ripple_kv::ScanControl::Continue
+    })?;
+    batches.sort_by_key(|(tag, _)| *tag);
+
+    // Fold envelopes into per-component inboxes, preserving arrival order
+    // and applying the pairwise combiner opportunistically.
+    let mut inbox: HashMap<J::Key, Vec<J::Message>> = HashMap::new();
+    let mut creates: Vec<(u16, J::Key, J::State)> = Vec::new();
+    for (_, bytes) in batches {
+        let envelopes: Vec<Envelope<J>> = from_wire(&bytes)?;
+        for env in envelopes {
+            match env {
+                Envelope::Message { to, msg } => {
+                    inbox.entry(to).or_default().push(msg);
+                }
+                Envelope::Continue { key } => {
+                    inbox.entry(key).or_default();
+                }
+                Envelope::Create { tab, key, state } => creates.push((tab, key, state)),
+            }
+        }
+    }
+
+    // Apply the pairwise combiner per component.  "The platform may combine
+    // some of them by one or more invocations (at arbitrary times and
+    // places)"; a single adjacent-pair pass over the arrival-ordered list
+    // is one such choice.
+    for (key, list) in inbox.iter_mut() {
+        if list.len() < 2 {
+            continue;
+        }
+        let mut combined: Vec<J::Message> = Vec::with_capacity(list.len());
+        for msg in list.drain(..) {
+            match combined.last_mut() {
+                Some(last) => match job.combine_messages(key, last, &msg) {
+                    Some(merged) => {
+                        *last = merged;
+                        counters.messages_combined += 1;
+                    }
+                    None => combined.push(msg),
+                },
+                None => combined.push(msg),
+            }
+        }
+        *list = combined;
+    }
+
+    // Apply state creations, merging conflicts.
+    for (tab, key, state) in creates {
+        let idx = tab as usize;
+        let name = table_names
+            .get(idx)
+            .ok_or(EbspError::StateTableIndex {
+                index: idx,
+                tables: table_names.len(),
+            })?;
+        let routed = key_to_routed(&key);
+        let merged = match view.get(name, &routed)? {
+            Some(existing) => {
+                let old: J::State = from_wire(&existing)?;
+                job.combine_states(&key, old, state)
+            }
+            None => state,
+        };
+        view.put(name, routed, to_wire(&merged))?;
+    }
+
+    // Enforce one-msg when the plan dropped collection.
+    if !plan.collect {
+        for (_key, list) in inbox.iter() {
+            if list.len() > 1 {
+                return Err(EbspError::PropertyViolation {
+                    property: "one-msg",
+                    detail: format!(
+                        "{} messages arrived for one key in one step",
+                        list.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    // Materialize the inbox table: one entry per enabled component.
+    let enabled = inbox.len() as u64;
+    for (key, msgs) in inbox {
+        view.put(inbox_name, key_to_routed(&key), to_wire(&msgs))?;
+    }
+    Ok((enabled, counters))
+}
+
+/// Runs the compute invocations of one part for one step: drains the
+/// inbox, invokes enabled components (sorted by key iff the plan says so),
+/// appends continue signals, and spills outgoing envelopes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_at_part<T: Table, J: Job>(
+    job: &J,
+    plan: &ExecutionPlan,
+    view: &dyn PartView,
+    step: u32,
+    transport: &T,
+    inbox_name: &str,
+    table_names: &[String],
+    broadcast_name: Option<&str>,
+    registry: &AggregatorRegistry,
+    prev_agg: &crate::AggregateSnapshot,
+    direct: Option<&dyn Exporter<J::OutKey, J::OutValue>>,
+    parts: u32,
+    agg_table: Option<&T>,
+) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
+    // Collect this step's enabled components at this part.
+    let mut entries: Vec<(RoutedKey, Bytes)> = Vec::new();
+    view.drain(inbox_name, &mut |key, value| {
+        entries.push((key, value));
+        ripple_kv::ScanControl::Continue
+    })?;
+
+    let mut decoded: Vec<(J::Key, RoutedKey, Vec<J::Message>)> = Vec::with_capacity(entries.len());
+    for (routed, bytes) in entries {
+        let key: J::Key = from_wire(routed.body())?;
+        let msgs: Vec<J::Message> = from_wire(&bytes)?;
+        decoded.push((key, routed, msgs));
+    }
+    if plan.sort {
+        decoded.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    let ops = LocalStateOps {
+        view,
+        tables: table_names,
+        broadcast: broadcast_name,
+    };
+    let no_continue = job.properties().no_continue;
+    let part = view.part();
+    let mut out = Outbox::<J>::new();
+    for (key, routed, messages) in decoded {
+        out.metrics.invocations += 1;
+        let mut ctx = crate::ComputeContext {
+            step,
+            mode: crate::ExecMode::Synchronized,
+            part,
+            key: key.clone(),
+            routed,
+            messages,
+            ops: &ops,
+            out: &mut out,
+            registry,
+            prev_agg,
+            direct,
+        };
+        let cont = job.compute(&mut ctx)?;
+        if cont {
+            if no_continue {
+                return Err(EbspError::PropertyViolation {
+                    property: "no-continue",
+                    detail: "compute returned the positive continue signal".to_owned(),
+                });
+            }
+            out.envelopes.push(Envelope::Continue { key });
+        }
+    }
+
+    let envelopes = std::mem::take(&mut out.envelopes);
+    write_spills(transport, parts, step, part.0, envelopes, &mut out.metrics)?;
+
+    // Large-aggregator path (§IV-A): rather than returning partials to the
+    // table client, write them into an auxiliary table keyed (and routed)
+    // by aggregator name; a later enumeration round merges them.
+    if let Some(aux) = agg_table {
+        for (name, value) in std::mem::take(&mut out.agg) {
+            let route = key_to_routed(&name).route();
+            let body = to_wire(&(name, part.0));
+            aux.put(
+                RoutedKey::with_route(route, body.to_vec().into()),
+                to_wire(&value),
+            )?;
+        }
+    }
+    Ok((out.agg, out.metrics))
+}
+
+/// The merge-and-redistribute round of the large-aggregator path: every
+/// part folds the partials whose aggregator names route to it, records the
+/// merged value in the second auxiliary table, and reports it back.
+pub(crate) fn merge_aggregates_at_part(
+    registry: &AggregatorRegistry,
+    view: &dyn PartView,
+    agg1_name: &str,
+    agg2_name: &str,
+) -> Result<Vec<(String, AggValue)>, EbspError> {
+    let mut raw: Vec<(Bytes, Bytes)> = Vec::new();
+    view.drain(agg1_name, &mut |key, value| {
+        raw.push((key.body().clone(), value));
+        ripple_kv::ScanControl::Continue
+    })?;
+    let mut merged: HashMap<String, AggValue> = HashMap::new();
+    for (key_body, value_bytes) in raw {
+        let (name, _src): (String, u32) = from_wire(&key_body)?;
+        let value: AggValue = from_wire(&value_bytes)?;
+        registry.fold(&mut merged, &name, value)?;
+    }
+    for (name, value) in &merged {
+        view.put(agg2_name, key_to_routed(name), to_wire(value))?;
+    }
+    Ok(merged.into_iter().collect())
+}
+
+/// Loader output buffered at the controller before the run starts.
+pub(crate) struct LoadBuffer<J: Job> {
+    pub(crate) envelopes: Vec<Envelope<J>>,
+    pub(crate) agg: HashMap<String, AggValue>,
+}
+
+impl<J: Job> LoadBuffer<J> {
+    pub(crate) fn new() -> Self {
+        Self {
+            envelopes: Vec::new(),
+            agg: HashMap::new(),
+        }
+    }
+}
+
+/// The engine-side [`LoadSink`]: initial states go straight to the state
+/// tables; messages and enables buffer as step-0 envelopes.
+pub(crate) struct EngineLoadSink<'a, S: KvStore, J: Job> {
+    pub(crate) tables: &'a [S::Table],
+    pub(crate) registry: &'a AggregatorRegistry,
+    pub(crate) buffer: &'a mut LoadBuffer<J>,
+}
+
+impl<S: KvStore, J: Job> LoadSink<J> for EngineLoadSink<'_, S, J> {
+    fn state(&mut self, tab: usize, key: J::Key, state: J::State) -> Result<(), EbspError> {
+        let table = self.tables.get(tab).ok_or(EbspError::StateTableIndex {
+            index: tab,
+            tables: self.tables.len(),
+        })?;
+        table.put(key_to_routed(&key), to_wire(&state))?;
+        Ok(())
+    }
+
+    fn message(&mut self, to: J::Key, msg: J::Message) -> Result<(), EbspError> {
+        self.buffer.envelopes.push(Envelope::Message { to, msg });
+        Ok(())
+    }
+
+    fn enable(&mut self, key: J::Key) -> Result<(), EbspError> {
+        self.buffer.envelopes.push(Envelope::Continue { key });
+        Ok(())
+    }
+
+    fn aggregate(&mut self, name: &str, value: AggValue) -> Result<(), EbspError> {
+        self.registry.fold(&mut self.buffer.agg, name, value)
+    }
+}
+
+/// Drops the named tables when the run ends, however it ends.
+pub(crate) struct TableGuard<S: KvStore> {
+    pub(crate) store: S,
+    pub(crate) names: Vec<String>,
+}
+
+impl<S: KvStore> Drop for TableGuard<S> {
+    fn drop(&mut self) {
+        for name in &self.names {
+            // Cleanup failures at teardown are not actionable.
+            let _ = self.store.drop_table(name);
+        }
+    }
+}

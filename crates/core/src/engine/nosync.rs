@@ -1,0 +1,424 @@
+//! The unsynchronized engine (*no-sync*, §II-A/§IV-A).
+//!
+//! "When synchronization is not needed, the job is instead executed in one
+//! dispatch of EBSP implementation code to a queue set, where its instances
+//! invoke components and exchange messages until there is no more work to
+//! do" — with distributed termination detected essentially by Huang's
+//! algorithm.
+//!
+//! One worker runs per part, collocated with the part's data.  Messages
+//! are delivered as they arrive (batched opportunistically), preserving
+//! per-(sender, receiver) order — the guarantee the `incremental` property
+//! relies on.  The continue signal is meaningless without steps and is
+//! ignored; a component is re-invoked whenever messages arrive for it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ripple_kv::PartId;
+use ripple_kv::{KvStore, PartView};
+use ripple_mq::{ChannelQueueSet, QueueReceiver, QueueSet, TableQueueSet};
+use ripple_wire::{from_wire, to_wire, ByteReader, ByteWriter, Decode, Encode, WireError};
+
+use crate::context::Outbox;
+use crate::engine::{dst_part, EngineLoadSink, JobEnv, LoadBuffer, LocalStateOps};
+use crate::metrics::PartCounters;
+use crate::{
+    AggregateSnapshot, EbspError, Envelope, ExecMode, Job, Loader, QueueKind, RunMetrics,
+    RunOutcome, WeightThrow,
+};
+
+/// Options for an unsynchronized run.
+pub(crate) struct NosyncOptions {
+    pub(crate) quiescence_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) batch_limit: usize,
+}
+
+impl Default for NosyncOptions {
+    fn default() -> Self {
+        Self {
+            quiescence_timeout: Duration::from_secs(300),
+            idle_timeout: Duration::from_millis(2),
+            batch_limit: 256,
+        }
+    }
+}
+
+/// Traffic on the queue set: weighted envelopes, or the stop signal the
+/// controller broadcasts once quiescence is detected.
+enum NosyncMsg<J: Job> {
+    Env { weight: u64, env: Envelope<J> },
+    Stop,
+}
+
+impl<J: Job> Encode for NosyncMsg<J> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            NosyncMsg::Env { weight, env } => {
+                w.push(0);
+                weight.encode(w);
+                env.encode(w);
+            }
+            NosyncMsg::Stop => w.push(1),
+        }
+    }
+}
+
+impl<J: Job> Decode for NosyncMsg<J> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(NosyncMsg::Env {
+                weight: u64::decode(r)?,
+                env: Envelope::decode(r)?,
+            }),
+            1 => Ok(NosyncMsg::Stop),
+            tag => Err(WireError::InvalidTag {
+                target: "NosyncMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+pub(crate) fn run_nosync<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    loaders: Vec<Box<dyn Loader<J>>>,
+    opts: &NosyncOptions,
+    kind: QueueKind,
+) -> Result<RunOutcome, EbspError> {
+    if !env.registry.is_empty() {
+        return Err(EbspError::PlanViolation {
+            reason: "unsynchronized execution cannot serve individual aggregators".to_owned(),
+        });
+    }
+    if env.job.has_aborter() {
+        return Err(EbspError::PlanViolation {
+            reason: "unsynchronized execution cannot serve an aborter".to_owned(),
+        });
+    }
+
+    match kind {
+        QueueKind::Channel => {
+            let qs = ChannelQueueSet::create(&env.store, &env.reference, &queue_name())?;
+            let out = drive(env, loaders, opts, &qs);
+            let _ = qs.delete();
+            out
+        }
+        QueueKind::Table => {
+            let qs = TableQueueSet::create(&env.store, &env.reference, &queue_name())?;
+            let out = drive(env, loaders, opts, &qs);
+            let _ = qs.delete();
+            out
+        }
+    }
+}
+
+fn queue_name() -> String {
+    use std::sync::atomic::AtomicU64;
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    format!("__ebsp_nosync_{}", NONCE.fetch_add(1, Ordering::Relaxed))
+}
+
+fn drive<S: KvStore, J: Job, Q: QueueSet>(
+    env: &JobEnv<S, J>,
+    loaders: Vec<Box<dyn Loader<J>>>,
+    opts: &NosyncOptions,
+    qs: &Q,
+) -> Result<RunOutcome, EbspError> {
+    let started = Instant::now();
+    let store_before = env.store.metrics();
+    let parts = env.parts();
+    let detector = Arc::new(WeightThrow::new());
+    let failure: Arc<Mutex<Option<EbspError>>> = Arc::new(Mutex::new(None));
+    let stopping = Arc::new(AtomicBool::new(false));
+
+    // ----- Initial condition ------------------------------------------------
+    let mut buffer = LoadBuffer::new();
+    {
+        let mut sink = EngineLoadSink::<S, J> {
+            tables: &env.tables,
+            registry: &env.registry,
+            buffer: &mut buffer,
+        };
+        for loader in loaders {
+            loader.load(&mut sink)?;
+        }
+    }
+    let mut seeded = 0u64;
+    for envelope in buffer.envelopes {
+        let dst = dst_part(envelope.key(), parts);
+        let weight = detector.mint(1);
+        qs.put(
+            PartId(dst),
+            to_wire(&NosyncMsg::<J>::Env {
+                weight,
+                env: envelope,
+            }),
+        )?;
+        seeded += 1;
+    }
+
+    // ----- Quiescence watcher -----------------------------------------------
+    let timed_out = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let detector = Arc::clone(&detector);
+        let failure = Arc::clone(&failure);
+        let stopping = Arc::clone(&stopping);
+        let timed_out = Arc::clone(&timed_out);
+        let qs = qs.clone();
+        let deadline = Instant::now() + opts.quiescence_timeout;
+        std::thread::Builder::new()
+            .name("ripple-nosync-watch".to_owned())
+            .spawn(move || {
+                loop {
+                    let failed = failure.lock().is_some();
+                    let quiescent = detector.quiescent();
+                    let late = Instant::now() >= deadline;
+                    if failed || quiescent || late {
+                        if late && !quiescent && !failed {
+                            timed_out.store(true, Ordering::Release);
+                        }
+                        stopping.store(true, Ordering::Release);
+                        for p in 0..qs.parts() {
+                            let _ = qs.put(PartId(p), to_wire(&NosyncMsg::<J>::Stop));
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+            .expect("spawn nosync watcher")
+    };
+
+    // ----- Workers ------------------------------------------------------
+    let worker_env = Arc::new(WorkerEnv {
+        job: Arc::clone(&env.job),
+        table_names: Arc::clone(&env.table_names),
+        broadcast: env.broadcast_name.clone(),
+        direct: env.direct.clone(),
+        detector: Arc::clone(&detector),
+        failure: Arc::clone(&failure),
+        parts,
+        idle: opts.idle_timeout,
+        batch_limit: opts.batch_limit,
+        prev_agg: AggregateSnapshot::default(),
+        registry: env.registry.clone(),
+    });
+    let counters = {
+        let worker_env = Arc::clone(&worker_env);
+        let qs_inner = qs.clone();
+        qs.run_workers(move |view, rx| worker_loop(&worker_env, &qs_inner, view, rx))?
+    };
+    watcher.join().expect("nosync watcher never panics");
+
+    if let Some(e) = failure.lock().take() {
+        return Err(e);
+    }
+    if timed_out.load(Ordering::Acquire) {
+        return Err(EbspError::QuiescenceTimeout);
+    }
+
+    let mut metrics = RunMetrics::default();
+    for c in counters.into_iter().flatten() {
+        metrics.absorb(&c);
+    }
+    metrics.steps = 0;
+    metrics.barriers = 0;
+    metrics.messages_sent += seeded;
+    metrics.store = env.store.metrics() - store_before;
+    metrics.elapsed = started.elapsed();
+    Ok(RunOutcome {
+        steps: 0,
+        aborted: false,
+        aggregates: AggregateSnapshot::default(),
+        metrics,
+        mode: ExecMode::Unsynchronized,
+    })
+}
+
+struct WorkerEnv<J: Job> {
+    job: Arc<J>,
+    table_names: Arc<Vec<String>>,
+    broadcast: Option<String>,
+    direct: Option<Arc<dyn crate::Exporter<J::OutKey, J::OutValue>>>,
+    detector: Arc<WeightThrow>,
+    failure: Arc<Mutex<Option<EbspError>>>,
+    parts: u32,
+    idle: Duration,
+    batch_limit: usize,
+    prev_agg: AggregateSnapshot,
+    registry: crate::AggregatorRegistry,
+}
+
+/// One part's worker: drain, group per component (order-preserving),
+/// invoke, forward — returning consumed weight only after each round's
+/// sends are minted (the detector's protocol obligation).
+fn worker_loop<J: Job, Q: QueueSet>(
+    wenv: &WorkerEnv<J>,
+    qs: &Q,
+    view: &dyn PartView,
+    rx: &mut dyn QueueReceiver,
+) -> Option<PartCounters> {
+    // Contain application panics so the watcher learns of the failure
+    // immediately instead of waiting out the quiescence timeout.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        worker_inner(wenv, qs, view, rx)
+    }))
+    .unwrap_or_else(|_| {
+        Err(EbspError::Kv(ripple_kv::KvError::TaskPanicked {
+            part: view.part().0,
+        }))
+    });
+    match result {
+        Ok(counters) => Some(counters),
+        Err(e) => {
+            let mut slot = wenv.failure.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            None
+        }
+    }
+}
+
+fn worker_inner<J: Job, Q: QueueSet>(
+    wenv: &WorkerEnv<J>,
+    qs: &Q,
+    view: &dyn PartView,
+    rx: &mut dyn QueueReceiver,
+) -> Result<PartCounters, EbspError> {
+    let mut counters = PartCounters::default();
+    let mut invocation_seq: HashMap<J::Key, u32> = HashMap::new();
+    let ops = LocalStateOps {
+        view,
+        tables: &wenv.table_names,
+        broadcast: wenv.broadcast.as_deref(),
+    };
+    let part = view.part();
+
+    'main: loop {
+        let Some(first) = rx.recv_timeout(wenv.idle)? else {
+            continue; // idle poll; all weight already returned
+        };
+        let mut stop_after_batch = false;
+        let mut batch: Vec<(u64, Envelope<J>)> = Vec::new();
+        match from_wire::<NosyncMsg<J>>(&first)? {
+            NosyncMsg::Stop => break 'main,
+            NosyncMsg::Env { weight, env } => batch.push((weight, env)),
+        }
+        while batch.len() < wenv.batch_limit {
+            match rx.recv_timeout(Duration::ZERO)? {
+                None => break,
+                Some(bytes) => match from_wire::<NosyncMsg<J>>(&bytes)? {
+                    NosyncMsg::Stop => {
+                        stop_after_batch = true;
+                        break;
+                    }
+                    NosyncMsg::Env { weight, env } => batch.push((weight, env)),
+                },
+            }
+        }
+
+        // Group per component, preserving arrival order within each.
+        let mut order: Vec<J::Key> = Vec::new();
+        let mut grouped: HashMap<J::Key, (Vec<J::Message>, bool)> = HashMap::new();
+        let mut hold = 0u64;
+        for (weight, envelope) in batch {
+            hold += weight;
+            match envelope {
+                Envelope::Message { to, msg } => {
+                    let entry = grouped.entry(to.clone()).or_insert_with(|| {
+                        order.push(to);
+                        (Vec::new(), true)
+                    });
+                    entry.0.push(msg);
+                }
+                Envelope::Continue { key } => {
+                    grouped.entry(key.clone()).or_insert_with(|| {
+                        order.push(key);
+                        (Vec::new(), true)
+                    });
+                }
+                Envelope::Create { tab, key, state } => {
+                    apply_create(wenv, view, tab, key, state)?;
+                }
+            }
+        }
+
+        let mut out = Outbox::<J>::new();
+        for key in order {
+            let (messages, _) = grouped.remove(&key).expect("grouped by the same keys");
+            let seq = invocation_seq.entry(key.clone()).or_insert(0);
+            *seq += 1;
+            let step = *seq;
+            out.metrics.invocations += 1;
+            let mut ctx = crate::ComputeContext {
+                step,
+                mode: crate::ExecMode::Unsynchronized,
+                part,
+                key: key.clone(),
+                routed: crate::key_to_routed(&key),
+                messages,
+                ops: &ops,
+                out: &mut out,
+                registry: &wenv.registry,
+                prev_agg: &wenv.prev_agg,
+                direct: wenv.direct.as_deref(),
+            };
+            // The continue signal is step-scheduling machinery; without
+            // steps it is ignored (components re-run when messages arrive).
+            let _ = wenv.job.compute(&mut ctx)?;
+            // Forward this invocation's output immediately (pipelining).
+            for envelope in out.envelopes.drain(..) {
+                let dst = dst_part(envelope.key(), wenv.parts);
+                let weight = wenv.detector.mint(1);
+                qs.put(
+                    PartId(dst),
+                    to_wire(&NosyncMsg::Env {
+                        weight,
+                        env: envelope,
+                    }),
+                )?;
+            }
+        }
+        counters.merge(&out.metrics);
+        // All sends of this round are visible; now the consumed weight may
+        // go home.
+        wenv.detector.give_back(hold);
+        if stop_after_batch {
+            break 'main;
+        }
+    }
+    Ok(counters)
+}
+
+fn apply_create<J: Job>(
+    wenv: &WorkerEnv<J>,
+    view: &dyn PartView,
+    tab: u16,
+    key: J::Key,
+    state: J::State,
+) -> Result<(), EbspError> {
+    let idx = tab as usize;
+    let name = wenv
+        .table_names
+        .get(idx)
+        .ok_or(EbspError::StateTableIndex {
+            index: idx,
+            tables: wenv.table_names.len(),
+        })?;
+    let routed = crate::key_to_routed(&key);
+    let merged = match view.get(name, &routed)? {
+        Some(existing) => {
+            let old: J::State = from_wire(&existing)?;
+            wenv.job.combine_states(&key, old, state)
+        }
+        None => state,
+    };
+    view.put(name, routed, to_wire(&merged))?;
+    Ok(())
+}

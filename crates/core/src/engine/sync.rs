@@ -1,0 +1,466 @@
+//! The synchronized (barrier-per-step) engine.
+//!
+//! Each step runs in two parallel-per-part phases with a controller join
+//! (the BSP barrier) between them:
+//!
+//! 1. **compute** — every part drains its inbox, invokes its enabled
+//!    components, and spills outgoing envelopes to the transport table;
+//! 2. **inbox build** — every part drains its transport slice and
+//!    constructs the next step's per-component message lists (ordered,
+//!    combined, one-msg-checked per the plan) plus state creations.
+//!
+//! Aggregator partials merge at the barrier; the aborter runs between
+//! steps; execution ends when no component is enabled.  With recovery
+//! hooks, every part is checkpointed at configured barriers and a part
+//! failure rolls the whole group back to the last checkpoint and replays —
+//! the shard-transaction discipline of §IV-A at simulation fidelity.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ripple_kv::{KvError, KvStore, PartId, Table};
+
+use crate::engine::{
+    build_inbox_at_part, compute_at_part, write_spills, EngineLoadSink, JobEnv, LoadBuffer,
+    TableGuard,
+};
+use crate::metrics::PartCounters;
+use crate::{
+    AggValue, AggregateSnapshot, EbspError, ExecMode, Job, Loader, RunMetrics, RunOutcome,
+};
+
+/// Options for a synchronized run.
+pub(crate) struct SyncOptions {
+    pub(crate) max_steps: u32,
+    pub(crate) checkpoint_interval: Option<u32>,
+    /// At or above this many aggregators, partials flow through auxiliary
+    /// tables plus an enumeration round instead of returning to the
+    /// controller (§IV-A).
+    pub(crate) agg_table_threshold: usize,
+    /// Optional per-step/checkpoint/recovery callbacks.
+    pub(crate) observer: Option<std::sync::Arc<dyn crate::RunObserver>>,
+}
+
+/// A captured, type-erased shard checkpoint.
+pub(crate) type AnyCheckpoint = Box<dyn Any + Send>;
+/// Captures one part into a checkpoint.
+pub(crate) type CheckpointFn = dyn Fn(PartId) -> Result<AnyCheckpoint, KvError> + Send + Sync;
+/// Restores one captured part.
+pub(crate) type RestoreFn = dyn Fn(&(dyn Any + Send)) -> Result<(), KvError> + Send + Sync;
+
+/// Store-specific checkpoint/restore callbacks, type-erased so the engine
+/// does not carry a `RecoverableStore` bound.
+pub(crate) struct RecoveryHooks {
+    pub(crate) checkpoint: Box<CheckpointFn>,
+    pub(crate) restore: Box<RestoreFn>,
+}
+
+/// A consistent cut the run can rewind to.
+struct CheckRecord {
+    step: u32,
+    enabled: u64,
+    agg: AggregateSnapshot,
+    parts: Vec<AnyCheckpoint>,
+}
+
+pub(crate) fn run_sync<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    loaders: Vec<Box<dyn Loader<J>>>,
+    opts: &SyncOptions,
+    recovery: Option<RecoveryHooks>,
+) -> Result<RunOutcome, EbspError> {
+    let started = std::time::Instant::now();
+    let store_before = env.store.metrics();
+    let parts = env.parts();
+    let nonce = run_nonce();
+    let transport_name = format!("__ebsp_xport_{nonce}");
+    let inbox_name = format!("__ebsp_inbox_{nonce}");
+    let transport = env.store.create_table_like(&transport_name, &env.reference)?;
+    let _inbox = env.store.create_table_like(&inbox_name, &env.reference)?;
+    let large_aggs = env.registry.names().count() >= opts.agg_table_threshold.max(1)
+        && !env.registry.is_empty()
+        && !env.plan.run_anywhere;
+    let agg_tables = if large_aggs {
+        let a1 = format!("__ebsp_agg1_{nonce}");
+        let a2 = format!("__ebsp_agg2_{nonce}");
+        let t1 = env.store.create_table_like(&a1, &env.reference)?;
+        let t2 = env.store.create_table_like(&a2, &env.reference)?;
+        Some(((a1, t1), (a2, t2)))
+    } else {
+        None
+    };
+    let mut guard_names = vec![transport_name.clone(), inbox_name.clone()];
+    if let Some(((a1, _), (a2, _))) = &agg_tables {
+        guard_names.push(a1.clone());
+        guard_names.push(a2.clone());
+    }
+    let _guard = TableGuard {
+        store: env.store.clone(),
+        names: guard_names,
+    };
+
+    let mut metrics = RunMetrics::default();
+
+    // ----- Initial condition ------------------------------------------------
+    let mut buffer = LoadBuffer::new();
+    {
+        let mut sink = EngineLoadSink::<S, J> {
+            tables: &env.tables,
+            registry: &env.registry,
+            buffer: &mut buffer,
+        };
+        for loader in loaders {
+            loader.load(&mut sink)?;
+        }
+    }
+    let mut initial_counters = PartCounters::default();
+    write_spills(
+        &transport,
+        parts,
+        0,
+        u32::MAX, // the controller as a pseudo-source
+        buffer.envelopes,
+        &mut initial_counters,
+    )?;
+    metrics.absorb(&initial_counters);
+
+    let mut agg_values = env.registry.identities();
+    env.registry.merge(&mut agg_values, buffer.agg);
+    for (name, value) in env.job.initial_aggregates() {
+        env.registry.fold(&mut agg_values, &name, value)?;
+    }
+    let mut agg_snapshot = AggregateSnapshot::new(agg_values);
+
+    // ----- Inbox for step 1 -------------------------------------------------
+    // Nothing to recover to yet if this fails.
+    let mut enabled = run_inbox_phase(env, &transport_name, &inbox_name, &mut metrics)?;
+
+    let mut step: u32 = 0;
+    let mut aborted = false;
+    let mut checkpoint: Option<CheckRecord> = None;
+    if let (Some(hooks), Some(_)) = (&recovery, opts.checkpoint_interval) {
+        checkpoint = Some(take_checkpoint(hooks, parts, step, enabled, &agg_snapshot)?);
+    }
+
+    // ----- Step loop ----------------------------------------------------
+    loop {
+        if enabled == 0 {
+            break;
+        }
+        if step >= opts.max_steps {
+            return Err(EbspError::StepLimitExceeded {
+                limit: opts.max_steps,
+            });
+        }
+        let next_step = step + 1;
+        if env.job.has_aborter() && env.job.aborter(&agg_snapshot, next_step) {
+            aborted = true;
+            break;
+        }
+
+        // Compute phase: pinned to each component's part, or stealing
+        // from a shared queue when the plan allows run-anywhere.
+        let compute_result = if env.plan.run_anywhere {
+            crate::engine::anywhere::run_compute_phase_anywhere(
+                env,
+                next_step,
+                &agg_snapshot,
+                &transport,
+                &inbox_name,
+            )
+        } else {
+            run_compute_phase(
+                env,
+                next_step,
+                &agg_snapshot,
+                &transport,
+                &inbox_name,
+                agg_tables.as_ref().map(|((_, t), _)| t),
+            )
+        };
+        let step_aggs = match compute_result {
+            Ok((aggs, counters)) => {
+                metrics.absorb(&counters);
+                match &agg_tables {
+                    None => aggs,
+                    Some(((a1, _), (a2, t2))) => {
+                        // The extra enumeration round of the large path.
+                        let _ = t2.clear();
+                        match run_agg_merge_phase(env, a1, a2) {
+                            Ok(merged) => merged,
+                            Err(e) => {
+                                recover_or_fail(
+                                    env,
+                                    &recovery,
+                                    &checkpoint,
+                                    e,
+                                    &mut step,
+                                    &mut enabled,
+                                    &mut agg_snapshot,
+                                    &mut metrics,
+                                )?;
+                                if let Some(observer) = &opts.observer {
+                                    observer.on_recovery(step);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                recover_or_fail(
+                    env,
+                    &recovery,
+                    &checkpoint,
+                    e,
+                    &mut step,
+                    &mut enabled,
+                    &mut agg_snapshot,
+                    &mut metrics,
+                )?;
+                if let Some(observer) = &opts.observer {
+                    observer.on_recovery(step);
+                }
+                continue;
+            }
+        };
+
+        // Barrier: merge aggregates.
+        let mut merged = env.registry.identities();
+        env.registry.merge(&mut merged, step_aggs);
+        let next_snapshot = AggregateSnapshot::new(merged);
+
+        // Inbox build phase.
+        match run_inbox_phase(env, &transport_name, &inbox_name, &mut metrics) {
+            Ok(n) => {
+                enabled = n;
+                agg_snapshot = next_snapshot;
+                step = next_step;
+                if let Some(observer) = &opts.observer {
+                    observer.on_step(step, enabled, &agg_snapshot);
+                }
+            }
+            Err(e) => {
+                recover_or_fail(
+                    env,
+                    &recovery,
+                    &checkpoint,
+                    e,
+                    &mut step,
+                    &mut enabled,
+                    &mut agg_snapshot,
+                    &mut metrics,
+                )?;
+                if let Some(observer) = &opts.observer {
+                    observer.on_recovery(step);
+                }
+                continue;
+            }
+        }
+
+        if let (Some(hooks), Some(interval)) = (&recovery, opts.checkpoint_interval) {
+            if step.is_multiple_of(interval.max(1)) {
+                checkpoint = Some(take_checkpoint(hooks, parts, step, enabled, &agg_snapshot)?);
+                if let Some(observer) = &opts.observer {
+                    observer.on_checkpoint(step);
+                }
+            }
+        }
+    }
+
+    metrics.steps = step;
+    metrics.barriers = step;
+    metrics.store = env.store.metrics() - store_before;
+    metrics.elapsed = started.elapsed();
+    Ok(RunOutcome {
+        steps: step,
+        aborted,
+        aggregates: agg_snapshot,
+        metrics,
+        mode: ExecMode::Synchronized,
+    })
+}
+
+/// Dispatches the compute task to every part and joins (the barrier).
+fn run_compute_phase<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    step: u32,
+    prev_agg: &AggregateSnapshot,
+    transport: &S::Table,
+    inbox_name: &str,
+    agg_table: Option<&S::Table>,
+) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
+    let parts = env.parts();
+    let agg_table = agg_table.cloned();
+    let handles: Vec<_> = (0..parts)
+        .map(|p| {
+            let job = Arc::clone(&env.job);
+            let plan = env.plan;
+            let table_names = Arc::clone(&env.table_names);
+            let broadcast = env.broadcast_name.clone();
+            let registry = env.registry.clone();
+            let prev = prev_agg.clone();
+            let transport = transport.clone();
+            let inbox = inbox_name.to_owned();
+            let direct = env.direct.clone();
+            let agg_table = agg_table.clone();
+            env.store.run_at(&env.reference, PartId(p), move |view| {
+                compute_at_part::<S::Table, J>(
+                    &job,
+                    &plan,
+                    view,
+                    step,
+                    &transport,
+                    &inbox,
+                    &table_names,
+                    broadcast.as_deref(),
+                    &registry,
+                    &prev,
+                    direct.as_deref(),
+                    parts,
+                    agg_table.as_ref(),
+                )
+            })
+        })
+        .collect();
+
+    let mut aggs = env.registry.identities();
+    let mut counters = PartCounters::default();
+    let mut first_err: Option<EbspError> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((partial, c))) => {
+                env.registry.merge(&mut aggs, partial);
+                counters.merge(&c);
+            }
+            Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
+            Err(e) => first_err = Some(first_err.unwrap_or(EbspError::Kv(e))),
+        }
+    }
+    match first_err {
+        None => Ok((aggs, counters)),
+        Some(e) => Err(e),
+    }
+}
+
+/// Dispatches the inbox-build task to every part and joins; returns the
+/// total enabled component count for the next step.
+fn run_inbox_phase<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    transport_name: &str,
+    inbox_name: &str,
+    metrics: &mut RunMetrics,
+) -> Result<u64, EbspError> {
+    let handles: Vec<_> = (0..env.parts())
+        .map(|p| {
+            let job = Arc::clone(&env.job);
+            let plan = env.plan;
+            let table_names = Arc::clone(&env.table_names);
+            let transport = transport_name.to_owned();
+            let inbox = inbox_name.to_owned();
+            env.store.run_at(&env.reference, PartId(p), move |view| {
+                build_inbox_at_part::<J>(&job, &plan, view, &transport, &inbox, &table_names)
+            })
+        })
+        .collect();
+
+    let mut enabled = 0u64;
+    let mut first_err: Option<EbspError> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((n, counters))) => {
+                enabled += n;
+                metrics.absorb(&counters);
+            }
+            Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
+            Err(e) => first_err = Some(first_err.unwrap_or(EbspError::Kv(e))),
+        }
+    }
+    match first_err {
+        None => Ok(enabled),
+        Some(e) => Err(e),
+    }
+}
+
+/// The large-aggregator merge round: every part folds the partials routed
+/// to it and records them in the second auxiliary table.
+fn run_agg_merge_phase<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    agg1_name: &str,
+    agg2_name: &str,
+) -> Result<HashMap<String, AggValue>, EbspError> {
+    let results = {
+        let registry = env.registry.clone();
+        let a1 = agg1_name.to_owned();
+        let a2 = agg2_name.to_owned();
+        env.store.run_at_all(&env.reference, move |view| {
+            crate::engine::merge_aggregates_at_part(&registry, view, &a1, &a2)
+        })?
+    };
+    let mut merged = env.registry.identities();
+    for part_result in results {
+        for (name, value) in part_result? {
+            // Each name routes to exactly one part, so this never
+            // double-counts; fold is still the right merge.
+            merged.insert(name, value);
+        }
+    }
+    Ok(merged)
+}
+
+fn take_checkpoint(
+    hooks: &RecoveryHooks,
+    parts: u32,
+    step: u32,
+    enabled: u64,
+    agg: &AggregateSnapshot,
+) -> Result<CheckRecord, EbspError> {
+    let mut captured = Vec::with_capacity(parts as usize);
+    for p in 0..parts {
+        captured.push((hooks.checkpoint)(PartId(p))?);
+    }
+    Ok(CheckRecord {
+        step,
+        enabled,
+        agg: agg.clone(),
+        parts: captured,
+    })
+}
+
+/// Rolls the whole group back to the last checkpoint if the failure is a
+/// recoverable part failure; otherwise propagates.
+#[allow(clippy::too_many_arguments)]
+fn recover_or_fail<S: KvStore, J: Job>(
+    _env: &JobEnv<S, J>,
+    recovery: &Option<RecoveryHooks>,
+    checkpoint: &Option<CheckRecord>,
+    error: EbspError,
+    step: &mut u32,
+    enabled: &mut u64,
+    agg: &mut AggregateSnapshot,
+    metrics: &mut RunMetrics,
+) -> Result<(), EbspError> {
+    let part = match &error {
+        EbspError::Kv(KvError::PartFailed { part }) => *part,
+        _ => return Err(error),
+    };
+    let (Some(hooks), Some(record)) = (recovery, checkpoint) else {
+        return Err(EbspError::Unrecoverable { part });
+    };
+    for captured in &record.parts {
+        (hooks.restore)(captured.as_ref())?;
+    }
+    *step = record.step;
+    *enabled = record.enabled;
+    *agg = record.agg.clone();
+    metrics.recoveries += 1;
+    Ok(())
+}
+
+fn run_nonce() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    NONCE.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,105 @@
+//! The engine's internal BSP traffic: payload messages, continue signals,
+//! and remote state creations, all carried uniformly as envelopes inside
+//! spill batches.  "The implementation of the continue signal transforms a
+//! positive one into a special kind of BSP message.  Thus, the basic
+//! mechanism is driven purely by BSP messages." (§IV-A)
+
+use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
+
+use crate::Job;
+
+/// One unit of BSP traffic addressed to a component.
+#[derive(Debug, Clone)]
+pub enum Envelope<J: Job> {
+    /// An application message for `to`, delivered next step (and enabling
+    /// `to` for that step).
+    Message {
+        /// Destination component.
+        to: J::Key,
+        /// The payload.
+        msg: J::Message,
+    },
+    /// A positive continue signal: `key` stays enabled next step.
+    Continue {
+        /// The component that wishes to remain enabled.
+        key: J::Key,
+    },
+    /// A request to create component state (§II: "request creation of a new
+    /// component's state, by supplying an identifier and initial local
+    /// state").  Conflicts are merged with
+    /// [`Job::combine_states`](crate::Job::combine_states).
+    Create {
+        /// Which state table the entry goes into.
+        tab: u16,
+        /// The new component's key.
+        key: J::Key,
+        /// The initial state.
+        state: J::State,
+    },
+}
+
+impl<J: Job> Envelope<J> {
+    /// The destination component key.
+    pub fn key(&self) -> &J::Key {
+        match self {
+            Envelope::Message { to, .. } => to,
+            Envelope::Continue { key } => key,
+            Envelope::Create { key, .. } => key,
+        }
+    }
+}
+
+impl<J: Job> Encode for Envelope<J> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Envelope::Message { to, msg } => {
+                w.push(0);
+                to.encode(w);
+                msg.encode(w);
+            }
+            Envelope::Continue { key } => {
+                w.push(1);
+                key.encode(w);
+            }
+            Envelope::Create { tab, key, state } => {
+                w.push(2);
+                tab.encode(w);
+                key.encode(w);
+                state.encode(w);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            Envelope::Message { to, msg } => to.size_hint() + msg.size_hint(),
+            Envelope::Continue { key } => key.size_hint(),
+            Envelope::Create { tab, key, state } => {
+                tab.size_hint() + key.size_hint() + state.size_hint()
+            }
+        }
+    }
+}
+
+impl<J: Job> Decode for Envelope<J> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(Envelope::Message {
+                to: J::Key::decode(r)?,
+                msg: J::Message::decode(r)?,
+            }),
+            1 => Ok(Envelope::Continue {
+                key: J::Key::decode(r)?,
+            }),
+            2 => Ok(Envelope::Create {
+                tab: u16::decode(r)?,
+                key: J::Key::decode(r)?,
+                state: J::State::decode(r)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                target: "Envelope",
+                tag,
+            }),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+use std::error::Error;
+use std::fmt;
+
+use ripple_kv::KvError;
+use ripple_mq::MqError;
+use ripple_wire::WireError;
+
+/// Error produced while setting up or running a K/V EBSP job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EbspError {
+    /// The job definition is inconsistent (no state tables, bad reference
+    /// table, duplicate aggregator names, ...).
+    InvalidJob {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A state-table index passed to the compute context was out of range.
+    StateTableIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of state tables the job declared.
+        tables: usize,
+    },
+    /// An aggregator name was not declared by the job.
+    NoSuchAggregator {
+        /// The undeclared name.
+        name: String,
+    },
+    /// A declared job property was observed to be false at run time (e.g.
+    /// `one-msg` with two messages for one key in one step).
+    PropertyViolation {
+        /// Which property was violated.
+        property: &'static str,
+        /// What was observed.
+        detail: String,
+    },
+    /// The requested execution mode is not permitted by the job's
+    /// properties (e.g. unsynchronized execution with aggregators).
+    PlanViolation {
+        /// Why the plan is not permitted.
+        reason: String,
+    },
+    /// The step limit given in the run options was reached.
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u32,
+    },
+    /// Unsynchronized execution did not quiesce within the safety timeout.
+    QuiescenceTimeout,
+    /// A part failed and no recovery was configured.
+    Unrecoverable {
+        /// The failed part.
+        part: u32,
+    },
+    /// The key/value store failed.
+    Kv(KvError),
+    /// The message-queuing layer failed.
+    Mq(MqError),
+    /// Marshalled bytes could not be decoded (corrupt spill or state).
+    Wire(WireError),
+}
+
+impl fmt::Display for EbspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EbspError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            EbspError::StateTableIndex { index, tables } => {
+                write!(f, "state table index {index} out of range ({tables} tables)")
+            }
+            EbspError::NoSuchAggregator { name } => {
+                write!(f, "aggregator {name:?} was not declared by the job")
+            }
+            EbspError::PropertyViolation { property, detail } => {
+                write!(f, "declared property {property} violated: {detail}")
+            }
+            EbspError::PlanViolation { reason } => {
+                write!(f, "execution plan not permitted: {reason}")
+            }
+            EbspError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            EbspError::QuiescenceTimeout => {
+                write!(f, "unsynchronized execution did not quiesce in time")
+            }
+            EbspError::Unrecoverable { part } => {
+                write!(f, "part {part} failed and no recovery was configured")
+            }
+            EbspError::Kv(e) => write!(f, "store error: {e}"),
+            EbspError::Mq(e) => write!(f, "queuing error: {e}"),
+            EbspError::Wire(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl Error for EbspError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EbspError::Kv(e) => Some(e),
+            EbspError::Mq(e) => Some(e),
+            EbspError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KvError> for EbspError {
+    fn from(e: KvError) -> Self {
+        EbspError::Kv(e)
+    }
+}
+
+impl From<MqError> for EbspError {
+    fn from(e: MqError) -> Self {
+        EbspError::Mq(e)
+    }
+}
+
+impl From<WireError> for EbspError {
+    fn from(e: WireError) -> Self {
+        EbspError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        assert!(EbspError::from(KvError::StoreClosed).source().is_some());
+        assert!(EbspError::from(WireError::InvalidUtf8).source().is_some());
+        assert!(EbspError::QuiescenceTimeout.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EbspError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! Exporters: what to do with each key/value pair of a job's results —
+//! final state tables and direct job output (paper §II).
+
+use parking_lot::Mutex;
+use ripple_kv::{KvStore, PairConsumer, PartId, RoutedKey, ScanControl};
+use ripple_wire::{from_wire, Decode};
+
+use crate::EbspError;
+
+/// Consumes result pairs, one call per pair, possibly from several parts
+/// concurrently.
+pub trait Exporter<K, V>: Send + Sync + 'static {
+    /// Handles one pair produced at `part`.
+    fn export(&self, part: PartId, key: &K, value: &V);
+}
+
+/// An exporter that gathers every pair into memory — convenient for tests
+/// and small results.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_core::{CollectingExporter, Exporter};
+/// use ripple_kv::PartId;
+///
+/// let exp = CollectingExporter::new();
+/// exp.export(PartId(0), &1u32, &"one".to_owned());
+/// assert_eq!(exp.take(), vec![(1, "one".to_owned())]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CollectingExporter<K, V> {
+    pairs: Mutex<Vec<(K, V)>>,
+}
+
+impl<K, V> CollectingExporter<K, V> {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            pairs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Removes and returns everything collected so far.
+    pub fn take(&self) -> Vec<(K, V)> {
+        std::mem::take(&mut self.pairs.lock())
+    }
+
+    /// Number of pairs collected so far.
+    pub fn len(&self) -> usize {
+        self.pairs.lock().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.lock().is_empty()
+    }
+}
+
+impl<K, V> Exporter<K, V> for CollectingExporter<K, V>
+where
+    K: Clone + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    fn export(&self, _part: PartId, key: &K, value: &V) {
+        self.pairs.lock().push((key.clone(), value.clone()));
+    }
+}
+
+/// An exporter that drops everything — for jobs whose output of record is
+/// their state tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardExporter;
+
+impl<K: Send + 'static, V: Send + 'static> Exporter<K, V> for DiscardExporter {
+    fn export(&self, _part: PartId, _key: &K, _value: &V) {}
+}
+
+struct ExportConsumer<K, V, E: ?Sized> {
+    exporter: std::sync::Arc<E>,
+    count: u64,
+    part: PartId,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, E: ?Sized> Clone for ExportConsumer<K, V, E> {
+    fn clone(&self) -> Self {
+        Self {
+            exporter: std::sync::Arc::clone(&self.exporter),
+            count: 0,
+            part: PartId(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K, V, E> PairConsumer for ExportConsumer<K, V, E>
+where
+    K: Decode + Send + 'static,
+    V: Decode + Send + 'static,
+    E: Exporter<K, V> + ?Sized,
+{
+    type Output = Result<u64, EbspError>;
+
+    fn setup(&mut self, part: PartId) {
+        self.part = part;
+    }
+
+    fn pair(&mut self, key: &RoutedKey, value: &[u8]) -> ScanControl {
+        // Decode failures surface in finish; stop the scan early.
+        match (from_wire::<K>(key.body()), from_wire::<V>(value)) {
+            (Ok(k), Ok(v)) => {
+                self.count += 1;
+                self.exporter.export(self.part, &k, &v);
+                ScanControl::Continue
+            }
+            _ => ScanControl::Stop,
+        }
+    }
+
+    fn finish(&mut self, _part: PartId) -> Self::Output {
+        Ok(self.count)
+    }
+
+    fn combine(&self, a: Self::Output, b: Self::Output) -> Self::Output {
+        Ok(a? + b?)
+    }
+}
+
+/// Exports the final contents of a state table: decodes every (key, state)
+/// pair and hands it to `exporter`, returning the number of pairs.
+///
+/// # Errors
+///
+/// Fails on store errors; undecodable entries stop their part's scan.
+pub fn export_state_table<S, K, V, E>(
+    store: &S,
+    table: &S::Table,
+    exporter: std::sync::Arc<E>,
+) -> Result<u64, EbspError>
+where
+    S: KvStore,
+    K: Decode + Send + 'static,
+    V: Decode + Send + 'static,
+    E: Exporter<K, V> + ?Sized,
+{
+    let consumer = ExportConsumer {
+        exporter,
+        count: 0,
+        part: PartId(0),
+        _marker: std::marker::PhantomData,
+    };
+    store.enumerate_pairs(table, consumer)?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_exporter_gathers() {
+        let e = CollectingExporter::new();
+        assert!(e.is_empty());
+        e.export(PartId(0), &1u8, &10u8);
+        e.export(PartId(1), &2u8, &20u8);
+        assert_eq!(e.len(), 2);
+        let mut got = e.take();
+        got.sort();
+        assert_eq!(got, vec![(1, 10), (2, 20)]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn discard_exporter_is_an_exporter() {
+        fn assert_exporter<E: Exporter<u32, u32>>(_: E) {}
+        assert_exporter(DiscardExporter);
+    }
+}

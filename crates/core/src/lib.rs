@@ -1,0 +1,88 @@
+//! **K/V EBSP** — key/value extended bulk-synchronous-parallel processing,
+//! the core programming model and engine of the Ripple analytics platform
+//! (ICDCS 2013).
+//!
+//! # The programming model (paper §II)
+//!
+//! The central concept is a [`Job`].  A job's computation is spread over
+//! *components*, one per key; a component's private local state is the
+//! values associated with its key in each of a list of key/value *state
+//! tables*.  Temporally the computation is a series of *steps*: during a
+//! step, enabled components execute the job's
+//! [`compute`](Job::compute) function
+//!
+//! ```text
+//! compute: (previous state, incoming messages)
+//!            -> (new state, outgoing messages, continue signal)
+//! ```
+//!
+//! with a synchronization barrier between steps — all messages flow across
+//! barriers, so a message sent in step *i* is received in step *i + 1*.
+//!
+//! Extensions beyond plain iterated MapReduce, all implemented here:
+//!
+//! - **Selective enablement**: a component runs in a step iff it returned
+//!   the positive continue signal in the previous step *or* was sent a
+//!   message in the previous step.  Work is proportional to activity, not
+//!   to data size.
+//! - **Multiple state tables**, entries created and deleted as the job
+//!   runs; a component *exists* when it has state entries or input
+//!   messages.
+//! - **Message combiners** and **conflicting-state mergers**.
+//! - **Aggregators** (named, read back the following step), **broadcast
+//!   data** (a ubiquitous table), **direct job output**, **loaders** and
+//!   **exporters**, and an optional **aborter**.
+//! - **Declared job properties** ([`JobProperties`]) from which the engine
+//!   derives an [`ExecutionPlan`]: skip sorting, skip collecting value
+//!   lists, run anywhere (work stealing), *run with no synchronization at
+//!   all* (queue-set execution with Huang-style termination detection), and
+//!   checkpoint/replay failure recovery tuned by determinism.
+//!
+//! # Quick start
+//!
+//! See [`JobRunner`] for a runnable end-to-end example, and the repository
+//! `examples/` directory for PageRank, SUMMA matrix multiplication, and
+//! incremental single-source shortest paths.
+
+mod aggregate;
+mod context;
+mod envelope;
+mod error;
+mod export;
+mod job;
+mod loader;
+mod metrics;
+mod observer;
+mod properties;
+mod runner;
+mod simple;
+mod termination;
+
+pub(crate) mod engine;
+
+pub use aggregate::{
+    AggValue, Aggregate, AggregateSnapshot, AggregatorRegistry, CountAgg, MaxI64, MinI64, SumF64,
+    SumI64,
+};
+pub use context::ComputeContext;
+pub use envelope::Envelope;
+pub use error::EbspError;
+pub use export::{export_state_table, CollectingExporter, DiscardExporter, Exporter};
+pub use job::{Job, StateExporters};
+pub use loader::{FnLoader, LoadSink, Loader, PairsLoader, TableLoader};
+pub use metrics::RunMetrics;
+pub use observer::{ObservedEvent, RecordingObserver, RunObserver};
+pub use properties::{ExecMode, ExecutionPlan, JobProperties};
+pub use runner::{JobRunner, QueueKind, RunOutcome};
+pub use simple::{SimpleJob, SimpleJobBuilder};
+pub use termination::WeightThrow;
+
+use ripple_kv::RoutedKey;
+use ripple_wire::{to_wire, Encode};
+
+/// Routes a component key: encode, hash, place — the one true mapping from
+/// component keys to store keys used by state tables, messages, and the
+/// transport table, so that everything about one component is collocated.
+pub fn key_to_routed<K: Encode>(key: &K) -> RoutedKey {
+    RoutedKey::from_body(to_wire(key))
+}

@@ -1,0 +1,145 @@
+use std::fmt;
+use std::time::Duration;
+
+use ripple_kv::StoreMetrics;
+
+/// Per-part (or per-worker) counters gathered while invoking components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PartCounters {
+    pub(crate) invocations: u64,
+    pub(crate) messages_sent: u64,
+    pub(crate) messages_combined: u64,
+    pub(crate) state_reads: u64,
+    pub(crate) state_writes: u64,
+    pub(crate) state_deletes: u64,
+    pub(crate) creates: u64,
+    pub(crate) direct_outputs: u64,
+    pub(crate) spill_batches: u64,
+}
+
+impl PartCounters {
+    pub(crate) fn merge(&mut self, other: &PartCounters) {
+        self.invocations += other.invocations;
+        self.messages_sent += other.messages_sent;
+        self.messages_combined += other.messages_combined;
+        self.state_reads += other.state_reads;
+        self.state_writes += other.state_writes;
+        self.state_deletes += other.state_deletes;
+        self.creates += other.creates;
+        self.direct_outputs += other.direct_outputs;
+        self.spill_batches += other.spill_batches;
+    }
+}
+
+/// What a completed job run did: the observable cost model of the paper's
+/// evaluation — steps, synchronization barriers, compute invocations,
+/// message and state traffic, spills, the store's marshalling delta, and
+/// wall-clock time.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Steps executed (0 for an unsynchronized run).
+    pub steps: u32,
+    /// Synchronization barriers crossed (= steps when synchronized, 0 when
+    /// not — the quantity the SUMMA experiment varies).
+    pub barriers: u32,
+    /// Total compute invocations.
+    pub invocations: u64,
+    /// Messages sent by compute invocations (before combining).
+    pub messages_sent: u64,
+    /// Message pairs merged by the job's combiner.
+    pub messages_combined: u64,
+    /// State-table reads issued by compute invocations.
+    pub state_reads: u64,
+    /// State-table writes issued by compute invocations.
+    pub state_writes: u64,
+    /// State-table deletes issued by compute invocations.
+    pub state_deletes: u64,
+    /// Component-state creations requested.
+    pub creates: u64,
+    /// Direct job output pairs emitted.
+    pub direct_outputs: u64,
+    /// Spill batches written to the transport table.
+    pub spill_batches: u64,
+    /// Recoveries performed after injected or real part failures.
+    pub recoveries: u32,
+    /// The store's operation/marshalling counters, as a delta over the run.
+    pub store: StoreMetrics,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl RunMetrics {
+    pub(crate) fn absorb(&mut self, c: &PartCounters) {
+        self.invocations += c.invocations;
+        self.messages_sent += c.messages_sent;
+        self.messages_combined += c.messages_combined;
+        self.state_reads += c.state_reads;
+        self.state_writes += c.state_writes;
+        self.state_deletes += c.state_deletes;
+        self.creates += c.creates;
+        self.direct_outputs += c.direct_outputs;
+        self.spill_batches += c.spill_batches;
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps, {} barriers, {} invocations, {} msgs ({} combined), \
+             state r/w/d {}/{}/{}, {} spills, {} recoveries, {:.3}s [{}]",
+            self.steps,
+            self.barriers,
+            self.invocations,
+            self.messages_sent,
+            self.messages_combined,
+            self.state_reads,
+            self.state_writes,
+            self.state_deletes,
+            self.spill_batches,
+            self.recoveries,
+            self.elapsed.as_secs_f64(),
+            self.store,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_fieldwise() {
+        let mut a = PartCounters {
+            invocations: 1,
+            messages_sent: 2,
+            ..Default::default()
+        };
+        let b = PartCounters {
+            invocations: 10,
+            state_writes: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.invocations, 11);
+        assert_eq!(a.messages_sent, 2);
+        assert_eq!(a.state_writes, 3);
+    }
+
+    #[test]
+    fn run_metrics_absorbs_counters() {
+        let mut m = RunMetrics::default();
+        m.absorb(&PartCounters {
+            invocations: 5,
+            direct_outputs: 2,
+            ..Default::default()
+        });
+        m.absorb(&PartCounters {
+            invocations: 3,
+            ..Default::default()
+        });
+        assert_eq!(m.invocations, 8);
+        assert_eq!(m.direct_outputs, 2);
+        assert!(!m.to_string().is_empty());
+    }
+}

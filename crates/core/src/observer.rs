@@ -1,0 +1,71 @@
+//! Run observation: the paper gives the client a callback consuming "final
+//! aggregator results & the number of steps taken"; [`RunObserver`]
+//! generalizes that to per-step visibility — progress reporting, tracing,
+//! and experiment instrumentation hook in here without touching jobs.
+
+use crate::AggregateSnapshot;
+
+/// Callbacks invoked by the synchronized engine at run boundaries.
+///
+/// All methods have empty defaults; implement only what you need.
+/// Observers must be cheap — they run on the controller thread between
+/// barriers.
+pub trait RunObserver: Send + Sync + 'static {
+    /// A step completed: its number, how many components are enabled for
+    /// the *next* step, and the just-merged aggregator results.
+    fn on_step(&self, step: u32, enabled_next: u64, aggregates: &AggregateSnapshot) {
+        let _ = (step, enabled_next, aggregates);
+    }
+
+    /// A checkpoint was captured at the barrier after `step`.
+    fn on_checkpoint(&self, step: u32) {
+        let _ = step;
+    }
+
+    /// A part failure was detected and the run rolled back to the
+    /// checkpoint taken after `rewound_to_step`.
+    fn on_recovery(&self, rewound_to_step: u32) {
+        let _ = rewound_to_step;
+    }
+}
+
+/// An observer that records every callback, for tests and diagnostics.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: parking_lot::Mutex<Vec<ObservedEvent>>,
+}
+
+/// One recorded engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservedEvent {
+    /// `on_step(step, enabled_next)`.
+    Step(u32, u64),
+    /// `on_checkpoint(step)`.
+    Checkpoint(u32),
+    /// `on_recovery(rewound_to_step)`.
+    Recovery(u32),
+}
+
+impl RecordingObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns the events recorded so far.
+    pub fn take(&self) -> Vec<ObservedEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl RunObserver for RecordingObserver {
+    fn on_step(&self, step: u32, enabled_next: u64, _aggregates: &AggregateSnapshot) {
+        self.events.lock().push(ObservedEvent::Step(step, enabled_next));
+    }
+    fn on_checkpoint(&self, step: u32) {
+        self.events.lock().push(ObservedEvent::Checkpoint(step));
+    }
+    fn on_recovery(&self, rewound_to_step: u32) {
+        self.events.lock().push(ObservedEvent::Recovery(rewound_to_step));
+    }
+}

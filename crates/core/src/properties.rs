@@ -1,0 +1,221 @@
+//! Declared job properties and the execution plan derived from them
+//! (paper §II-A).
+
+/// The nine job properties of §II-A that unlock execution optimizations.
+///
+/// `no-agg` and `no-client-sync` are *detected* by the engine (from the
+/// job's aggregator list and aborter flag); the remaining seven must be
+/// declared by the job through this struct.  Declaring a property the job
+/// does not actually have is a contract violation; where cheap, the engine
+/// checks at run time and fails with
+/// [`EbspError::PropertyViolation`](crate::EbspError::PropertyViolation).
+///
+/// # Examples
+///
+/// ```
+/// use ripple_core::JobProperties;
+///
+/// // A SUMMA-style pipelined job: single message streams, no continue
+/// // signal beyond messaging, order-insensitive per step.
+/// let props = JobProperties {
+///     incremental: true,
+///     deterministic: true,
+///     ..JobProperties::default()
+/// };
+/// assert!(props.incremental);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobProperties {
+    /// Collocated compute invocations must be ordered by key.
+    pub needs_order: bool,
+    /// The compute method always returns the negative continue signal.
+    pub no_continue: bool,
+    /// For a given destination key and step there is at most one message.
+    pub one_msg: bool,
+    /// The bandwidth of state access is much less than the bandwidth of
+    /// messaging.
+    pub rare_state: bool,
+    /// Compute invocations for a given key need not be in step order.
+    pub no_ss_order: bool,
+    /// Messages for a component can be delivered in any order and grouping,
+    /// with no regard for steps, provided per-(sender, receiver) order is
+    /// preserved.
+    pub incremental: bool,
+    /// The compute function is deterministic.
+    pub deterministic: bool,
+}
+
+/// Which engine executes the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Step-synchronized BSP execution with barriers.
+    Synchronized,
+    /// One dispatch to a queue set; no barriers; termination detection.
+    Unsynchronized,
+}
+
+/// The optimizations the engine applies, derived from the job's properties
+/// by the implication rules of §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    /// Sort collocated invocations by key (`needs-order`); otherwise the
+    /// engine skips sorting (*no-sort*).
+    pub sort: bool,
+    /// Collect multiple messages per (key, step) into a value list;
+    /// `one-msg ∧ no-continue` lets the engine skip this (*no-collect*).
+    pub collect: bool,
+    /// Work-stealing is permitted (*run-anywhere*):
+    /// `no-collect ∧ rare-state`.
+    pub run_anywhere: bool,
+    /// Whether execution uses barriers at all; *no-sync* applies when
+    /// `(no-collect ∧ no-ss-order ∨ incremental) ∧ no-agg ∧ no-client-sync`.
+    pub mode: ExecMode,
+    /// Deterministic jobs can amortize checkpoints over several steps and
+    /// replay; non-deterministic jobs checkpoint every barrier.
+    pub fast_recovery: bool,
+}
+
+impl ExecutionPlan {
+    /// Applies the implication rules to a job's declared properties plus
+    /// the two detected ones.
+    pub fn derive(props: &JobProperties, no_agg: bool, no_client_sync: bool) -> Self {
+        let no_collect = props.one_msg && props.no_continue;
+        let run_anywhere = no_collect && props.rare_state;
+        let no_sync =
+            ((no_collect && props.no_ss_order) || props.incremental) && no_agg && no_client_sync;
+        ExecutionPlan {
+            sort: props.needs_order,
+            collect: !no_collect,
+            run_anywhere,
+            mode: if no_sync {
+                ExecMode::Unsynchronized
+            } else {
+                ExecMode::Synchronized
+            },
+            fast_recovery: props.deterministic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> JobProperties {
+        JobProperties::default()
+    }
+
+    #[test]
+    fn default_plan_is_conservative() {
+        let plan = ExecutionPlan::derive(&p(), true, true);
+        assert!(!plan.sort);
+        assert!(plan.collect);
+        assert!(!plan.run_anywhere);
+        assert_eq!(plan.mode, ExecMode::Synchronized);
+        assert!(!plan.fast_recovery);
+    }
+
+    #[test]
+    fn needs_order_implies_sort() {
+        let props = JobProperties {
+            needs_order: true,
+            ..p()
+        };
+        assert!(ExecutionPlan::derive(&props, true, true).sort);
+    }
+
+    #[test]
+    fn no_collect_requires_one_msg_and_no_continue() {
+        let both = JobProperties {
+            one_msg: true,
+            no_continue: true,
+            ..p()
+        };
+        assert!(!ExecutionPlan::derive(&both, true, true).collect);
+        let only_one_msg = JobProperties {
+            one_msg: true,
+            ..p()
+        };
+        assert!(ExecutionPlan::derive(&only_one_msg, true, true).collect);
+        let only_no_continue = JobProperties {
+            no_continue: true,
+            ..p()
+        };
+        assert!(ExecutionPlan::derive(&only_no_continue, true, true).collect);
+    }
+
+    #[test]
+    fn run_anywhere_requires_no_collect_and_rare_state() {
+        let full = JobProperties {
+            one_msg: true,
+            no_continue: true,
+            rare_state: true,
+            ..p()
+        };
+        assert!(ExecutionPlan::derive(&full, true, true).run_anywhere);
+        let no_rare = JobProperties {
+            one_msg: true,
+            no_continue: true,
+            ..p()
+        };
+        assert!(!ExecutionPlan::derive(&no_rare, true, true).run_anywhere);
+        let rare_only = JobProperties {
+            rare_state: true,
+            ..p()
+        };
+        assert!(!ExecutionPlan::derive(&rare_only, true, true).run_anywhere);
+    }
+
+    #[test]
+    fn no_sync_via_no_collect_and_no_ss_order() {
+        let props = JobProperties {
+            one_msg: true,
+            no_continue: true,
+            no_ss_order: true,
+            ..p()
+        };
+        assert_eq!(
+            ExecutionPlan::derive(&props, true, true).mode,
+            ExecMode::Unsynchronized
+        );
+    }
+
+    #[test]
+    fn no_sync_via_incremental() {
+        let props = JobProperties {
+            incremental: true,
+            ..p()
+        };
+        assert_eq!(
+            ExecutionPlan::derive(&props, true, true).mode,
+            ExecMode::Unsynchronized
+        );
+    }
+
+    #[test]
+    fn aggregators_or_aborter_force_synchronization() {
+        let props = JobProperties {
+            incremental: true,
+            ..p()
+        };
+        assert_eq!(
+            ExecutionPlan::derive(&props, false, true).mode,
+            ExecMode::Synchronized,
+            "aggregators involve step boundaries"
+        );
+        assert_eq!(
+            ExecutionPlan::derive(&props, true, false).mode,
+            ExecMode::Synchronized,
+            "an aborter involves step boundaries"
+        );
+    }
+
+    #[test]
+    fn deterministic_enables_fast_recovery() {
+        let props = JobProperties {
+            deterministic: true,
+            ..p()
+        };
+        assert!(ExecutionPlan::derive(&props, true, true).fast_recovery);
+    }
+}

@@ -1,0 +1,392 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use ripple_kv::{KvStore, RecoverableStore, Table, TableSpec};
+
+use crate::engine::nosync::{run_nosync, NosyncOptions};
+use crate::engine::sync::{run_sync, RecoveryHooks, SyncOptions};
+use crate::engine::JobEnv;
+use crate::{
+    AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job, Loader,
+    RunMetrics,
+};
+
+/// Which message-queuing implementation unsynchronized runs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// In-process FIFO channels (the fast path).
+    #[default]
+    Channel,
+    /// The paper's generic table-backed queue sets.
+    Table,
+}
+
+/// The results of a completed job run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Steps taken (0 for unsynchronized runs — that is the point).
+    pub steps: u32,
+    /// Whether the job's aborter stopped execution early.
+    pub aborted: bool,
+    /// Final aggregator results.
+    pub aggregates: AggregateSnapshot,
+    /// What the run did and what it cost.
+    pub metrics: RunMetrics,
+    /// Which engine ran the job.
+    pub mode: ExecMode,
+}
+
+/// Configures and runs K/V EBSP jobs against a store.
+///
+/// `JobRunner` is a non-consuming builder: configure it, then call
+/// [`JobRunner::run`] any number of times.
+///
+/// # Examples
+///
+/// A tiny converging job — each component halves a counter in its state
+/// until it reaches zero:
+///
+/// ```
+/// use std::sync::Arc;
+/// use ripple_core::{ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink};
+/// use ripple_store_mem::MemStore;
+///
+/// struct Halver;
+///
+/// impl Job for Halver {
+///     type Key = u32;
+///     type State = u64;
+///     type Message = ();
+///     type OutKey = ();
+///     type OutValue = ();
+///
+///     fn state_tables(&self) -> Vec<String> {
+///         vec!["counters".to_owned()]
+///     }
+///
+///     fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+///         let v = ctx.read_state(0)?.unwrap_or(0) / 2;
+///         ctx.write_state(0, &v)?;
+///         Ok(v > 0) // stay enabled until the counter hits zero
+///     }
+/// }
+///
+/// # fn main() -> Result<(), EbspError> {
+/// let store = MemStore::builder().default_parts(4).build();
+/// let outcome = JobRunner::new(store).run_with_loaders(
+///     Arc::new(Halver),
+///     vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Halver>| {
+///         for k in 0..10u32 {
+///             sink.state(0, k, 1 << k)?;
+///             sink.enable(k)?;
+///         }
+///         Ok(())
+///     }))],
+/// )?;
+/// assert_eq!(outcome.steps, 10); // 1 << 9 reaches zero after 10 halvings
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct JobRunner<S: KvStore> {
+    store: S,
+    max_steps: u32,
+    checkpoint_interval: Option<u32>,
+    force_mode: Option<ExecMode>,
+    queue_kind: QueueKind,
+    quiescence_timeout: Duration,
+    agg_table_threshold: usize,
+    observer: Option<Arc<dyn crate::RunObserver>>,
+}
+
+impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRunner")
+            .field("max_steps", &self.max_steps)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("force_mode", &self.force_mode)
+            .field("queue_kind", &self.queue_kind)
+            .field("quiescence_timeout", &self.quiescence_timeout)
+            .field("agg_table_threshold", &self.agg_table_threshold)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: KvStore> JobRunner<S> {
+    /// Creates a runner over `store` with default options.
+    pub fn new(store: S) -> Self {
+        Self {
+            store,
+            max_steps: 1_000_000,
+            checkpoint_interval: None,
+            force_mode: None,
+            queue_kind: QueueKind::default(),
+            quiescence_timeout: Duration::from_secs(300),
+            agg_table_threshold: 16,
+            observer: None,
+        }
+    }
+
+    /// Attaches a [`RunObserver`](crate::RunObserver) receiving per-step,
+    /// checkpoint, and recovery callbacks from synchronized runs.
+    pub fn observer(&mut self, observer: Arc<dyn crate::RunObserver>) -> &mut Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// At or above this many declared aggregators, per-part partial
+    /// aggregates flow through auxiliary tables plus an extra enumeration
+    /// round instead of returning to the controller (§IV-A); below it they
+    /// return directly.  Default 16.
+    pub fn aggregator_table_threshold(&mut self, n: usize) -> &mut Self {
+        self.agg_table_threshold = n;
+        self
+    }
+
+    /// Caps the number of steps a synchronized run may take.
+    pub fn max_steps(&mut self, limit: u32) -> &mut Self {
+        self.max_steps = limit;
+        self
+    }
+
+    /// Enables barrier checkpoints every `steps` steps for runs started
+    /// with [`JobRunner::run_recoverable`].  Deterministic jobs can afford
+    /// larger intervals (replay is exact); non-deterministic jobs should
+    /// checkpoint every barrier.
+    pub fn checkpoint_interval(&mut self, steps: u32) -> &mut Self {
+        self.checkpoint_interval = Some(steps.max(1));
+        self
+    }
+
+    /// Overrides the engine choice.  Forcing [`ExecMode::Synchronized`] is
+    /// always sound (the SUMMA experiment runs the same job both ways);
+    /// forcing [`ExecMode::Unsynchronized`] is checked against the job's
+    /// properties.
+    pub fn force_mode(&mut self, mode: ExecMode) -> &mut Self {
+        self.force_mode = Some(mode);
+        self
+    }
+
+    /// Selects the queue-set implementation for unsynchronized runs.
+    pub fn queue_kind(&mut self, kind: QueueKind) -> &mut Self {
+        self.queue_kind = kind;
+        self
+    }
+
+    /// Safety limit for unsynchronized runs: if the system has not
+    /// quiesced within this duration the run fails with
+    /// [`EbspError::QuiescenceTimeout`].
+    pub fn quiescence_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.quiescence_timeout = timeout;
+        self
+    }
+
+    /// Runs `job` using only the loaders the job itself declares.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EbspError`]; see [`JobRunner::run_with_loaders`].
+    pub fn run<J: Job>(&self, job: Arc<J>) -> Result<RunOutcome, EbspError> {
+        self.run_with_loaders(job, Vec::new())
+    }
+
+    /// Runs `job` with extra loaders appended after the job's own.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EbspError::InvalidJob`] for inconsistent job
+    /// definitions, [`EbspError::PlanViolation`] for impossible forced
+    /// modes, and engine/store errors from the run itself.
+    pub fn run_with_loaders<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        let (env, mode) = self.prepare(job)?;
+        let mut loaders = env.job.loaders();
+        loaders.extend(extra_loaders);
+        let outcome = match mode {
+            ExecMode::Synchronized => run_sync(
+                &env,
+                loaders,
+                &SyncOptions {
+                    max_steps: self.max_steps,
+                    checkpoint_interval: None,
+                    agg_table_threshold: self.agg_table_threshold,
+                    observer: self.observer.clone(),
+                },
+                None,
+            ),
+            ExecMode::Unsynchronized => run_nosync(
+                &env,
+                loaders,
+                &NosyncOptions {
+                    quiescence_timeout: self.quiescence_timeout,
+                    ..NosyncOptions::default()
+                },
+                self.queue_kind,
+            ),
+        }?;
+        self.apply_state_exporters(&env)?;
+        Ok(outcome)
+    }
+
+    /// Runs the job's `state_exporters` over the final table contents.
+    fn apply_state_exporters<J: Job>(&self, env: &JobEnv<S, J>) -> Result<(), EbspError> {
+        for (tab, exporter) in env.job.state_exporters() {
+            let table = env.tables.get(tab).ok_or(EbspError::StateTableIndex {
+                index: tab,
+                tables: env.tables.len(),
+            })?;
+            crate::export_state_table::<S, J::Key, J::State, _>(
+                &self.store,
+                table,
+                exporter,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Validates the job, materializes its tables (creating missing ones
+    /// co-partitioned with the reference table), and picks the engine.
+    fn prepare<J: Job>(&self, job: Arc<J>) -> Result<(JobEnv<S, J>, ExecMode), EbspError> {
+        let table_names = job.state_tables();
+        if table_names.is_empty() {
+            return Err(EbspError::InvalidJob {
+                reason: "a job needs at least one state table".to_owned(),
+            });
+        }
+        let reference_name = job.reference_table();
+        if reference_name.is_empty() {
+            return Err(EbspError::InvalidJob {
+                reason: "the reference table name is empty".to_owned(),
+            });
+        }
+        let reference = match self.store.lookup_table(&reference_name) {
+            Ok(t) => t,
+            Err(_) => self.store.create_table(&TableSpec::new(&reference_name))?,
+        };
+        let mut tables = Vec::with_capacity(table_names.len());
+        for name in &table_names {
+            let table = if *name == reference_name {
+                reference.clone()
+            } else {
+                match self.store.lookup_table(name) {
+                    Ok(t) => {
+                        if t.partitioning_id() != reference.partitioning_id() {
+                            return Err(EbspError::InvalidJob {
+                                reason: format!(
+                                    "state table {name:?} is not co-partitioned with the \
+                                     reference table {reference_name:?}"
+                                ),
+                            });
+                        }
+                        t
+                    }
+                    Err(_) => self.store.create_table_like(name, &reference)?,
+                }
+            };
+            tables.push(table);
+        }
+        let broadcast_name = match job.broadcast_table() {
+            None => None,
+            Some(name) => {
+                let t = self.store.lookup_table(&name)?;
+                if !t.is_ubiquitous() {
+                    return Err(EbspError::InvalidJob {
+                        reason: format!("broadcast table {name:?} is not ubiquitous"),
+                    });
+                }
+                Some(name)
+            }
+        };
+        let registry = AggregatorRegistry::new(job.aggregators())?;
+        let plan = ExecutionPlan::derive(
+            &job.properties(),
+            registry.is_empty(),
+            !job.has_aborter(),
+        );
+        let mode = match self.force_mode {
+            None => plan.mode,
+            Some(ExecMode::Synchronized) => ExecMode::Synchronized,
+            Some(ExecMode::Unsynchronized) => {
+                if plan.mode != ExecMode::Unsynchronized {
+                    return Err(EbspError::PlanViolation {
+                        reason: "the job's properties do not permit unsynchronized execution"
+                            .to_owned(),
+                    });
+                }
+                ExecMode::Unsynchronized
+            }
+        };
+        let direct = job.direct_output();
+        Ok((
+            JobEnv {
+                store: self.store.clone(),
+                job,
+                registry,
+                plan,
+                table_names: Arc::new(table_names),
+                tables,
+                reference,
+                broadcast_name,
+                direct,
+            },
+            mode,
+        ))
+    }
+}
+
+impl<S: RecoverableStore> JobRunner<S> {
+    /// Runs `job` with barrier checkpointing and automatic rollback-replay
+    /// recovery from part failures.  Requires a store with shard
+    /// checkpoints and a configured [`JobRunner::checkpoint_interval`]
+    /// (defaulting to every barrier if unset).  Only synchronized
+    /// execution supports recovery; the mode is forced.
+    ///
+    /// # Errors
+    ///
+    /// As for [`JobRunner::run_with_loaders`], plus
+    /// [`EbspError::Unrecoverable`] if a part fails with no checkpoint to
+    /// rewind to.
+    pub fn run_recoverable<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        let (env, _) = self.prepare(job)?;
+        let mut loaders = env.job.loaders();
+        loaders.extend(extra_loaders);
+        let store = self.store.clone();
+        let reference = env.reference.clone();
+        let restore_store = store.clone();
+        let hooks = RecoveryHooks {
+            checkpoint: Box::new(move |part| {
+                store
+                    .checkpoint_part(&reference, part)
+                    .map(|cp| Box::new(cp) as Box<dyn std::any::Any + Send>)
+            }),
+            restore: Box::new(move |any| {
+                let cp = any
+                    .downcast_ref::<S::Checkpoint>()
+                    .expect("checkpoint type is fixed per store");
+                restore_store.restore_part(cp)
+            }),
+        };
+        let interval = self.checkpoint_interval.unwrap_or(1);
+        let outcome = run_sync(
+            &env,
+            loaders,
+            &SyncOptions {
+                max_steps: self.max_steps,
+                checkpoint_interval: Some(interval),
+                agg_table_threshold: self.agg_table_threshold,
+                observer: self.observer.clone(),
+            },
+            Some(hooks),
+        )?;
+        self.apply_state_exporters(&env)?;
+        Ok(outcome)
+    }
+}

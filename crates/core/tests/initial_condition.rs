@@ -1,0 +1,115 @@
+//! The job's initial condition (§II): "initial local component states, a
+//! set of incoming messages, initial aggregator states, and a designation
+//! of which additional components are enabled" — all four channels of the
+//! loader interface, plus `Job::initial_aggregates`.
+
+use std::sync::Arc;
+
+use ripple_core::{
+    AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, SumI64,
+};
+use ripple_kv::KvStore;
+use ripple_store_mem::MemStore;
+
+/// Observes its initial condition in step 1 and echoes it into state.
+struct Observer;
+
+impl Job for Observer {
+    type Key = u32;
+    type State = (u64, Vec<i64>); // (state seen, messages seen)
+    type Message = i64;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["observed".to_owned()]
+    }
+
+    fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
+        vec![("seed".to_owned(), Arc::new(SumI64))]
+    }
+
+    fn initial_aggregates(&self) -> Vec<(String, AggValue)> {
+        vec![("seed".to_owned(), AggValue::I64(100))]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        assert_eq!(ctx.step(), 1, "this job runs exactly one step");
+        // Loader-fed + job-declared initial aggregates are visible at step 1.
+        assert_eq!(ctx.aggregate_prev("seed"), Some(AggValue::I64(142)));
+        let prior = ctx.read_state(0)?.map_or(0, |(s, _)| s);
+        let msgs = ctx.take_messages();
+        ctx.write_state(0, &(prior, msgs))?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn all_four_initial_condition_channels() {
+    let store = MemStore::builder().default_parts(3).build();
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Observer),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
+                // 1. initial states
+                sink.state(0, 1, (11, Vec::new()))?;
+                sink.state(0, 2, (22, Vec::new()))?;
+                // 2. initial messages (enable their targets too)
+                sink.message(1, -5)?;
+                sink.message(1, -6)?;
+                // 3. extra enablement without a message
+                sink.enable(2)?;
+                // 4. initial aggregator input (joins the job's 100)
+                sink.aggregate("seed", AggValue::I64(42))?;
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 1);
+    assert_eq!(outcome.metrics.invocations, 2);
+
+    let table = store.lookup_table("observed").unwrap();
+    let exporter = Arc::new(ripple_core::CollectingExporter::new());
+    ripple_core::export_state_table::<_, u32, (u64, Vec<i64>), _>(
+        &store,
+        &table,
+        Arc::clone(&exporter),
+    )
+    .unwrap();
+    let mut got = exporter.take();
+    got.sort();
+    // Component 1: had state 11, received both messages (order-insensitive).
+    let (k1, (s1, mut m1)) = got[0].clone();
+    m1.sort();
+    assert_eq!((k1, s1, m1), (1, 11, vec![-6, -5]));
+    // Component 2: enabled without messages, state intact.
+    assert_eq!(got[1], (2, (22, Vec::new())));
+}
+
+#[test]
+fn loader_rejects_unknown_aggregator() {
+    let store = MemStore::builder().default_parts(2).build();
+    let err = JobRunner::new(store)
+        .run_with_loaders(
+            Arc::new(Observer),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
+                sink.aggregate("nonexistent", AggValue::I64(1))
+            }))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EbspError::NoSuchAggregator { .. }));
+}
+
+#[test]
+fn loader_rejects_bad_state_table_index() {
+    let store = MemStore::builder().default_parts(2).build();
+    let err = JobRunner::new(store)
+        .run_with_loaders(
+            Arc::new(Observer),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
+                sink.state(5, 0, (0, Vec::new()))
+            }))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EbspError::StateTableIndex { index: 5, .. }));
+}

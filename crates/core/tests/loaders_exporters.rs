@@ -1,0 +1,195 @@
+//! Tests of the loader/exporter library: `PairsLoader`, `TableLoader`
+//! (loading a job's input from an existing table without touching it),
+//! and state-table export plumbing.
+
+use std::sync::Arc;
+
+use ripple_core::{
+    export_state_table, CollectingExporter, ComputeContext, EbspError, Job, JobRunner,
+    PairsLoader, TableLoader,
+};
+use ripple_kv::{KvStore, Table, TableSpec};
+use ripple_store_mem::MemStore;
+use ripple_wire::to_wire;
+
+/// Doubles whatever state it finds, once.
+struct Doubler;
+
+impl Job for Doubler {
+    type Key = u32;
+    type State = u64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["doubled".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let v = ctx.read_state(0)?.unwrap_or(0);
+        ctx.write_state(0, &(v * 2))?;
+        Ok(false)
+    }
+}
+
+fn read_all(store: &MemStore, table: &str) -> Vec<(u32, u64)> {
+    let handle = store.lookup_table(table).unwrap();
+    let exporter = Arc::new(CollectingExporter::new());
+    export_state_table::<_, u32, u64, _>(store, &handle, Arc::clone(&exporter)).unwrap();
+    let mut out = exporter.take();
+    out.sort();
+    out
+}
+
+#[test]
+fn pairs_loader_installs_and_enables() {
+    let store = MemStore::builder().default_parts(3).build();
+    let pairs: Vec<(u32, u64)> = (0..20).map(|k| (k, u64::from(k) + 1)).collect();
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Doubler),
+            vec![Box::new(PairsLoader::new(0, pairs).enabling())],
+        )
+        .unwrap();
+    assert_eq!(outcome.metrics.invocations, 20);
+    for (k, v) in read_all(&store, "doubled") {
+        assert_eq!(v, 2 * (u64::from(k) + 1));
+    }
+}
+
+#[test]
+fn pairs_loader_without_enabling_runs_nothing() {
+    let store = MemStore::builder().default_parts(3).build();
+    let pairs: Vec<(u32, u64)> = (0..5).map(|k| (k, 7)).collect();
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(Arc::new(Doubler), vec![Box::new(PairsLoader::new(0, pairs))])
+        .unwrap();
+    assert_eq!(outcome.metrics.invocations, 0);
+    // States installed, untouched.
+    for (_, v) in read_all(&store, "doubled") {
+        assert_eq!(v, 7);
+    }
+}
+
+#[test]
+fn table_loader_reads_existing_data_without_changing_it() {
+    let store = MemStore::builder().default_parts(3).build();
+    // Pre-existing application data in its own table.
+    let source = store.create_table(&TableSpec::new("existing")).unwrap();
+    for k in 0..15u32 {
+        source
+            .put(ripple_core::key_to_routed(&k), to_wire(&u64::from(k * 10)))
+            .unwrap();
+    }
+
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Doubler),
+            vec![Box::new(
+                TableLoader::new(&store, &source, 0).enabling(),
+            )],
+        )
+        .unwrap();
+    assert_eq!(outcome.metrics.invocations, 15);
+
+    // The analysis results land in the job's own table...
+    for (k, v) in read_all(&store, "doubled") {
+        assert_eq!(v, u64::from(k * 10) * 2);
+    }
+    // ...while the source table is untouched ("running a new analysis need
+    // not involve changing existing data").
+    assert_eq!(source.len().unwrap(), 15);
+    for k in 0..15u32 {
+        let raw = source.get(&ripple_core::key_to_routed(&k)).unwrap().unwrap();
+        let v: u64 = ripple_wire::from_wire(&raw).unwrap();
+        assert_eq!(v, u64::from(k * 10));
+    }
+}
+
+#[test]
+fn table_loader_on_empty_source_is_a_noop() {
+    let store = MemStore::builder().default_parts(2).build();
+    let source = store.create_table(&TableSpec::new("empty_src")).unwrap();
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Doubler),
+            vec![Box::new(TableLoader::new(&store, &source, 0).enabling())],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 0);
+}
+
+#[test]
+fn table_loader_surfaces_undecodable_source() {
+    let store = MemStore::builder().default_parts(2).build();
+    let source = store.create_table(&TableSpec::new("bad_src")).unwrap();
+    source
+        .put(
+            ripple_core::key_to_routed(&1u32),
+            bytes::Bytes::from_static(b"\xff\xff\xff garbage"),
+        )
+        .unwrap();
+    let err = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Doubler),
+            vec![Box::new(TableLoader::new(&store, &source, 0))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EbspError::Wire(_)), "got {err:?}");
+}
+
+/// The paper's `getWriters`: jobs can attach exporters to their state
+/// tables, invoked automatically when the run completes.
+struct SelfExporting {
+    writer: Arc<CollectingExporter<u32, u64>>,
+}
+
+impl Job for SelfExporting {
+    type Key = u32;
+    type State = u64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["self_exporting".to_owned()]
+    }
+
+    fn state_exporters(&self) -> ripple_core::StateExporters<Self> {
+        vec![(0, self.writer.clone() as Arc<dyn ripple_core::Exporter<u32, u64>>)]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        ctx.write_state(0, &(u64::from(*ctx.key()) * 3))?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn state_exporters_run_at_job_completion() {
+    let store = MemStore::builder().default_parts(3).build();
+    let writer = Arc::new(CollectingExporter::new());
+    let job = Arc::new(SelfExporting {
+        writer: Arc::clone(&writer),
+    });
+    JobRunner::new(store)
+        .run_with_loaders(
+            job,
+            vec![Box::new(ripple_core::FnLoader::new(
+                |sink: &mut dyn ripple_core::LoadSink<SelfExporting>| {
+                    for k in 0..12u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )
+        .unwrap();
+    let mut got = writer.take();
+    got.sort();
+    assert_eq!(got.len(), 12);
+    for (k, v) in got {
+        assert_eq!(v, u64::from(k) * 3);
+    }
+}

@@ -1,0 +1,344 @@
+//! Behavioural tests of the unsynchronized engine: mode selection from job
+//! properties, equivalence with synchronized execution on order-insensitive
+//! jobs, per-(sender, receiver) ordering, termination detection, and both
+//! queue-set implementations.
+
+use std::sync::Arc;
+
+use ripple_core::{
+    export_state_table, CollectingExporter, ComputeContext, EbspError, ExecMode, FnLoader, Job,
+    JobProperties, JobRunner, LoadSink, QueueKind,
+};
+use ripple_kv::KvStore;
+use ripple_store_mem::MemStore;
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(3).build()
+}
+
+/// Flood-fill: vertices keep the minimum value ever heard and forward
+/// improvements along edges.  Order- and grouping-insensitive, so it is a
+/// legitimate `incremental` job, runnable with or without barriers with the
+/// same fixpoint.
+struct FloodMin {
+    edges: Arc<Vec<(u32, u32)>>,
+}
+
+impl FloodMin {
+    fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.edges
+            .iter()
+            .filter_map(move |&(a, b)| match (a == v, b == v) {
+                (true, _) => Some(b),
+                (_, true) => Some(a),
+                _ => None,
+            })
+    }
+}
+
+impl Job for FloodMin {
+    type Key = u32;
+    type State = u32; // current minimum label
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["labels".to_owned()]
+    }
+
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            deterministic: true,
+            ..JobProperties::default()
+        }
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        let current = ctx.read_state(0)?.unwrap_or(me);
+        let best = ctx.messages().iter().copied().min().unwrap_or(current);
+        if best < current || ctx.read_state(0)?.is_none() {
+            let new = best.min(current);
+            ctx.write_state(0, &new)?;
+            for n in self.neighbors(me) {
+                ctx.send(n, new);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn path_graph(n: u32) -> Arc<Vec<(u32, u32)>> {
+    Arc::new((0..n - 1).map(|i| (i, i + 1)).collect())
+}
+
+fn labels_after(s: &MemStore) -> Vec<(u32, u32)> {
+    let table = s.lookup_table("labels").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u32>::new());
+    export_state_table(s, &table, Arc::clone(&exporter)).unwrap();
+    let mut pairs = exporter.take();
+    pairs.sort();
+    pairs
+}
+
+fn seed_loader(n: u32) -> Box<dyn ripple_core::Loader<FloodMin>> {
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<FloodMin>| {
+        // Kick every vertex once with its own label; vertices initialize
+        // their state (and announce) on first invocation.
+        for v in 0..n {
+            sink.message(v, v)?;
+        }
+        Ok(())
+    }))
+}
+
+#[test]
+fn incremental_property_selects_unsynchronized_mode() {
+    let s = store();
+    let job = Arc::new(FloodMin {
+        edges: path_graph(12),
+    });
+    let outcome = JobRunner::new(s.clone())
+        .run_with_loaders(job, vec![seed_loader(12)])
+        .unwrap();
+    assert_eq!(outcome.mode, ExecMode::Unsynchronized);
+    assert_eq!(outcome.metrics.barriers, 0, "no-sync means zero barriers");
+    assert_eq!(outcome.steps, 0);
+    // Everyone converged to the global minimum, 0.
+    for (v, label) in labels_after(&s) {
+        assert_eq!(label, 0, "vertex {v}");
+    }
+}
+
+#[test]
+fn sync_and_nosync_reach_the_same_fixpoint() {
+    let edges = path_graph(20);
+    let s1 = store();
+    JobRunner::new(s1.clone())
+        .force_mode(ExecMode::Synchronized)
+        .run_with_loaders(
+            Arc::new(FloodMin {
+                edges: Arc::clone(&edges),
+            }),
+            vec![seed_loader(20)],
+        )
+        .unwrap();
+    let s2 = store();
+    JobRunner::new(s2.clone())
+        .run_with_loaders(
+            Arc::new(FloodMin {
+                edges: Arc::clone(&edges),
+            }),
+            vec![seed_loader(20)],
+        )
+        .unwrap();
+    assert_eq!(labels_after(&s1), labels_after(&s2));
+}
+
+#[test]
+fn forced_sync_run_uses_barriers() {
+    let s = store();
+    let outcome = JobRunner::new(s)
+        .force_mode(ExecMode::Synchronized)
+        .run_with_loaders(
+            Arc::new(FloodMin {
+                edges: path_graph(12),
+            }),
+            vec![seed_loader(12)],
+        )
+        .unwrap();
+    assert_eq!(outcome.mode, ExecMode::Synchronized);
+    // A 12-vertex path needs ~11 steps for label 0 to reach the far end.
+    assert!(outcome.metrics.barriers >= 11);
+}
+
+#[test]
+fn table_backed_queues_work_too() {
+    let s = store();
+    let outcome = JobRunner::new(s.clone())
+        .queue_kind(QueueKind::Table)
+        .run_with_loaders(
+            Arc::new(FloodMin {
+                edges: path_graph(10),
+            }),
+            vec![seed_loader(10)],
+        )
+        .unwrap();
+    assert_eq!(outcome.mode, ExecMode::Unsynchronized);
+    for (_, label) in labels_after(&s) {
+        assert_eq!(label, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-(sender, receiver) order: a sender streams a sequence to a receiver,
+// which asserts monotone arrival.
+// ---------------------------------------------------------------------------
+
+struct OrderedStream {
+    count: u32,
+}
+
+impl Job for OrderedStream {
+    type Key = u32;
+    type State = Vec<u32>;
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["stream".to_owned()]
+    }
+
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            ..JobProperties::default()
+        }
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        if me == 0 {
+            // The sender: emit the whole sequence in one invocation.
+            for i in 0..self.count {
+                ctx.send(1, i);
+            }
+            return Ok(false);
+        }
+        // The receiver: append arrivals; per-sender order must hold.
+        let mut seen = ctx.read_state(0)?.unwrap_or_default();
+        for m in ctx.take_messages() {
+            seen.push(m);
+        }
+        ctx.write_state(0, &seen)?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn per_sender_order_is_preserved_without_barriers() {
+    let s = store();
+    let count = 200;
+    JobRunner::new(s.clone())
+        .run_with_loaders(
+            Arc::new(OrderedStream { count }),
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<OrderedStream>| sink.message(0, 0),
+            ))],
+        )
+        .unwrap();
+    let table = s.lookup_table("stream").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, Vec<u32>>::new());
+    export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+    let pairs = exporter.take();
+    let seen = &pairs.iter().find(|(k, _)| *k == 1).unwrap().1;
+    let expect: Vec<u32> = (0..count).collect();
+    assert_eq!(seen, &expect, "messages must arrive in send order");
+}
+
+// ---------------------------------------------------------------------------
+// Termination with no work at all, and with compute errors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_nosync_job_terminates_immediately() {
+    let outcome = JobRunner::new(store())
+        .run(Arc::new(FloodMin {
+            edges: Arc::new(Vec::new()),
+        }))
+        .unwrap();
+    assert_eq!(outcome.metrics.invocations, 0);
+}
+
+struct FailingCompute;
+
+impl Job for FailingCompute {
+    type Key = u32;
+    type State = ();
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["failing".to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            ..JobProperties::default()
+        }
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        // A bad table index is a deterministic application error.
+        ctx.read_state(7)?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn worker_errors_stop_the_run_and_surface() {
+    let err = JobRunner::new(store())
+        .run_with_loaders(
+            Arc::new(FailingCompute),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FailingCompute>| sink.message(0, ()),
+            ))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EbspError::StateTableIndex { index: 7, .. }));
+}
+
+// ---------------------------------------------------------------------------
+// State creations travel and merge in unsynchronized mode too.
+// ---------------------------------------------------------------------------
+
+struct NosyncCreator;
+
+impl Job for NosyncCreator {
+    type Key = u32;
+    type State = u32;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["created".to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            ..JobProperties::default()
+        }
+    }
+    fn combine_states(&self, _key: &u32, a: u32, b: u32) -> u32 {
+        a + b
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        // Every kicked component creates state for component 1000,
+        // contributing 1; conflicts merge by summation.
+        ctx.create_state(0, 1000, 1)?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn creations_merge_via_combine_states() {
+    let s = store();
+    JobRunner::new(s.clone())
+        .run_with_loaders(
+            Arc::new(NosyncCreator),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<NosyncCreator>| {
+                for k in 0..8u32 {
+                    sink.message(k, ())?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    let table = s.lookup_table("created").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u32>::new());
+    export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+    let pairs = exporter.take();
+    assert_eq!(pairs, vec![(1000, 8)]);
+}

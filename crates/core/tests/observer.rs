@@ -1,0 +1,125 @@
+//! Tests of [`RunObserver`]: per-step, checkpoint, and recovery callbacks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ripple_core::{
+    ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink, ObservedEvent,
+    RecordingObserver,
+};
+use ripple_kv::PartId;
+use ripple_store_mem::MemStore;
+
+struct CountDown;
+
+impl Job for CountDown {
+    type Key = u32;
+    type State = u32;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["countdown".to_owned()]
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let left = ctx.read_state(0)?.unwrap_or(0);
+        ctx.write_state(0, &left.saturating_sub(1))?;
+        Ok(left > 1)
+    }
+}
+
+#[test]
+fn observer_sees_every_step_with_enabled_counts() {
+    let observer = Arc::new(RecordingObserver::new());
+    let store = MemStore::builder().default_parts(2).build();
+    JobRunner::new(store)
+        .observer(observer.clone())
+        .run_with_loaders(
+            Arc::new(CountDown),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<CountDown>| {
+                // Component k counts down from k+1: k=0 runs 1 step,
+                // k=2 runs 3 steps.
+                for k in 0..3u32 {
+                    sink.state(0, k, k + 1)?;
+                    sink.enable(k)?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    let steps: Vec<(u32, u64)> = observer
+        .take()
+        .into_iter()
+        .filter_map(|e| match e {
+            ObservedEvent::Step(s, n) => Some((s, n)),
+            _ => None,
+        })
+        .collect();
+    // After step 1 two components remain, after step 2 one, after step 3 none.
+    assert_eq!(steps, vec![(1, 2), (2, 1), (3, 0)]);
+}
+
+struct FaultyCountDown {
+    store: MemStore,
+    injected: AtomicBool,
+}
+
+impl Job for FaultyCountDown {
+    type Key = u32;
+    type State = u32;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["f_countdown".to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            deterministic: true,
+            ..Default::default()
+        }
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if ctx.step() == 2 && !self.injected.swap(true, Ordering::SeqCst) {
+            let t = ripple_kv::KvStore::lookup_table(&self.store, "f_countdown").unwrap();
+            self.store.fail_part(&t, PartId(0)).unwrap();
+        }
+        let left = ctx.read_state(0)?.unwrap_or(0);
+        ctx.write_state(0, &left.saturating_sub(1))?;
+        Ok(left > 1)
+    }
+}
+
+#[test]
+fn observer_sees_checkpoints_and_recoveries() {
+    let observer = Arc::new(RecordingObserver::new());
+    let store = MemStore::builder().default_parts(2).build();
+    JobRunner::new(store.clone())
+        .checkpoint_interval(1)
+        .observer(observer.clone())
+        .run_recoverable(
+            Arc::new(FaultyCountDown {
+                store: store.clone(),
+                injected: AtomicBool::new(false),
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                    for k in 0..8u32 {
+                        sink.state(0, k, 4)?;
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )
+        .unwrap();
+    let events = observer.take();
+    assert!(
+        events.iter().any(|e| matches!(e, ObservedEvent::Recovery(_))),
+        "{events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, ObservedEvent::Checkpoint(_))),
+        "{events:?}"
+    );
+}

@@ -1,0 +1,166 @@
+//! Failure-injection tests of the checkpoint/rollback/replay recovery path
+//! (paper §IV-A's shard-transaction discipline).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ripple_core::{
+    export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job,
+    JobProperties, JobRunner, LoadSink,
+};
+use ripple_kv::{KvStore, PartId};
+use ripple_store_mem::MemStore;
+
+/// A deterministic accumulator: every component adds its step number to its
+/// state for `steps` steps.  The final state of component k is
+/// `1 + 2 + ... + steps`, regardless of recovery.
+struct StepSummer {
+    steps: u32,
+    // Failure injection: at (step, flag-not-yet-used) wipe a part.
+    store: MemStore,
+    fail_at_step: u32,
+    fail_part: u32,
+    injected: AtomicBool,
+}
+
+impl Job for StepSummer {
+    type Key = u32;
+    type State = u64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["sums_rec".to_owned()]
+    }
+
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            deterministic: true,
+            ..JobProperties::default()
+        }
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if ctx.step() == self.fail_at_step
+            && *ctx.key() == 0
+            && !self.injected.swap(true, Ordering::SeqCst)
+        {
+            // Simulate a shard loss mid-step: wipe the part and mark it
+            // failed; the next state access below will surface PartFailed.
+            let reference = self.store.lookup_table("sums_rec").unwrap();
+            self.store
+                .fail_part(&reference, PartId(self.fail_part))
+                .unwrap();
+        }
+        let s = ctx.read_state(0)?.unwrap_or(0) + u64::from(ctx.step());
+        ctx.write_state(0, &s)?;
+        Ok(ctx.step() < self.steps)
+    }
+}
+
+fn run_summer(
+    steps: u32,
+    fail_at_step: u32,
+    checkpoint_interval: u32,
+) -> (Vec<(u32, u64)>, ripple_core::RunMetrics) {
+    let store = MemStore::builder().default_parts(3).build();
+    let job = Arc::new(StepSummer {
+        steps,
+        store: store.clone(),
+        fail_at_step,
+        fail_part: 0,
+        injected: AtomicBool::new(false),
+    });
+    let outcome = JobRunner::new(store.clone())
+        .checkpoint_interval(checkpoint_interval)
+        .run_recoverable(
+            job,
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<StepSummer>| {
+                for k in 0..30u32 {
+                    sink.enable(k)?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    let table = store.lookup_table("sums_rec").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u64>::new());
+    export_state_table(&store, &table, Arc::clone(&exporter)).unwrap();
+    let mut pairs = exporter.take();
+    pairs.sort();
+    (pairs, outcome.metrics)
+}
+
+#[test]
+fn clean_run_baseline() {
+    let (pairs, metrics) = run_summer(6, u32::MAX, 2);
+    assert_eq!(metrics.recoveries, 0);
+    assert_eq!(pairs.len(), 30);
+    let expect: u64 = (1..=6u64).sum();
+    for (_, v) in pairs {
+        assert_eq!(v, expect);
+    }
+}
+
+#[test]
+fn failure_mid_run_recovers_to_identical_result() {
+    let (pairs, metrics) = run_summer(6, 4, 2);
+    assert!(metrics.recoveries >= 1, "a recovery must have happened");
+    assert_eq!(pairs.len(), 30);
+    let expect: u64 = (1..=6u64).sum();
+    for (k, v) in pairs {
+        assert_eq!(v, expect, "component {k} diverged after recovery");
+    }
+}
+
+#[test]
+fn failure_with_every_step_checkpointing() {
+    let (pairs, metrics) = run_summer(5, 3, 1);
+    assert!(metrics.recoveries >= 1);
+    let expect: u64 = (1..=5u64).sum();
+    for (_, v) in pairs {
+        assert_eq!(v, expect);
+    }
+}
+
+#[test]
+fn failure_at_first_step_recovers_from_initial_checkpoint() {
+    let (pairs, metrics) = run_summer(4, 1, 3);
+    assert!(metrics.recoveries >= 1);
+    let expect: u64 = (1..=4u64).sum();
+    for (_, v) in pairs {
+        assert_eq!(v, expect);
+    }
+}
+
+#[test]
+fn unrecoverable_without_checkpointing() {
+    let store = MemStore::builder().default_parts(3).build();
+    let job = Arc::new(StepSummer {
+        steps: 6,
+        store: store.clone(),
+        fail_at_step: 3,
+        fail_part: 0,
+        injected: AtomicBool::new(false),
+    });
+    // Plain run(): no recovery hooks.
+    let err = JobRunner::new(store)
+        .run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<StepSummer>| {
+                for k in 0..30u32 {
+                    sink.enable(k)?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EbspError::Unrecoverable { .. } | EbspError::Kv(ripple_kv::KvError::PartFailed { .. })
+        ),
+        "got {err:?}"
+    );
+}

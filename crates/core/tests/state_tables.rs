@@ -1,0 +1,150 @@
+//! Tests of factored component state (§II): multiple state tables per job
+//! — some read-only, some updated — plus entry creation/deletion semantics
+//! and the "a component exists when it has either state table entries or
+//! input messages" rule.
+
+use std::sync::Arc;
+
+use ripple_core::{
+    export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job, JobRunner,
+    LoadSink,
+};
+use ripple_kv::{KvStore, Table};
+use ripple_store_mem::MemStore;
+
+/// A job with factored state: table 0 holds immutable per-component
+/// configuration, table 1 holds the mutable accumulator.  "Recognizing
+/// this reduces I/O and facilitates application integration."
+struct FactoredState;
+
+impl Job for FactoredState {
+    type Key = u32;
+    type State = u64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["fs_config".to_owned(), "fs_accum".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        // Read-only config: the per-component increment.
+        let increment = ctx.read_state(0)?.expect("config is preloaded");
+        let acc = ctx.read_state(1)?.unwrap_or(0) + increment;
+        ctx.write_state(1, &acc)?;
+        Ok(acc < 5 * increment)
+    }
+}
+
+#[test]
+fn factored_state_tables_are_independent() {
+    let store = MemStore::builder().default_parts(3).build();
+    JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(FactoredState),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FactoredState>| {
+                    for k in 1..=10u32 {
+                        sink.state(0, k, u64::from(k))?; // config
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )
+        .unwrap();
+
+    // Accumulators reached 5x their increment...
+    let accum = store.lookup_table("fs_accum").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u64>::new());
+    export_state_table(&store, &accum, Arc::clone(&exporter)).unwrap();
+    for (k, v) in exporter.take() {
+        assert_eq!(v, 5 * u64::from(k));
+    }
+    // ...and the config table was never written beyond the load.
+    let config = store.lookup_table("fs_config").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u64>::new());
+    export_state_table(&store, &config, Arc::clone(&exporter)).unwrap();
+    for (k, v) in exporter.take() {
+        assert_eq!(v, u64::from(k), "config for {k} must be untouched");
+    }
+}
+
+#[test]
+fn state_tables_are_copartitioned_with_the_reference() {
+    let store = MemStore::builder().default_parts(4).build();
+    JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(FactoredState),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FactoredState>| {
+                    sink.state(0, 1, 1)?;
+                    sink.enable(1)
+                },
+            ))],
+        )
+        .unwrap();
+    let a = store.lookup_table("fs_config").unwrap();
+    let b = store.lookup_table("fs_accum").unwrap();
+    assert_eq!(a.partitioning_id(), b.partitioning_id());
+}
+
+#[test]
+fn mismatched_existing_table_is_rejected() {
+    let store = MemStore::builder().default_parts(4).build();
+    // Pre-create the second table with its own partitioning.
+    store
+        .create_table(ripple_kv::TableSpec::new("fs_accum").parts(2))
+        .unwrap();
+    let err = JobRunner::new(store)
+        .run(Arc::new(FactoredState))
+        .unwrap_err();
+    assert!(matches!(err, EbspError::InvalidJob { .. }), "got {err:?}");
+}
+
+/// "Ripple does not require a component to always have any actual entry in
+/// any of the job's state tables": a message to a component with no state
+/// still invokes it.
+struct Stateless;
+
+impl Job for Stateless {
+    type Key = u32;
+    type State = u64;
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["stateless".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        assert_eq!(ctx.read_state(0)?, None, "never given state");
+        let hops = ctx.messages().first().copied().unwrap_or(0);
+        if hops > 0 {
+            ctx.send(ctx.key() + 1, hops - 1);
+        }
+        Ok(false)
+    }
+}
+
+#[test]
+fn components_exist_without_state_entries() {
+    let store = MemStore::builder().default_parts(3).build();
+    let outcome = JobRunner::new(store.clone())
+        .run_with_loaders(
+            Arc::new(Stateless),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Stateless>| {
+                sink.message(0, 9)
+            }))],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 10);
+    assert_eq!(outcome.metrics.invocations, 10);
+    assert_eq!(
+        store.lookup_table("stateless").unwrap().len().unwrap(),
+        0,
+        "no state entries were ever created"
+    );
+}

@@ -1,0 +1,665 @@
+//! Behavioural tests of the synchronized K/V EBSP engine: BSP message
+//! semantics (Figure 1), selective enablement, combiners, ordering,
+//! aggregators, aborters, broadcast data, direct output, state creation
+//! and deletion, and plan/property enforcement.
+
+use std::sync::Arc;
+
+use ripple_core::{
+    export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter,
+    ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobRunner, JobProperties,
+    LoadSink, SumI64,
+};
+use ripple_kv::{KvStore, Table, TableSpec};
+use ripple_store_mem::MemStore;
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(4).build()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 semantics: a message sent in step i arrives exactly in step i+1.
+// ---------------------------------------------------------------------------
+
+/// Components pass a token along a ring of N components for R rounds,
+/// recording (step, holder) observations in their state.
+struct RingToken {
+    n: u32,
+    rounds: u32,
+}
+
+impl Job for RingToken {
+    type Key = u32;
+    type State = Vec<(u32, u32)>; // (step, hop) observations
+    type Message = u32; // hop count
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["ring".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let mut obs = ctx.read_state(0)?.unwrap_or_default();
+        let msgs = ctx.take_messages();
+        assert!(msgs.len() <= 1, "ring passes exactly one token");
+        if let Some(hop) = msgs.first() {
+            obs.push((ctx.step(), *hop));
+            ctx.write_state(0, &obs)?;
+            if *hop < self.rounds * self.n {
+                let next = (ctx.key() + 1) % self.n;
+                ctx.send(next, hop + 1);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[test]
+fn message_arrives_exactly_next_step() {
+    let n = 5;
+    let job = Arc::new(RingToken { n, rounds: 2 });
+    let outcome = JobRunner::new(store())
+        .run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<RingToken>| {
+                sink.message(0, 1)
+            }))],
+        )
+        .unwrap();
+    // Token makes 2*n hops; each hop is one step.
+    assert_eq!(outcome.steps, 2 * n);
+    assert_eq!(outcome.metrics.barriers, 2 * n);
+    // Component 0 saw the token at steps 1, n+1 with hops 1, n+1.
+    let s = store();
+    let _ = s; // observations checked via a fresh run below with shared store
+}
+
+#[test]
+fn ring_observations_match_steps() {
+    let n = 4u32;
+    let s = store();
+    let job = Arc::new(RingToken { n, rounds: 1 });
+    JobRunner::new(s.clone())
+        .run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<RingToken>| {
+                sink.message(0, 1)
+            }))],
+        )
+        .unwrap();
+    let table = s.lookup_table("ring").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, Vec<(u32, u32)>>::new());
+    export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+    let mut pairs = exporter.take();
+    pairs.sort();
+    // Component k receives hop k+1 at step k+1.
+    assert_eq!(pairs.len(), n as usize);
+    for (k, obs) in pairs {
+        assert_eq!(obs, vec![(k + 1, k + 1)]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selective enablement: only messaged/continuing components are invoked.
+// ---------------------------------------------------------------------------
+
+struct TouchCounter;
+
+impl Job for TouchCounter {
+    type Key = u32;
+    type State = u64; // times invoked
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["touches".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let n = ctx.read_state(0)?.unwrap_or(0) + 1;
+        ctx.write_state(0, &n)?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn only_enabled_components_run() {
+    let s = store();
+    let job = Arc::new(TouchCounter);
+    let outcome = JobRunner::new(s.clone())
+        .run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<TouchCounter>| {
+                // 100 components exist, only 3 get messages.
+                for k in 0..100u32 {
+                    sink.state(0, k, 0)?;
+                }
+                sink.message(7, ())?;
+                sink.message(42, ())?;
+                sink.message(99, ())?;
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 1);
+    assert_eq!(outcome.metrics.invocations, 3, "97 components must not run");
+    let table = s.lookup_table("touches").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u64>::new());
+    export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+    let touched: u64 = exporter.take().into_iter().map(|(_, v)| v).sum();
+    assert_eq!(touched, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Combiner: pairwise merging reduces delivered message counts.
+// ---------------------------------------------------------------------------
+
+struct SumFanIn {
+    senders: u32,
+    combine: bool,
+}
+
+impl Job for SumFanIn {
+    type Key = u32;
+    type State = i64;
+    type Message = i64;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["sums".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if *ctx.key() == 0 && ctx.step() == 1 {
+            // Fan out one message per sender component.
+            for k in 1..=self.senders {
+                ctx.send(k, 0);
+            }
+            return Ok(false);
+        }
+        if *ctx.key() != u32::MAX && ctx.step() == 2 && *ctx.key() != 0 {
+            ctx.send(u32::MAX, i64::from(*ctx.key()));
+            return Ok(false);
+        }
+        // The sink: sum whatever arrives (possibly pre-combined).
+        let total: i64 = ctx.messages().iter().sum();
+        ctx.write_state(0, &total)?;
+        Ok(false)
+    }
+
+    fn combine_messages(&self, _key: &u32, a: &i64, b: &i64) -> Option<i64> {
+        self.combine.then_some(a + b)
+    }
+}
+
+#[test]
+fn combiner_merges_fan_in() {
+    for combine in [false, true] {
+        let s = store();
+        let job = Arc::new(SumFanIn {
+            senders: 20,
+            combine,
+        });
+        let outcome = JobRunner::new(s.clone())
+            .run_with_loaders(
+                job,
+                vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<SumFanIn>| {
+                    sink.message(0, 0)
+                }))],
+            )
+            .unwrap();
+        let table = s.lookup_table("sums").unwrap();
+        let exporter = Arc::new(CollectingExporter::<u32, i64>::new());
+        export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+        let sums = exporter.take();
+        let sink_sum = sums
+            .iter()
+            .find(|(k, _)| *k == u32::MAX)
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(sink_sum, (1..=20i64).sum::<i64>(), "combine={combine}");
+        if combine {
+            assert!(
+                outcome.metrics.messages_combined > 0,
+                "combiner must have been exercised"
+            );
+        } else {
+            assert_eq!(outcome.metrics.messages_combined, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// needs-order: collocated invocations happen in key order.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn needs_order_sorts_invocations() {
+    // Observe ordering through a thread-local trace via a custom exporter
+    // (direct output records invocation sequence).
+    struct TraceJob {
+        exporter: Arc<CollectingExporter<u32, u32>>,
+    }
+    impl Job for TraceJob {
+        type Key = u32;
+        type State = ();
+        type Message = ();
+        type OutKey = u32; // part
+        type OutValue = u32; // key
+        fn state_tables(&self) -> Vec<String> {
+            vec!["trace".to_owned()]
+        }
+        fn properties(&self) -> JobProperties {
+            JobProperties {
+                needs_order: true,
+                ..JobProperties::default()
+            }
+        }
+        fn direct_output(&self) -> Option<Arc<dyn Exporter<u32, u32>>> {
+            Some(self.exporter.clone() as Arc<dyn Exporter<u32, u32>>)
+        }
+        fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+            let part = ctx.part().0;
+            let key = *ctx.key();
+            ctx.output(part, key)?;
+            Ok(false)
+        }
+    }
+    let exporter = Arc::new(CollectingExporter::new());
+    let job = Arc::new(TraceJob {
+        exporter: Arc::clone(&exporter),
+    });
+    JobRunner::new(store())
+        .run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<TraceJob>| {
+                for k in (0..64u32).rev() {
+                    sink.message(k, ())?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    // Within each part, keys must appear in ascending order.
+    let trace = exporter.take();
+    let mut per_part: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+    for (part, key) in trace {
+        per_part.entry(part).or_default().push(key);
+    }
+    assert!(!per_part.is_empty());
+    for (part, keys) in per_part {
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "part {part} not in key order");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregators: values fed in step i are readable in step i+1; the aborter
+// sees them too.
+// ---------------------------------------------------------------------------
+
+struct AggJob;
+
+impl Job for AggJob {
+    type Key = u32;
+    type State = i64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["agg_state".to_owned()]
+    }
+
+    fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
+        vec![("active".to_owned(), Arc::new(SumI64))]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let step = ctx.step();
+        if step == 1 {
+            assert_eq!(ctx.aggregate_prev("active"), Some(AggValue::I64(0)));
+        } else {
+            // Ten components each fed 1 in the previous step.
+            assert_eq!(ctx.aggregate_prev("active"), Some(AggValue::I64(10)));
+        }
+        ctx.aggregate("active", AggValue::I64(1))?;
+        Ok(step < 3) // run three steps
+    }
+}
+
+#[test]
+fn aggregates_flow_across_steps() {
+    let outcome = JobRunner::new(store())
+        .run_with_loaders(
+            Arc::new(AggJob),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<AggJob>| {
+                for k in 0..10u32 {
+                    sink.enable(k)?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 3);
+    assert_eq!(outcome.aggregates.get("active"), Some(AggValue::I64(10)));
+}
+
+struct AbortAtThree;
+
+impl Job for AbortAtThree {
+    type Key = u32;
+    type State = ();
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["abort_state".to_owned()]
+    }
+
+    fn has_aborter(&self) -> bool {
+        true
+    }
+
+    fn aborter(&self, _agg: &AggregateSnapshot, next_step: u32) -> bool {
+        next_step > 3
+    }
+
+    fn compute(&self, _ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        Ok(true) // would run forever without the aborter
+    }
+}
+
+#[test]
+fn aborter_stops_execution_between_steps() {
+    let outcome = JobRunner::new(store())
+        .run_with_loaders(
+            Arc::new(AbortAtThree),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<AbortAtThree>| {
+                sink.enable(0)
+            }))],
+        )
+        .unwrap();
+    assert!(outcome.aborted);
+    assert_eq!(outcome.steps, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast data.
+// ---------------------------------------------------------------------------
+
+struct BroadcastReader;
+
+impl Job for BroadcastReader {
+    type Key = u32;
+    type State = f64;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["bc_state".to_owned()]
+    }
+
+    fn broadcast_table(&self) -> Option<String> {
+        Some("bc_params".to_owned())
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let factor: f64 = ctx
+            .broadcast(&"factor".to_owned())?
+            .expect("factor was broadcast");
+        ctx.write_state(0, &(f64::from(*ctx.key()) * factor))?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn broadcast_data_is_readable_everywhere() {
+    let s = store();
+    let params = s
+        .create_table(TableSpec::new("bc_params").ubiquitous())
+        .unwrap();
+    params
+        .put(
+            ripple_core::key_to_routed(&"factor".to_owned()),
+            ripple_wire::to_wire(&2.5f64),
+        )
+        .unwrap();
+    JobRunner::new(s.clone())
+        .run_with_loaders(
+            Arc::new(BroadcastReader),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<BroadcastReader>| {
+                for k in 0..16u32 {
+                    sink.message(k, ())?;
+                }
+                Ok(())
+            }))],
+        )
+        .unwrap();
+    let table = s.lookup_table("bc_state").unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, f64>::new());
+    export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+    for (k, v) in exporter.take() {
+        assert_eq!(v, f64::from(k) * 2.5);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component creation/deletion: a chain that spawns its successor then
+// deletes itself.
+// ---------------------------------------------------------------------------
+
+struct SpawnChain {
+    limit: u32,
+}
+
+impl Job for SpawnChain {
+    type Key = u32;
+    type State = u32;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["chain".to_owned()]
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        if me < self.limit {
+            ctx.create_state(0, me + 1, me + 1)?;
+            ctx.send(me + 1, ());
+        }
+        if me > 0 {
+            // Verify the creation from the previous step landed before us.
+            assert_eq!(ctx.read_state(0)?, Some(me));
+        }
+        ctx.delete_state(0)?;
+        Ok(false)
+    }
+}
+
+#[test]
+fn components_create_and_delete_state() {
+    let s = store();
+    let outcome = JobRunner::new(s.clone())
+        .run_with_loaders(
+            Arc::new(SpawnChain { limit: 10 }),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<SpawnChain>| {
+                sink.state(0, 0, 0)?;
+                sink.message(0, ())
+            }))],
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, 11);
+    // Everyone deleted themselves.
+    let table = s.lookup_table("chain").unwrap();
+    assert_eq!(table.len().unwrap(), 0);
+    assert_eq!(outcome.metrics.creates, 10);
+    assert_eq!(outcome.metrics.state_deletes, 11);
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement: property lies and plan violations are caught.
+// ---------------------------------------------------------------------------
+
+struct LyingNoContinue;
+
+impl Job for LyingNoContinue {
+    type Key = u32;
+    type State = ();
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["lies".to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            no_continue: true,
+            one_msg: true,
+            ..JobProperties::default()
+        }
+    }
+    fn compute(&self, _ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        Ok(true) // violates no-continue
+    }
+}
+
+#[test]
+fn no_continue_lie_is_detected() {
+    let err = JobRunner::new(store())
+        .run_with_loaders(
+            Arc::new(LyingNoContinue),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<LyingNoContinue>| {
+                sink.message(0, ())
+            }))],
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EbspError::PropertyViolation {
+            property: "no-continue",
+            ..
+        }
+    ));
+}
+
+struct LyingOneMsg;
+
+impl Job for LyingOneMsg {
+    type Key = u32;
+    type State = ();
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["lies2".to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            no_continue: true,
+            one_msg: true,
+            ..JobProperties::default()
+        }
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if ctx.step() == 1 {
+            // Two messages to one destination in one step: violates one-msg.
+            ctx.send(99, 1);
+            ctx.send(99, 2);
+        }
+        Ok(false)
+    }
+}
+
+#[test]
+fn one_msg_lie_is_detected() {
+    let err = JobRunner::new(store())
+        .run_with_loaders(
+            Arc::new(LyingOneMsg),
+            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<LyingOneMsg>| {
+                sink.message(0, 0)
+            }))],
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EbspError::PropertyViolation {
+            property: "one-msg",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn forcing_nosync_with_aggregators_is_rejected() {
+    let err = JobRunner::new(store())
+        .force_mode(ExecMode::Unsynchronized)
+        .run(Arc::new(AggJob))
+        .unwrap_err();
+    assert!(matches!(err, EbspError::PlanViolation { .. }));
+}
+
+#[test]
+fn step_limit_is_enforced() {
+    let err = JobRunner::new(store())
+        .max_steps(5)
+        .run_with_loaders(
+            Arc::new(TouchCounterForever),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<TouchCounterForever>| sink.enable(0),
+            ))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EbspError::StepLimitExceeded { limit: 5 }));
+}
+
+struct TouchCounterForever;
+
+impl Job for TouchCounterForever {
+    type Key = u32;
+    type State = ();
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec!["forever".to_owned()]
+    }
+    fn compute(&self, _ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        Ok(true)
+    }
+}
+
+#[test]
+fn empty_job_finishes_in_zero_steps() {
+    let outcome = JobRunner::new(store()).run(Arc::new(TouchCounter)).unwrap();
+    assert_eq!(outcome.steps, 0);
+    assert_eq!(outcome.metrics.invocations, 0);
+}
+
+#[test]
+fn job_without_state_tables_is_invalid() {
+    struct NoTables;
+    impl Job for NoTables {
+        type Key = u32;
+        type State = ();
+        type Message = ();
+        type OutKey = ();
+        type OutValue = ();
+        fn state_tables(&self) -> Vec<String> {
+            Vec::new()
+        }
+        fn compute(&self, _ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+            Ok(false)
+        }
+    }
+    let err = JobRunner::new(store()).run(Arc::new(NoTables)).unwrap_err();
+    assert!(matches!(err, EbspError::InvalidJob { .. }));
+}

@@ -1,0 +1,331 @@
+//! Random graph workload generators.
+//!
+//! The PageRank evaluation uses graphs whose "edge attachments follow a
+//! biased power-law distribution"; the incremental-SSSP evaluation creates
+//! 100,000 unconnected vertices, adds ~1.8 million random edges whose
+//! endpoints are "randomly chosen according to a power law distribution",
+//! and then applies batches of random edge additions and removals
+//! "(without regard to which already exist, so some of these changes will
+//! be no-ops)".  This module reproduces those workloads with a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::VertexId;
+
+/// An in-memory directed graph as adjacency lists (used both directed, for
+/// PageRank, and as symmetric pairs for the undirected SSSP graphs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<VertexId>>,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` vertices.
+    pub fn empty(n: u32) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n as usize],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> u32 {
+        self.adjacency.len() as u32
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.adjacency.iter().map(|a| a.len() as u64).sum()
+    }
+
+    /// The out-neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Adds the directed edge `u -> v` (parallel edges are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!((v as usize) < self.adjacency.len(), "vertex out of range");
+        self.adjacency[u as usize].push(v);
+    }
+
+    /// Removes one instance of `u -> v`, returning whether it existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let list = &mut self.adjacency[u as usize];
+        match list.iter().position(|&x| x == v) {
+            Some(i) => {
+                list.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `u -> v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency[u as usize].contains(&v)
+    }
+
+    /// Iterates (vertex, out-neighbors) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .map(|(v, a)| (v as VertexId, a.as_slice()))
+    }
+}
+
+/// Samples vertex ids with probability proportional to `(id + 1)^-alpha`,
+/// producing the skewed ("biased power-law") attachment the paper's
+/// generators use.
+#[derive(Debug, Clone)]
+pub struct PowerLawSampler {
+    cumulative: Vec<f64>,
+}
+
+impl PowerLawSampler {
+    /// Builds the cumulative weight table for `n` vertices with exponent
+    /// `alpha` (larger = more skew; the generators default to 0.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one vertex");
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += f64::from(i + 1).powf(-alpha);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Draws one vertex id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> VertexId {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let x: f64 = rng.gen_range(0.0..total);
+        // First index whose cumulative weight exceeds x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) | Err(i) => (i as u32).min(self.cumulative.len() as u32 - 1),
+        }
+    }
+}
+
+/// Generates the PageRank workload: a directed graph over `vertices`
+/// vertices with `edges` edges whose endpoints follow a biased power-law
+/// attachment (§V-A).  Deterministic for a given seed.
+pub fn power_law_graph(vertices: u32, edges: u64, alpha: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = PowerLawSampler::new(vertices, alpha);
+    let mut graph = Graph::empty(vertices);
+    for _ in 0..edges {
+        let u = sampler.sample(&mut rng);
+        let v = sampler.sample(&mut rng);
+        graph.add_edge(u, v);
+    }
+    graph
+}
+
+/// One primitive graph change (§V-C): the SSSP graphs gain or lose single
+/// undirected edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphChange {
+    /// Add the undirected edge (u, v); a no-op if already present.
+    AddEdge(VertexId, VertexId),
+    /// Remove the undirected edge (u, v); a no-op if absent.
+    RemoveEdge(VertexId, VertexId),
+}
+
+impl GraphChange {
+    /// The two endpoints.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            GraphChange::AddEdge(u, v) | GraphChange::RemoveEdge(u, v) => (u, v),
+        }
+    }
+}
+
+/// An undirected graph that applies [`GraphChange`] batches, tracking
+/// neighbor sets symmetrically and ignoring no-op changes — the
+/// time-varying graph of the incremental-SSSP evaluation.
+#[derive(Debug, Clone)]
+pub struct MutableGraph {
+    graph: Graph,
+}
+
+impl MutableGraph {
+    /// `n` unconnected vertices.
+    pub fn new(n: u32) -> Self {
+        Self {
+            graph: Graph::empty(n),
+        }
+    }
+
+    /// The current adjacency (symmetric).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> u32 {
+        self.graph.vertex_count()
+    }
+
+    /// Applies one change; returns `false` for no-ops (adding an existing
+    /// edge, removing an absent one, or a self-loop).
+    pub fn apply(&mut self, change: GraphChange) -> bool {
+        let (u, v) = change.endpoints();
+        if u == v || u >= self.vertex_count() || v >= self.vertex_count() {
+            return false;
+        }
+        match change {
+            GraphChange::AddEdge(..) => {
+                if self.graph.has_edge(u, v) {
+                    return false;
+                }
+                self.graph.add_edge(u, v);
+                self.graph.add_edge(v, u);
+                true
+            }
+            GraphChange::RemoveEdge(..) => {
+                if !self.graph.has_edge(u, v) {
+                    return false;
+                }
+                self.graph.remove_edge(u, v);
+                self.graph.remove_edge(v, u);
+                true
+            }
+        }
+    }
+}
+
+/// Generates the initial SSSP workload: `n` vertices and about `edges`
+/// random undirected power-law edges (duplicates and self-loops are
+/// dropped, as "some of these changes will be no-ops").
+pub fn random_undirected(n: u32, edges: u64, alpha: f64, seed: u64) -> MutableGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = PowerLawSampler::new(n, alpha);
+    let mut graph = MutableGraph::new(n);
+    for _ in 0..edges {
+        let u = sampler.sample(&mut rng);
+        let v = sampler.sample(&mut rng);
+        graph.apply(GraphChange::AddEdge(u, v));
+    }
+    graph
+}
+
+/// Generates one batch of `count` random primitive changes, additions and
+/// removals mixed, endpoints power-law distributed, "without regard to
+/// which already exist".
+pub fn random_change_batch(
+    n: u32,
+    count: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<GraphChange> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = PowerLawSampler::new(n, alpha);
+    (0..count)
+        .map(|_| {
+            let u = sampler.sample(&mut rng);
+            let v = sampler.sample(&mut rng);
+            if rng.gen_bool(0.5) {
+                GraphChange::AddEdge(u, v)
+            } else {
+                GraphChange::RemoveEdge(u, v)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn power_law_is_seeded_and_skewed() {
+        let a = power_law_graph(100, 2000, 0.8, 42);
+        let b = power_law_graph(100, 2000, 0.8, 42);
+        assert_eq!(a, b, "same seed, same graph");
+        let c = power_law_graph(100, 2000, 0.8, 43);
+        assert_ne!(a, c, "different seed, different graph");
+        assert_eq!(a.edge_count(), 2000);
+        // Skew: the most-attached decile has far more out-edges than the
+        // least-attached decile.
+        let head: u64 = (0..10).map(|v| a.neighbors(v).len() as u64).sum();
+        let tail: u64 = (90..100).map(|v| a.neighbors(v).len() as u64).sum();
+        assert!(head > tail * 2, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn sampler_covers_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = PowerLawSampler::new(10, 0.8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let v = s.sample(&mut rng);
+            assert!(v < 10);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 10, "all vertices reachable");
+    }
+
+    #[test]
+    fn mutable_graph_is_symmetric_and_ignores_noops() {
+        let mut g = MutableGraph::new(4);
+        assert!(g.apply(GraphChange::AddEdge(0, 1)));
+        assert!(!g.apply(GraphChange::AddEdge(0, 1)), "duplicate add");
+        assert!(!g.apply(GraphChange::AddEdge(2, 2)), "self loop");
+        assert!(g.graph().has_edge(0, 1) && g.graph().has_edge(1, 0));
+        assert!(g.apply(GraphChange::RemoveEdge(1, 0)), "either direction");
+        assert!(!g.graph().has_edge(0, 1) && !g.graph().has_edge(1, 0));
+        assert!(!g.apply(GraphChange::RemoveEdge(0, 1)), "absent remove");
+    }
+
+    #[test]
+    fn change_batches_are_seeded() {
+        let a = random_change_batch(100, 50, 0.8, 1);
+        let b = random_change_batch(100, 50, 0.8, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn random_undirected_builds_connected_ish_graph() {
+        let g = random_undirected(1000, 18_000, 0.8, 5);
+        // Directed edge count is twice the undirected count minus no-ops.
+        assert!(g.graph().edge_count() > 20_000);
+        assert_eq!(g.vertex_count(), 1000);
+    }
+}

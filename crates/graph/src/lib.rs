@@ -1,0 +1,33 @@
+//! Graph analytics on the Ripple platform.
+//!
+//! Three layers, mirroring the paper:
+//!
+//! - [`vertex`] — **Graph EBSP**, the Pregel-like vertex-centric
+//!   programming model that Figure 2 stacks above K/V EBSP ("the
+//!   functionality of Pregel can be constructed atop Ripple's K/V EBSP");
+//! - [`generate`] — random graph workloads: the biased power-law graphs of
+//!   the PageRank evaluation (§V-A) and the mutating graphs with random
+//!   edge addition/removal batches of the incremental-SSSP evaluation
+//!   (§V-C);
+//! - the evaluation applications themselves:
+//!   - [`pagerank`] — the *direct* variant (one step and one
+//!     synchronization per iteration of the rank equations, state riding
+//!     in messages) and the *MapReduce* variant (two steps per iteration
+//!     with the dataset round-tripping through a state table), §V-A;
+//!   - [`sssp`] — incremental single-source shortest paths: the
+//!     *selective-enablement* variant (per-neighbor distance bookkeeping,
+//!     work proportional to change) and the *full-scan* variant
+//!     (MapReduce-style waves over the whole graph), §V-C.
+
+pub mod algorithms;
+pub mod generate;
+pub mod pagerank;
+pub mod sssp;
+pub mod vertex;
+
+/// Vertex identifier.  The paper identifies vertices by a Java `int`; we
+/// use `u32`.
+pub type VertexId = u32;
+
+/// Infinite distance marker for shortest-path annotations.
+pub const INF: u32 = u32::MAX;

@@ -1,0 +1,835 @@
+//! Incremental single-source shortest paths on a time-varying undirected
+//! graph (paper §V-C).
+//!
+//! Once distances are solved on an initial graph, each batch of primitive
+//! changes (edge additions/removals) triggers an update.  Two variants:
+//!
+//! - **selective enablement** ([`SelectiveSssp`]): each vertex stores, per
+//!   neighbor, the distance value most recently received from it, "which
+//!   makes the incrementality possible": a vertex need not hear from every
+//!   neighbor every iteration.  Each distance message carries the sender's
+//!   id and current distance; the job's combiner does not combine.  Only
+//!   vertices touched by the change wave run — work is proportional to the
+//!   blast radius of the batch, not to graph size;
+//! - **full scan** ([`FullScanInstance`]): MapReduce-style — a series
+//!   of two-step jobs over *every* vertex, each map sending its full state
+//!   to itself plus distance updates along edges, each reduce recomputing;
+//!   an aggregator counts changed vertices and an external driver loops
+//!   until none change.  If the batch removed edges, a first wave raises
+//!   to +∞ every annotation that critically depended on a removed edge,
+//!   then a second wave lowers annotations to their supported values.
+//!
+//! Distances are hop counts; [`crate::INF`] marks unreachable.
+//! Distance values are capped at the vertex count (any true distance is
+//! below it), which bounds the count-to-infinity behaviour a
+//! distance-vector scheme exhibits when a region is disconnected.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ripple_core::{
+    Aggregate, AggValue, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink,
+    RunMetrics, SumI64,
+};
+use ripple_kv::{KvStore, Table};
+use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
+
+use crate::generate::{Graph, GraphChange, MutableGraph};
+use crate::{VertexId, INF};
+
+const CHANGED: &str = "changed";
+
+fn saturating_inc(d: u32) -> u32 {
+    if d == INF {
+        INF
+    } else {
+        d + 1
+    }
+}
+
+/// Caps a computed distance at the vertex count: no real path is that
+/// long, so anything at or above it is unreachable.
+fn cap(d: u32, n: u32) -> u32 {
+    if d >= n {
+        INF
+    } else {
+        d
+    }
+}
+
+// ===========================================================================
+// Selective-enablement variant
+// ===========================================================================
+
+/// Selective-variant vertex state: parallel neighbor and neighbor-distance
+/// arrays (the bookkeeping that buys incrementality) plus the current
+/// distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelState {
+    /// Neighbor ids.
+    pub neighbors: Vec<VertexId>,
+    /// The distance most recently received from each neighbor (parallel to
+    /// `neighbors`).
+    pub neighbor_dists: Vec<u32>,
+    /// This vertex's current distance from the source.
+    pub dist: u32,
+}
+
+impl SelState {
+    fn recompute(&self, me: VertexId, source: VertexId, n: u32) -> u32 {
+        if me == source {
+            return 0;
+        }
+        let best = self
+            .neighbor_dists
+            .iter()
+            .copied()
+            .min()
+            .map_or(INF, saturating_inc);
+        cap(best, n)
+    }
+}
+
+impl Encode for SelState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.neighbors.encode(w);
+        self.neighbor_dists.encode(w);
+        self.dist.encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        self.neighbors.size_hint() + self.neighbor_dists.size_hint() + 5
+    }
+}
+
+impl Decode for SelState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            neighbors: Vec::decode(r)?,
+            neighbor_dists: Vec::decode(r)?,
+            dist: u32::decode(r)?,
+        })
+    }
+}
+
+/// The selective-enablement incremental job: enabled vertices apply the
+/// (sender, distance) messages to their neighbor-distance arrays,
+/// recompute, and notify neighbors only if their own distance changed.
+pub struct SelectiveSssp {
+    table: String,
+    source: VertexId,
+    n: u32,
+}
+
+impl Job for SelectiveSssp {
+    type Key = VertexId;
+    type State = SelState;
+    type Message = (VertexId, u32); // (sender, sender's distance)
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec![self.table.clone()]
+    }
+
+    // No combiner: "the job's combiner does not combine these messages".
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        let Some(mut state) = ctx.read_state(0)? else {
+            return Ok(false); // vertex was removed
+        };
+        let mut state_changed = false;
+        for (sender, dist) in ctx.take_messages() {
+            if let Some(i) = state.neighbors.iter().position(|&v| v == sender) {
+                if state.neighbor_dists[i] != dist {
+                    state.neighbor_dists[i] = dist;
+                    state_changed = true;
+                }
+            }
+        }
+        let new_dist = state.recompute(me, self.source, self.n);
+        let dist_changed = new_dist != state.dist;
+        if dist_changed {
+            state.dist = new_dist;
+            state_changed = true;
+            for i in 0..state.neighbors.len() {
+                ctx.send(state.neighbors[i], (me, new_dist));
+            }
+        }
+        if state_changed {
+            ctx.write_state(0, &state)?;
+        }
+        Ok(false)
+    }
+}
+
+/// A handle to a selective-variant SSSP instance living in a store table.
+pub struct SelectiveInstance<S: KvStore> {
+    store: S,
+    table: String,
+    source: VertexId,
+    n: u32,
+}
+
+impl<S: KvStore> SelectiveInstance<S> {
+    /// Loads `graph` (undirected adjacency) into `table` and solves the
+    /// initial distances from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn initialize(
+        store: &S,
+        table: &str,
+        graph: &Graph,
+        source: VertexId,
+    ) -> Result<(Self, RunMetrics), EbspError> {
+        let n = graph.vertex_count();
+        let instance = Self {
+            store: store.clone(),
+            table: table.to_owned(),
+            source,
+            n,
+        };
+        let entries: Vec<(VertexId, Vec<VertexId>)> = graph
+            .iter()
+            .map(|(v, adj)| (v, adj.to_vec()))
+            .collect();
+        let job = instance.job();
+        let outcome = JobRunner::new(store.clone()).run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                    for (v, neighbors) in entries {
+                        let dists = vec![INF; neighbors.len()];
+                        sink.state(
+                            0,
+                            v,
+                            SelState {
+                                neighbors,
+                                neighbor_dists: dists,
+                                dist: INF,
+                            },
+                        )?;
+                        sink.enable(v)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )?;
+        Ok((instance, outcome.metrics))
+    }
+
+    fn job(&self) -> Arc<SelectiveSssp> {
+        Arc::new(SelectiveSssp {
+            table: self.table.clone(),
+            source: self.source,
+            n: self.n,
+        })
+    }
+
+    /// Applies one batch of primitive changes and updates the distance
+    /// annotations: the bookkeeping arrays of the touched endpoints are
+    /// edited directly, the endpoints are seeded with each other's current
+    /// distances, and the job runs — enabling only the wave of vertices the
+    /// change actually affects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn apply_batch(&self, changes: &[GraphChange]) -> Result<RunMetrics, EbspError> {
+        let table = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        // Edit endpoint states directly (the incremental bookkeeping), and
+        // collect seed messages telling each endpoint its counterpart's
+        // current distance.
+        let mut seeds: Vec<(VertexId, (VertexId, u32))> = Vec::new();
+        let mut dist_cache: HashMap<VertexId, u32> = HashMap::new();
+        for change in changes {
+            let (u, v) = change.endpoints();
+            if u == v {
+                continue;
+            }
+            let applied = match change {
+                GraphChange::AddEdge(..) => {
+                    let added_u = edit_state(&table, u, |s| add_neighbor(s, v))?;
+                    let added_v = edit_state(&table, v, |s| add_neighbor(s, u))?;
+                    added_u || added_v
+                }
+                GraphChange::RemoveEdge(..) => {
+                    let removed_u = edit_state(&table, u, |s| remove_neighbor(s, v))?;
+                    let removed_v = edit_state(&table, v, |s| remove_neighbor(s, u))?;
+                    removed_u || removed_v
+                }
+            };
+            if applied {
+                for &(a, b) in &[(u, v), (v, u)] {
+                    let dist = match dist_cache.get(&a) {
+                        Some(d) => *d,
+                        None => {
+                            let d = read_dist(&table, a)?;
+                            dist_cache.insert(a, d);
+                            d
+                        }
+                    };
+                    // Tell b what a's distance currently is (removals are
+                    // reflected purely by the state edit; the seed makes
+                    // both endpoints recompute either way).
+                    seeds.push((b, (a, dist)));
+                }
+            }
+        }
+        let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
+            self.job(),
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                    for (to, msg) in seeds {
+                        sink.message(to, msg)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )?;
+        Ok(outcome.metrics)
+    }
+
+    /// Reads all distance annotations, sorted by vertex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn distances(&self) -> Result<Vec<(VertexId, u32)>, EbspError> {
+        let handle = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let exporter = Arc::new(ripple_core::CollectingExporter::new());
+        ripple_core::export_state_table::<S, VertexId, SelState, _>(
+            &self.store,
+            &handle,
+            Arc::clone(&exporter),
+        )?;
+        let mut out: Vec<(VertexId, u32)> = exporter
+            .take()
+            .into_iter()
+            .map(|(v, s)| (v, s.dist))
+            .collect();
+        out.sort_by_key(|(v, _)| *v);
+        Ok(out)
+    }
+}
+
+fn add_neighbor(s: &mut SelState, v: VertexId) -> bool {
+    if s.neighbors.contains(&v) {
+        return false;
+    }
+    s.neighbors.push(v);
+    s.neighbor_dists.push(INF);
+    true
+}
+
+fn remove_neighbor(s: &mut SelState, v: VertexId) -> bool {
+    match s.neighbors.iter().position(|&x| x == v) {
+        Some(i) => {
+            s.neighbors.swap_remove(i);
+            s.neighbor_dists.swap_remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn edit_state<T: ripple_kv::Table>(
+    table: &T,
+    v: VertexId,
+    f: impl FnOnce(&mut SelState) -> bool,
+) -> Result<bool, EbspError> {
+    let key = ripple_core::key_to_routed(&v);
+    let Some(bytes) = table.get(&key).map_err(EbspError::Kv)? else {
+        return Ok(false);
+    };
+    let mut state: SelState = ripple_wire::from_wire(&bytes)?;
+    let changed = f(&mut state);
+    if changed {
+        table
+            .put(key, ripple_wire::to_wire(&state))
+            .map_err(EbspError::Kv)?;
+    }
+    Ok(changed)
+}
+
+fn read_dist<T: ripple_kv::Table>(table: &T, v: VertexId) -> Result<u32, EbspError> {
+    let key = ripple_core::key_to_routed(&v);
+    match table.get(&key).map_err(EbspError::Kv)? {
+        None => Ok(INF),
+        Some(bytes) => {
+            let state: SelState = ripple_wire::from_wire(&bytes)?;
+            Ok(state.dist)
+        }
+    }
+}
+
+// ===========================================================================
+// Full-scan variant
+// ===========================================================================
+
+/// Full-scan vertex state: the neighbor array and the current distance —
+/// no per-neighbor bookkeeping, which is why every update needs full scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsState {
+    /// Neighbor ids.
+    pub neighbors: Vec<VertexId>,
+    /// Current distance from the source.
+    pub dist: u32,
+}
+
+impl Encode for FsState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.neighbors.encode(w);
+        self.dist.encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        self.neighbors.size_hint() + 5
+    }
+}
+
+impl Decode for FsState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            neighbors: Vec::decode(r)?,
+            dist: u32::decode(r)?,
+        })
+    }
+}
+
+/// The full-scan message: a full state-propagating message a vertex sends
+/// itself, or a distance update along an edge.  The combiner merges them
+/// into "a preliminary full state" exactly as §V-C describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsMsg {
+    /// Present on the self-message: the full state (neighbors + own dist).
+    pub state: Option<FsState>,
+    /// Minimum distance heard from any neighbor so far.
+    pub min_neighbor: u32,
+    /// Whether any neighbor supports (dist - 1); used by the invalidation
+    /// wave.
+    pub support: bool,
+    /// The distance the support refers to.
+    pub supported_value: u32,
+}
+
+impl Encode for FsMsg {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.state.encode(w);
+        self.min_neighbor.encode(w);
+        self.support.encode(w);
+        self.supported_value.encode(w);
+    }
+}
+
+impl Decode for FsMsg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            state: Option::decode(r)?,
+            min_neighbor: u32::decode(r)?,
+            support: bool::decode(r)?,
+            supported_value: u32::decode(r)?,
+        })
+    }
+}
+
+/// Which wave a full-scan job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wave {
+    /// Raise to +∞ every annotation no longer supported by a neighbor
+    /// (needed only when the batch removed edges).
+    Invalidate,
+    /// Lower annotations to the values justified by neighbors.
+    Relax,
+}
+
+/// One two-step (map + reduce) full-scan job.
+pub struct FullScanSssp {
+    table: String,
+    source: VertexId,
+    wave: Wave,
+    n: u32,
+}
+
+impl Job for FullScanSssp {
+    type Key = VertexId;
+    type State = FsState;
+    type Message = FsMsg;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec![self.table.clone()]
+    }
+
+    fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
+        vec![(CHANGED.to_owned(), Arc::new(SumI64))]
+    }
+
+    fn combine_messages(&self, _k: &VertexId, a: &FsMsg, b: &FsMsg) -> Option<FsMsg> {
+        // "This job has a combiner with an obvious implementation."
+        Some(FsMsg {
+            state: a.state.clone().or_else(|| b.state.clone()),
+            min_neighbor: a.min_neighbor.min(b.min_neighbor),
+            support: a.support || b.support,
+            supported_value: a.supported_value.min(b.supported_value),
+        })
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        if ctx.step() == 1 {
+            // Map: full scan — every vertex reads its state and shuffles.
+            let Some(state) = ctx.read_state(0)? else {
+                return Ok(false);
+            };
+            for i in 0..state.neighbors.len() {
+                let to = state.neighbors[i];
+                ctx.send(
+                    to,
+                    FsMsg {
+                        state: None,
+                        min_neighbor: state.dist,
+                        // Support for a neighbor whose dist is ours + 1.
+                        support: true,
+                        supported_value: saturating_inc(state.dist),
+                    },
+                );
+            }
+            ctx.send(
+                me,
+                FsMsg {
+                    state: Some(state),
+                    min_neighbor: INF,
+                    support: false,
+                    supported_value: INF,
+                },
+            );
+            Ok(false)
+        } else {
+            // Reduce: recompute the distance from the folded messages.
+            let msgs = ctx.take_messages();
+            let folded = msgs.into_iter().reduce(|a, b| {
+                self.combine_messages(&me, &a, &b).expect("always combines")
+            });
+            let Some(folded) = folded else {
+                return Ok(false);
+            };
+            let Some(state) = folded.state else {
+                return Ok(false); // no self-state: vertex gone
+            };
+            let old = state.dist;
+            let new = if me == self.source {
+                0
+            } else {
+                match self.wave {
+                    Wave::Relax => cap(saturating_inc(folded.min_neighbor), self.n).min(old),
+                    Wave::Invalidate => {
+                        // Keep `old` only if some neighbor's dist + 1 == old
+                        // (i.e. a neighbor supports it); otherwise +∞.
+                        if old != INF && folded.supported_value == old {
+                            old
+                        } else {
+                            INF
+                        }
+                    }
+                }
+            };
+            if new != old {
+                ctx.aggregate(CHANGED, AggValue::I64(1))?;
+            }
+            ctx.write_state(
+                0,
+                &FsState {
+                    neighbors: state.neighbors,
+                    dist: new,
+                },
+            )?;
+            Ok(false)
+        }
+    }
+}
+
+/// A handle to a full-scan SSSP instance.
+pub struct FullScanInstance<S: KvStore> {
+    store: S,
+    table: String,
+    source: VertexId,
+    n: u32,
+}
+
+impl<S: KvStore> FullScanInstance<S> {
+    /// Loads `graph` into `table` and solves initial distances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn initialize(
+        store: &S,
+        table: &str,
+        graph: &Graph,
+        source: VertexId,
+    ) -> Result<(Self, RunMetrics), EbspError> {
+        let instance = Self {
+            store: store.clone(),
+            table: table.to_owned(),
+            source,
+            n: graph.vertex_count(),
+        };
+        // Install states directly.
+        let handle = match store.lookup_table(table) {
+            Ok(t) => t,
+            Err(_) => store
+                .create_table(&ripple_kv::TableSpec::new(table))
+                .map_err(EbspError::Kv)?,
+        };
+        for (v, adj) in graph.iter() {
+            let state = FsState {
+                neighbors: adj.to_vec(),
+                dist: if v == source { 0 } else { INF },
+            };
+            handle
+                .put(ripple_core::key_to_routed(&v), ripple_wire::to_wire(&state))
+                .map_err(EbspError::Kv)?;
+        }
+        let metrics = instance.run_waves(false)?;
+        Ok((instance, metrics))
+    }
+
+    /// Applies a batch by editing neighbor arrays, then runs the update
+    /// waves: Invalidate-until-stable if any edge was removed, then
+    /// Relax-until-stable — each wave iteration being a full two-step scan
+    /// of the entire graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn apply_batch(&self, changes: &[GraphChange]) -> Result<RunMetrics, EbspError> {
+        let table = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let mut any_removal = false;
+        for change in changes {
+            let (u, v) = change.endpoints();
+            if u == v {
+                continue;
+            }
+            match change {
+                GraphChange::AddEdge(..) => {
+                    edit_fs(&table, u, |s| fs_add(s, v))?;
+                    edit_fs(&table, v, |s| fs_add(s, u))?;
+                }
+                GraphChange::RemoveEdge(..) => {
+                    let a = edit_fs(&table, u, |s| fs_remove(s, v))?;
+                    let b = edit_fs(&table, v, |s| fs_remove(s, u))?;
+                    any_removal |= a || b;
+                }
+            }
+        }
+        self.run_waves(any_removal)
+    }
+
+    fn run_waves(&self, with_invalidate: bool) -> Result<RunMetrics, EbspError> {
+        let mut total = RunMetrics::default();
+        if with_invalidate {
+            self.run_wave(Wave::Invalidate, &mut total)?;
+        }
+        self.run_wave(Wave::Relax, &mut total)?;
+        Ok(total)
+    }
+
+    /// "There is an external driver that invokes a series of MapReduce-like
+    /// jobs until there are no more changes."
+    fn run_wave(&self, wave: Wave, total: &mut RunMetrics) -> Result<(), EbspError> {
+        loop {
+            let n = self.n;
+            let job = Arc::new(FullScanSssp {
+                table: self.table.clone(),
+                source: self.source,
+                wave,
+                n,
+            });
+            let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
+                job,
+                vec![Box::new(FnLoader::new(
+                    move |sink: &mut dyn LoadSink<FullScanSssp>| {
+                        for v in 0..n {
+                            sink.enable(v)?;
+                        }
+                        Ok(())
+                    },
+                ))],
+            )?;
+            accumulate(total, &outcome.metrics);
+            let changed = outcome
+                .aggregates
+                .get(CHANGED)
+                .map_or(0, |v| v.as_i64());
+            if changed == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Reads all distance annotations, sorted by vertex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn distances(&self) -> Result<Vec<(VertexId, u32)>, EbspError> {
+        let handle = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let exporter = Arc::new(ripple_core::CollectingExporter::new());
+        ripple_core::export_state_table::<S, VertexId, FsState, _>(
+            &self.store,
+            &handle,
+            Arc::clone(&exporter),
+        )?;
+        let mut out: Vec<(VertexId, u32)> = exporter
+            .take()
+            .into_iter()
+            .map(|(v, s)| (v, s.dist))
+            .collect();
+        out.sort_by_key(|(v, _)| *v);
+        Ok(out)
+    }
+}
+
+fn fs_add(s: &mut FsState, v: VertexId) -> bool {
+    if s.neighbors.contains(&v) {
+        return false;
+    }
+    s.neighbors.push(v);
+    true
+}
+
+fn fs_remove(s: &mut FsState, v: VertexId) -> bool {
+    match s.neighbors.iter().position(|&x| x == v) {
+        Some(i) => {
+            s.neighbors.swap_remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn edit_fs<T: ripple_kv::Table>(
+    table: &T,
+    v: VertexId,
+    f: impl FnOnce(&mut FsState) -> bool,
+) -> Result<bool, EbspError> {
+    let key = ripple_core::key_to_routed(&v);
+    let Some(bytes) = table.get(&key).map_err(EbspError::Kv)? else {
+        return Ok(false);
+    };
+    let mut state: FsState = ripple_wire::from_wire(&bytes)?;
+    let changed = f(&mut state);
+    if changed {
+        table
+            .put(key, ripple_wire::to_wire(&state))
+            .map_err(EbspError::Kv)?;
+    }
+    Ok(changed)
+}
+
+fn accumulate(total: &mut RunMetrics, part: &RunMetrics) {
+    total.steps += part.steps;
+    total.barriers += part.barriers;
+    total.invocations += part.invocations;
+    total.messages_sent += part.messages_sent;
+    total.messages_combined += part.messages_combined;
+    total.state_reads += part.state_reads;
+    total.state_writes += part.state_writes;
+    total.spill_batches += part.spill_batches;
+    total.elapsed += part.elapsed;
+}
+
+/// A sequential BFS oracle for validating both variants.
+pub fn bfs_oracle(graph: &MutableGraph, source: VertexId) -> Vec<u32> {
+    let g = graph.graph();
+    let n = g.vertex_count() as usize;
+    let mut dist = vec![INF; n];
+    if (source as usize) < n {
+        dist[source as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == INF {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_wire::{from_wire, to_wire};
+
+    #[test]
+    fn codecs_roundtrip() {
+        let s = SelState {
+            neighbors: vec![1, 2],
+            neighbor_dists: vec![3, INF],
+            dist: 4,
+        };
+        assert_eq!(from_wire::<SelState>(&to_wire(&s)).unwrap(), s);
+        let f = FsState {
+            neighbors: vec![9],
+            dist: INF,
+        };
+        assert_eq!(from_wire::<FsState>(&to_wire(&f)).unwrap(), f);
+        let m = FsMsg {
+            state: Some(f),
+            min_neighbor: 2,
+            support: true,
+            supported_value: 3,
+        };
+        assert_eq!(from_wire::<FsMsg>(&to_wire(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn neighbor_bookkeeping_edits() {
+        let mut s = SelState {
+            neighbors: vec![1],
+            neighbor_dists: vec![5],
+            dist: 6,
+        };
+        assert!(add_neighbor(&mut s, 2));
+        assert!(!add_neighbor(&mut s, 2));
+        assert_eq!(s.neighbors.len(), s.neighbor_dists.len());
+        assert!(remove_neighbor(&mut s, 1));
+        assert!(!remove_neighbor(&mut s, 1));
+        assert_eq!(s.neighbors, vec![2]);
+        assert_eq!(s.neighbor_dists, vec![INF]);
+    }
+
+    #[test]
+    fn recompute_respects_source_and_cap() {
+        let s = SelState {
+            neighbors: vec![1],
+            neighbor_dists: vec![7],
+            dist: INF,
+        };
+        assert_eq!(s.recompute(0, 0, 100), 0, "source is always 0");
+        assert_eq!(s.recompute(2, 0, 100), 8);
+        assert_eq!(s.recompute(2, 0, 8), INF, "capped at n");
+        let empty = SelState {
+            neighbors: vec![],
+            neighbor_dists: vec![],
+            dist: 3,
+        };
+        assert_eq!(empty.recompute(2, 0, 100), INF);
+    }
+
+    #[test]
+    fn bfs_oracle_small() {
+        let mut g = MutableGraph::new(5);
+        g.apply(GraphChange::AddEdge(0, 1));
+        g.apply(GraphChange::AddEdge(1, 2));
+        g.apply(GraphChange::AddEdge(2, 3));
+        assert_eq!(bfs_oracle(&g, 0), vec![0, 1, 2, 3, INF]);
+    }
+}

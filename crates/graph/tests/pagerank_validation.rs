@@ -1,0 +1,137 @@
+//! Both PageRank variants must match the sequential reference exactly (up
+//! to float tolerance), conserve rank mass, and exhibit the cost shape
+//! Table I measures: the MapReduce variant does twice the synchronizations
+//! and a per-iteration round of state I/O the direct variant avoids.
+
+use ripple_graph::generate::power_law_graph;
+use ripple_graph::pagerank::{
+    read_ranks, reference_ranks, run_direct, run_mapreduce_variant, PageRankConfig,
+};
+use ripple_store_mem::MemStore;
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(6).build()
+}
+
+const CFG: PageRankConfig = PageRankConfig {
+    damping: 0.85,
+    iterations: 10,
+};
+
+fn assert_close(distributed: &[(u32, f64)], reference: &[f64]) {
+    assert_eq!(distributed.len(), reference.len());
+    for (v, rank) in distributed {
+        let want = reference[*v as usize];
+        assert!(
+            (rank - want).abs() < 1e-10,
+            "vertex {v}: {rank} vs reference {want}"
+        );
+    }
+}
+
+#[test]
+fn direct_variant_matches_reference() {
+    let graph = power_law_graph(300, 3000, 0.8, 11);
+    let s = store();
+    let outcome = run_direct(&s, "pr", &graph, CFG).unwrap();
+    let ranks = read_ranks(&s, "pr").unwrap();
+    assert_close(&ranks, &reference_ranks(&graph, CFG));
+    // One synchronization per iteration (plus the initial distribution
+    // step).
+    assert_eq!(outcome.metrics.barriers, CFG.iterations + 1);
+    let sum: f64 = ranks.iter().map(|(_, r)| r).sum();
+    assert!((sum - 1.0).abs() < 1e-9, "rank mass conserved: {sum}");
+}
+
+#[test]
+fn mapreduce_variant_matches_reference() {
+    let graph = power_law_graph(300, 3000, 0.8, 11);
+    let s = store();
+    let outcome = run_mapreduce_variant(&s, "pr", &graph, CFG).unwrap();
+    let ranks = read_ranks(&s, "pr").unwrap();
+    assert_close(&ranks, &reference_ranks(&graph, CFG));
+    // Two synchronizations per iteration.
+    assert_eq!(outcome.metrics.barriers, 2 * CFG.iterations);
+}
+
+#[test]
+fn variants_agree_with_each_other() {
+    let graph = power_law_graph(200, 4000, 0.9, 23);
+    let s1 = store();
+    run_direct(&s1, "pr", &graph, CFG).unwrap();
+    let direct = read_ranks(&s1, "pr").unwrap();
+    let s2 = store();
+    run_mapreduce_variant(&s2, "pr", &graph, CFG).unwrap();
+    let mr = read_ranks(&s2, "pr").unwrap();
+    for ((v1, r1), (v2, r2)) in direct.iter().zip(mr.iter()) {
+        assert_eq!(v1, v2);
+        assert!((r1 - r2).abs() < 1e-12, "vertex {v1}: {r1} vs {r2}");
+    }
+}
+
+#[test]
+fn mapreduce_variant_does_strictly_more_work() {
+    let graph = power_law_graph(200, 2000, 0.8, 5);
+    let s1 = store();
+    let direct = run_direct(&s1, "pr", &graph, CFG).unwrap();
+    let s2 = store();
+    let mr = run_mapreduce_variant(&s2, "pr", &graph, CFG).unwrap();
+
+    // 50% fewer synchronization rounds (asymptotically).
+    assert!(direct.metrics.barriers < mr.metrics.barriers);
+    // The MR variant round-trips state through the table every iteration;
+    // the direct variant touches the state table only at the start and
+    // end.
+    assert_eq!(
+        direct.metrics.state_reads,
+        u64::from(graph.vertex_count()),
+        "direct: one read per vertex, first step only"
+    );
+    assert_eq!(
+        direct.metrics.state_writes,
+        u64::from(graph.vertex_count()),
+        "direct: one write per vertex, last step only"
+    );
+    assert_eq!(
+        mr.metrics.state_reads,
+        u64::from(graph.vertex_count()) * u64::from(CFG.iterations),
+        "MR variant: one read per vertex per iteration"
+    );
+    assert_eq!(
+        mr.metrics.state_writes,
+        u64::from(graph.vertex_count()) * u64::from(CFG.iterations),
+        "MR variant: one write per vertex per iteration"
+    );
+    // And strictly more compute invocations.
+    assert!(direct.metrics.invocations < mr.metrics.invocations);
+}
+
+#[test]
+fn dangling_heavy_graph_still_conserves_mass() {
+    // Many dangling vertices: only 0..10 have out-edges.
+    let mut graph = ripple_graph::generate::Graph::empty(50);
+    for v in 0..10 {
+        graph.add_edge(v, v + 20);
+    }
+    let s = store();
+    run_direct(&s, "pr", &graph, CFG).unwrap();
+    let ranks = read_ranks(&s, "pr").unwrap();
+    let sum: f64 = ranks.iter().map(|(_, r)| r).sum();
+    assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    assert_close(&ranks, &reference_ranks(&graph, CFG));
+}
+
+#[test]
+fn zero_iterations_is_a_noop_ranking() {
+    let graph = power_law_graph(50, 200, 0.8, 3);
+    let cfg = PageRankConfig {
+        damping: 0.85,
+        iterations: 0,
+    };
+    let s = store();
+    run_direct(&s, "pr", &graph, cfg).unwrap();
+    let ranks = read_ranks(&s, "pr").unwrap();
+    for (_, r) in ranks {
+        assert!((r - 1.0 / 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Both SSSP variants must agree with a BFS oracle after every mutation
+//! batch — including batches with deletions (the "harder case") — and the
+//! selective variant must do work proportional to the change, not to the
+//! graph.
+
+use ripple_graph::generate::{
+    random_change_batch, random_undirected, GraphChange, MutableGraph,
+};
+use ripple_graph::sssp::{bfs_oracle, FullScanInstance, SelectiveInstance};
+use ripple_graph::INF;
+use ripple_store_mem::MemStore;
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(6).build()
+}
+
+fn assert_matches_oracle(got: &[(u32, u32)], graph: &MutableGraph, source: u32, ctx: &str) {
+    let oracle = bfs_oracle(graph, source);
+    assert_eq!(got.len(), oracle.len(), "{ctx}: vertex count");
+    for (v, d) in got {
+        assert_eq!(
+            *d, oracle[*v as usize],
+            "{ctx}: vertex {v} distance mismatch"
+        );
+    }
+}
+
+#[test]
+fn selective_initial_solution_matches_bfs() {
+    let graph = random_undirected(200, 900, 0.8, 17);
+    let s = store();
+    let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+    assert_matches_oracle(&inst.distances().unwrap(), &graph, 0, "initial");
+}
+
+#[test]
+fn full_scan_initial_solution_matches_bfs() {
+    let graph = random_undirected(200, 900, 0.8, 17);
+    let s = store();
+    let (inst, _) = FullScanInstance::initialize(&s, "fs", graph.graph(), 0).unwrap();
+    assert_matches_oracle(&inst.distances().unwrap(), &graph, 0, "initial");
+}
+
+#[test]
+fn selective_tracks_addition_batches() {
+    let mut graph = random_undirected(150, 500, 0.8, 29);
+    let s = store();
+    let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+    for round in 0..4 {
+        let batch: Vec<GraphChange> = random_change_batch(150, 40, 0.8, 100 + round)
+            .into_iter()
+            .filter(|c| matches!(c, GraphChange::AddEdge(..)))
+            .collect();
+        for c in &batch {
+            graph.apply(*c);
+        }
+        inst.apply_batch(&batch).unwrap();
+        assert_matches_oracle(
+            &inst.distances().unwrap(),
+            &graph,
+            0,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn selective_tracks_mixed_batches_with_deletions() {
+    let mut graph = random_undirected(120, 700, 0.8, 31);
+    let s = store();
+    let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+    for round in 0..5 {
+        let batch = random_change_batch(120, 30, 0.8, 300 + round);
+        for c in &batch {
+            graph.apply(*c);
+        }
+        inst.apply_batch(&batch).unwrap();
+        assert_matches_oracle(
+            &inst.distances().unwrap(),
+            &graph,
+            0,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn full_scan_tracks_mixed_batches_with_deletions() {
+    let mut graph = random_undirected(120, 700, 0.8, 31);
+    let s = store();
+    let (inst, _) = FullScanInstance::initialize(&s, "fs", graph.graph(), 0).unwrap();
+    for round in 0..3 {
+        let batch = random_change_batch(120, 30, 0.8, 300 + round);
+        for c in &batch {
+            graph.apply(*c);
+        }
+        inst.apply_batch(&batch).unwrap();
+        assert_matches_oracle(
+            &inst.distances().unwrap(),
+            &graph,
+            0,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn variants_agree_after_the_same_batches() {
+    let mut graph = random_undirected(100, 450, 0.8, 37);
+    let s1 = store();
+    let s2 = store();
+    let (sel, _) = SelectiveInstance::initialize(&s1, "sel", graph.graph(), 0).unwrap();
+    let (fs, _) = FullScanInstance::initialize(&s2, "fs", graph.graph(), 0).unwrap();
+    for round in 0..3 {
+        let batch = random_change_batch(100, 25, 0.8, 900 + round);
+        for c in &batch {
+            graph.apply(*c);
+        }
+        sel.apply_batch(&batch).unwrap();
+        fs.apply_batch(&batch).unwrap();
+        assert_eq!(sel.distances().unwrap(), fs.distances().unwrap());
+    }
+}
+
+#[test]
+fn selective_work_is_proportional_to_change() {
+    // A 2000-vertex graph; a tiny batch must invoke far fewer components
+    // than the graph has vertices, while full-scan invokes all of them
+    // repeatedly.
+    let mut graph = random_undirected(2000, 12_000, 0.8, 41);
+    let s1 = store();
+    let s2 = store();
+    let (sel, _) = SelectiveInstance::initialize(&s1, "sel", graph.graph(), 0).unwrap();
+    let (fs, _) = FullScanInstance::initialize(&s2, "fs", graph.graph(), 0).unwrap();
+    let batch = random_change_batch(2000, 10, 0.8, 77);
+    for c in &batch {
+        graph.apply(*c);
+    }
+    let sel_metrics = sel.apply_batch(&batch).unwrap();
+    let fs_metrics = fs.apply_batch(&batch).unwrap();
+    assert!(
+        sel_metrics.invocations * 10 < fs_metrics.invocations,
+        "selective {} vs full-scan {} invocations",
+        sel_metrics.invocations,
+        fs_metrics.invocations
+    );
+    // And the answers still agree.
+    assert_eq!(sel.distances().unwrap(), fs.distances().unwrap());
+}
+
+#[test]
+fn disconnection_yields_infinite_distances() {
+    // A path 0-1-2; removing 1-2 makes 2 unreachable.
+    let mut graph = MutableGraph::new(3);
+    graph.apply(GraphChange::AddEdge(0, 1));
+    graph.apply(GraphChange::AddEdge(1, 2));
+    let s = store();
+    let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+    assert_eq!(inst.distances().unwrap(), vec![(0, 0), (1, 1), (2, 2)]);
+    graph.apply(GraphChange::RemoveEdge(1, 2));
+    inst.apply_batch(&[GraphChange::RemoveEdge(1, 2)]).unwrap();
+    assert_eq!(inst.distances().unwrap(), vec![(0, 0), (1, 1), (2, INF)]);
+}
+
+#[test]
+fn no_op_batch_is_cheap() {
+    let mut graph = MutableGraph::new(4);
+    graph.apply(GraphChange::AddEdge(0, 1));
+    graph.apply(GraphChange::AddEdge(1, 2));
+    let s = store();
+    let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+    // Removing an absent edge and adding a self-loop touch nothing, and
+    // re-adding an existing edge only re-confirms known distances.
+    let batch = vec![GraphChange::RemoveEdge(2, 3), GraphChange::AddEdge(0, 0)];
+    let metrics = inst.apply_batch(&batch).unwrap();
+    assert_eq!(metrics.invocations, 0, "no-ops must enable nobody");
+}

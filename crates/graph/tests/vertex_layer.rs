@@ -1,0 +1,322 @@
+//! Tests of the Graph EBSP (Pregel-like) layer and the algorithms written
+//! against it — the Figure 2 layering in action.
+
+use ripple_graph::algorithms::{bfs, connected_components, degree_counts};
+use ripple_graph::generate::{Graph, MutableGraph, GraphChange};
+use ripple_graph::{VertexId, INF};
+use ripple_store_mem::MemStore;
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(4).build()
+}
+
+/// Builds a symmetric graph from undirected edge pairs.
+fn undirected(n: u32, edges: &[(u32, u32)]) -> Graph {
+    let mut m = MutableGraph::new(n);
+    for &(u, v) in edges {
+        m.apply(GraphChange::AddEdge(u, v));
+    }
+    m.graph().clone()
+}
+
+#[test]
+fn components_of_disjoint_cliques() {
+    // Components {0,1,2}, {3,4}, {5}.
+    let g = undirected(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+    let labels = connected_components(&store(), "cc", &g).unwrap();
+    assert_eq!(
+        labels,
+        vec![(0, 0), (1, 0), (2, 0), (3, 3), (4, 3), (5, 5)]
+    );
+}
+
+#[test]
+fn components_of_long_path() {
+    let edges: Vec<(u32, u32)> = (0..49).map(|i| (i, i + 1)).collect();
+    let g = undirected(50, &edges);
+    let labels = connected_components(&store(), "cc", &g).unwrap();
+    assert!(labels.iter().all(|(_, l)| *l == 0));
+}
+
+#[test]
+fn components_on_random_graph_match_union_find() {
+    let mut m = MutableGraph::new(200);
+    let batch = ripple_graph::generate::random_change_batch(200, 150, 0.8, 99);
+    for c in batch {
+        if let GraphChange::AddEdge(u, v) = c {
+            m.apply(GraphChange::AddEdge(u, v));
+        }
+    }
+    let g = m.graph().clone();
+    let got = connected_components(&store(), "cc", &g).unwrap();
+
+    // Union-find oracle.
+    let mut parent: Vec<u32> = (0..200).collect();
+    fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+        if parent[x as usize] != x {
+            let root = find(parent, parent[x as usize]);
+            parent[x as usize] = root;
+        }
+        parent[x as usize]
+    }
+    for (u, adj) in g.iter() {
+        for &v in adj {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    // Min-label per component == root when roots are minimal; normalize
+    // both sides by mapping each vertex to its component's minimum member.
+    let mut min_of_root: std::collections::HashMap<u32, u32> = Default::default();
+    for v in 0..200 {
+        let r = find(&mut parent, v);
+        let e = min_of_root.entry(r).or_insert(v);
+        *e = (*e).min(v);
+    }
+    for (v, label) in got {
+        let r = find(&mut parent, v);
+        assert_eq!(label, min_of_root[&r], "vertex {v}");
+    }
+}
+
+#[test]
+fn bfs_matches_oracle_and_is_frontier_driven() {
+    let edges: Vec<(u32, u32)> = (0..29).map(|i| (i, i + 1)).collect();
+    let g = undirected(30, &edges);
+    let dists = bfs(&store(), "bfs", &g, 0).unwrap();
+    for (v, d) in dists {
+        assert_eq!(d, v, "path graph distance = index");
+    }
+}
+
+#[test]
+fn bfs_leaves_unreachable_at_infinity() {
+    let g = undirected(5, &[(0, 1), (2, 3)]);
+    let dists = bfs(&store(), "bfs", &g, 0).unwrap();
+    assert_eq!(dists, vec![(0, 0), (1, 1), (2, INF), (3, INF), (4, INF)]);
+}
+
+#[test]
+fn degree_counts_match_structure() {
+    let g = undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+    let degrees = degree_counts(&store(), "deg", &g).unwrap();
+    assert_eq!(degrees, vec![(0, 3), (1, 1), (2, 1), (3, 1)]);
+}
+
+#[test]
+fn vertex_programs_halt_and_wake_on_messages() {
+    // BFS on a star: supersteps == eccentricity + constant, NOT vertex
+    // count — vertices sleep until the frontier reaches them.
+    let star_edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+    let g = undirected(100, &star_edges);
+    let s = store();
+    let dists = bfs(&s, "bfs", &g, 0).unwrap();
+    assert!(dists.iter().skip(1).all(|(_, d)| *d == 1));
+}
+
+#[test]
+fn empty_graph_component_labels() {
+    let g = Graph::empty(3);
+    let labels = connected_components(&store(), "cc", &g).unwrap();
+    assert_eq!(labels, vec![(0, 0), (1, 1), (2, 2)]);
+}
+
+#[test]
+fn messages_to_missing_vertices_are_dropped() {
+    // A directed edge to a vertex that is never loaded must not wedge the
+    // run.
+    let mut g = Graph::empty(2);
+    g.add_edge(0, 1);
+    let sub: Graph = {
+        // Only load vertex 0 by building a 1-vertex graph with a dangling
+        // edge reference. Graph::empty(2) trick: craft manually.
+        let mut only = Graph::empty(2);
+        only.add_edge(0, 1);
+        only
+    };
+    let _ = g;
+    // BFS from 0 reaches the loaded vertex 1 normally; this mainly checks
+    // nothing panics when ids exceed loaded vertices.
+    let dists = bfs(&store(), "bfs", &sub, 0).unwrap();
+    assert_eq!(dists.len(), 2);
+}
+
+#[test]
+fn vertex_ids_are_u32() {
+    let _: VertexId = 0u32;
+}
+
+/// Pregel features on the vertex layer: aggregators and topology mutation.
+mod pregel_features {
+    use std::sync::Arc;
+
+    use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, SumI64};
+    use ripple_graph::vertex::{
+        read_vertex_values, GraphLoader, VertexContext, VertexJob, VertexProgram,
+    };
+    use ripple_graph::generate::Graph;
+    use ripple_store_mem::MemStore;
+
+    /// Every vertex reports its degree into an aggregator, then halts; the
+    /// total equals the edge count.
+    struct DegreeSum;
+
+    impl VertexProgram for DegreeSum {
+        type Value = u32;
+        type Message = ();
+
+        fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
+            vec![("edges".to_owned(), Arc::new(SumI64))]
+        }
+
+        fn compute(&self, ctx: &mut VertexContext<'_, '_, Self>) -> Result<(), EbspError> {
+            if ctx.superstep() == 1 {
+                ctx.aggregate("edges", AggValue::I64(ctx.edges().len() as i64))?;
+                return Ok(()); // stay active one more step to read it back
+            }
+            let total = ctx.aggregate_prev("edges").expect("fed last step");
+            ctx.set_value(total.as_i64() as u32);
+            ctx.vote_to_halt();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vertex_aggregators_flow_through() {
+        let mut g = Graph::empty(5);
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        let store = MemStore::builder().default_parts(2).build();
+        let job = Arc::new(VertexJob::new(Arc::new(DegreeSum), "deg_sum"));
+        let outcome = JobRunner::new(store.clone())
+            .run_with_loaders(job, vec![Box::new(GraphLoader::new(g, |_| 0))])
+            .unwrap();
+        // Aggregators are step-scoped: step 2 fed nothing, so the final
+        // snapshot holds the identity...
+        assert_eq!(outcome.aggregates.get("edges"), Some(AggValue::I64(0)));
+        // ...but every vertex read step 1's total (4) during step 2.
+        let values = read_vertex_values::<_, u32>(&store, "deg_sum").unwrap();
+        assert!(values.iter().all(|(_, v)| *v == 4), "{values:?}");
+    }
+
+    /// Topology mutation: vertex 0 rewires itself, and its later sends
+    /// follow the new edges.
+    struct Rewire;
+
+    impl VertexProgram for Rewire {
+        type Value = u32;
+        type Message = u32;
+
+        fn compute(&self, ctx: &mut VertexContext<'_, '_, Self>) -> Result<(), EbspError> {
+            match (ctx.id(), ctx.superstep()) {
+                (0, 1) => {
+                    assert!(ctx.remove_edge(1));
+                    assert!(!ctx.remove_edge(1), "already gone");
+                    ctx.add_edge(2);
+                    ctx.send_to_neighbors(7);
+                    ctx.vote_to_halt();
+                }
+                _ => {
+                    let got = ctx.messages().first().copied().unwrap_or(0);
+                    ctx.set_value(got);
+                    ctx.vote_to_halt();
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn topology_mutations_redirect_messages() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        let store = MemStore::builder().default_parts(2).build();
+        let job = Arc::new(VertexJob::new(Arc::new(Rewire), "rewire"));
+        JobRunner::new(store.clone())
+            .run_with_loaders(job, vec![Box::new(GraphLoader::new(g, |_| 0))])
+            .unwrap();
+        let values = read_vertex_values::<_, u32>(&store, "rewire").unwrap();
+        assert_eq!(values[1].1, 0, "vertex 1 was unplugged");
+        assert_eq!(values[2].1, 7, "vertex 2 got the message on the new edge");
+    }
+}
+
+mod triangles {
+    use ripple_graph::algorithms::triangle_count;
+    use ripple_graph::generate::{random_change_batch, Graph, GraphChange, MutableGraph};
+    use ripple_store_mem::MemStore;
+
+    fn store() -> MemStore {
+        MemStore::builder().default_parts(4).build()
+    }
+
+    fn brute_force(g: &Graph) -> u64 {
+        let n = g.vertex_count();
+        let mut count = 0;
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                if u <= v {
+                    continue;
+                }
+                for &w in g.neighbors(u) {
+                    if w > u && g.has_edge(v, w) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn counts_a_single_triangle() {
+        let mut m = MutableGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            m.apply(GraphChange::AddEdge(u, v));
+        }
+        let total = triangle_count(&store(), "tri", m.graph()).unwrap();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn counts_k4() {
+        // K4 has 4 triangles.
+        let mut m = MutableGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                m.apply(GraphChange::AddEdge(u, v));
+            }
+        }
+        let total = triangle_count(&store(), "tri", m.graph()).unwrap();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        let mut m = MutableGraph::new(6);
+        // A 6-cycle: no triangles.
+        for i in 0..6 {
+            m.apply(GraphChange::AddEdge(i, (i + 1) % 6));
+        }
+        let total = triangle_count(&store(), "tri", m.graph()).unwrap();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..4u64 {
+            let mut m = MutableGraph::new(40);
+            for c in random_change_batch(40, 120, 0.8, seed) {
+                if let GraphChange::AddEdge(u, v) = c {
+                    m.apply(GraphChange::AddEdge(u, v));
+                }
+            }
+            let want = brute_force(m.graph());
+            let got = triangle_count(&store(), "tri", m.graph()).unwrap();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+use crate::{PartId, PartView, RoutedKey};
+
+/// Whether an enumeration should keep going after a pair is consumed.
+///
+/// The paper's `PairConsumer` returns a boolean indicating whether the
+/// enumeration should stop after processing a pair; this is the typed
+/// equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanControl {
+    /// Keep enumerating.
+    Continue,
+    /// Stop after this pair.
+    Stop,
+}
+
+impl ScanControl {
+    /// True when enumeration should continue.
+    pub fn should_continue(self) -> bool {
+        matches!(self, ScanControl::Continue)
+    }
+}
+
+/// Callback for enumerating the parts of a table: mobile code that processes
+/// one whole part locally, plus a combiner merging per-part results.
+///
+/// One clone of the consumer is dispatched to each part; the per-part
+/// results are then merged pairwise with [`PartConsumer::combine`] in part
+/// order.
+pub trait PartConsumer: Clone + Send + 'static {
+    /// The per-part (and combined) result type.
+    type Output: Send + 'static;
+
+    /// Processes one part, with local access to the table (and anything
+    /// co-partitioned with it) through `view`.
+    fn process(&mut self, part: PartId, view: &dyn PartView) -> Self::Output;
+
+    /// Merges the results of two parts.
+    fn combine(&self, a: Self::Output, b: Self::Output) -> Self::Output;
+}
+
+/// Callback for enumerating the key/value pairs of a table.
+///
+/// One clone runs per part: [`PairConsumer::setup`] first, then
+/// [`PairConsumer::pair`] for each local pair (until one returns
+/// [`ScanControl::Stop`]), then [`PairConsumer::finish`], whose result is
+/// combined with its peers from other parts via [`PairConsumer::combine`].
+pub trait PairConsumer: Clone + Send + 'static {
+    /// The per-part (and combined) result type.
+    type Output: Send + 'static;
+
+    /// Per-part setup, called before the first pair of the part.
+    fn setup(&mut self, part: PartId) {
+        let _ = part;
+    }
+
+    /// Consumes one key/value pair.
+    fn pair(&mut self, key: &RoutedKey, value: &[u8]) -> ScanControl;
+
+    /// Per-part finalize; the result is combined with its peers.
+    fn finish(&mut self, part: PartId) -> Self::Output;
+
+    /// Merges the results of two parts.
+    fn combine(&self, a: Self::Output, b: Self::Output) -> Self::Output;
+}
+
+/// A [`PairConsumer`] built from a plain function, for side-effect-free
+/// scans that accumulate into a vector of per-pair results.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ripple_kv::FnPairConsumer;
+///
+/// let consumer = FnPairConsumer::new(|key, value| (key.body().len(), value.len()));
+/// # let _ = consumer;
+/// ```
+#[derive(Debug)]
+pub struct FnPairConsumer<F, T> {
+    f: F,
+    acc: Vec<T>,
+}
+
+impl<F: Clone, T> Clone for FnPairConsumer<F, T> {
+    fn clone(&self) -> Self {
+        // Clones start with an empty accumulator: each part gets a fresh one.
+        Self {
+            f: self.f.clone(),
+            acc: Vec::new(),
+        }
+    }
+}
+
+impl<F, T> FnPairConsumer<F, T>
+where
+    F: FnMut(&RoutedKey, &[u8]) -> T + Clone + Send + 'static,
+    T: Send + 'static,
+{
+    /// Wraps `f`; each pair's result is pushed onto the output vector.
+    pub fn new(f: F) -> Self {
+        Self { f, acc: Vec::new() }
+    }
+}
+
+impl<F, T> PairConsumer for FnPairConsumer<F, T>
+where
+    F: FnMut(&RoutedKey, &[u8]) -> T + Clone + Send + 'static,
+    T: Send + 'static,
+{
+    type Output = Vec<T>;
+
+    fn pair(&mut self, key: &RoutedKey, value: &[u8]) -> ScanControl {
+        let item = (self.f)(key, value);
+        self.acc.push(item);
+        ScanControl::Continue
+    }
+
+    fn finish(&mut self, _part: PartId) -> Vec<T> {
+        std::mem::take(&mut self.acc)
+    }
+
+    fn combine(&self, mut a: Vec<T>, mut b: Vec<T>) -> Vec<T> {
+        a.append(&mut b);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn scan_control_predicates() {
+        assert!(ScanControl::Continue.should_continue());
+        assert!(!ScanControl::Stop.should_continue());
+    }
+
+    #[test]
+    fn fn_pair_consumer_accumulates_and_combines() {
+        let mut c = FnPairConsumer::new(|_k: &RoutedKey, v: &[u8]| v.len());
+        let k = RoutedKey::from_body(Bytes::from_static(b"k"));
+        assert_eq!(c.pair(&k, b"abc"), ScanControl::Continue);
+        assert_eq!(c.pair(&k, b"de"), ScanControl::Continue);
+        let left = c.finish(PartId(0));
+        let mut c2 = c.clone();
+        c2.pair(&k, b"f");
+        let right = c2.finish(PartId(1));
+        assert_eq!(c.combine(left, right), vec![3, 2, 1]);
+    }
+}

@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by key/value store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KvError {
+    /// A table with the given name already exists.
+    TableExists {
+        /// The conflicting table name.
+        name: String,
+    },
+    /// No table with the given name exists.
+    NoSuchTable {
+        /// The requested table name.
+        name: String,
+    },
+    /// A part index was at or past the table's part count.
+    PartOutOfRange {
+        /// The requested part.
+        part: u32,
+        /// The table's part count.
+        parts: u32,
+    },
+    /// The table handle refers to a table that has been dropped.
+    TableDropped {
+        /// The dropped table's name.
+        name: String,
+    },
+    /// The store has been shut down.
+    StoreClosed,
+    /// The addressed part is currently failed (fault injection or a lost
+    /// shard); operations will succeed again after recovery.
+    PartFailed {
+        /// The failed part.
+        part: u32,
+    },
+    /// Mobile code dispatched to a part panicked.
+    TaskPanicked {
+        /// The part the task ran at.
+        part: u32,
+    },
+    /// Tables passed to a multi-table operation are not co-partitioned.
+    NotCopartitioned {
+        /// One table name.
+        left: String,
+        /// The other table name.
+        right: String,
+    },
+    /// A ubiquitous table was asked to do something only partitioned tables
+    /// support, or vice versa.
+    UbiquityMismatch {
+        /// The table name.
+        name: String,
+    },
+    /// An implementation-specific failure, described in text.
+    Backend {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::TableExists { name } => write!(f, "table {name:?} already exists"),
+            KvError::NoSuchTable { name } => write!(f, "no such table {name:?}"),
+            KvError::PartOutOfRange { part, parts } => {
+                write!(f, "part {part} out of range for table with {parts} parts")
+            }
+            KvError::TableDropped { name } => write!(f, "table {name:?} has been dropped"),
+            KvError::StoreClosed => write!(f, "store has been shut down"),
+            KvError::PartFailed { part } => write!(f, "part {part} is failed"),
+            KvError::TaskPanicked { part } => write!(f, "mobile code panicked at part {part}"),
+            KvError::NotCopartitioned { left, right } => {
+                write!(f, "tables {left:?} and {right:?} are not co-partitioned")
+            }
+            KvError::UbiquityMismatch { name } => {
+                write!(f, "operation does not apply to ubiquitous table {name:?}")
+            }
+            KvError::Backend { detail } => write!(f, "store backend error: {detail}"),
+        }
+    }
+}
+
+impl Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KvError>();
+    }
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = KvError::NoSuchTable {
+            name: "ranks".into(),
+        };
+        assert!(e.to_string().contains("ranks"));
+        let e = KvError::PartOutOfRange { part: 9, parts: 6 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('6'));
+    }
+}

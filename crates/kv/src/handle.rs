@@ -1,0 +1,71 @@
+use crossbeam::channel::Receiver;
+
+use crate::{KvError, PartId};
+
+/// Handle to mobile code dispatched near a part with
+/// [`KvStore::run_at`](crate::KvStore::run_at).
+///
+/// Dropping the handle detaches the task; [`TaskHandle::join`] blocks until
+/// the task finishes and yields its result.
+#[derive(Debug)]
+pub struct TaskHandle<R> {
+    part: PartId,
+    rx: Receiver<std::thread::Result<R>>,
+}
+
+impl<R> TaskHandle<R> {
+    /// Wraps a result channel; store implementations send exactly one value.
+    pub fn from_channel(part: PartId, rx: Receiver<std::thread::Result<R>>) -> Self {
+        Self { part, rx }
+    }
+
+    /// The part the task was dispatched to.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// Blocks until the task completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::TaskPanicked`] if the mobile code panicked and
+    /// [`KvError::StoreClosed`] if the store shut down before completion.
+    pub fn join(self) -> Result<R, KvError> {
+        match self.rx.recv() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(_panic)) => Err(KvError::TaskPanicked { part: self.part.0 }),
+            Err(_) => Err(KvError::StoreClosed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    #[test]
+    fn join_returns_value() {
+        let (tx, rx) = bounded(1);
+        tx.send(Ok(42u32)).unwrap();
+        let h = TaskHandle::from_channel(PartId(3), rx);
+        assert_eq!(h.part(), PartId(3));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn join_surfaces_panic() {
+        let (tx, rx) = bounded::<std::thread::Result<u32>>(1);
+        tx.send(Err(Box::new("boom"))).unwrap();
+        let h = TaskHandle::from_channel(PartId(1), rx);
+        assert_eq!(h.join(), Err(KvError::TaskPanicked { part: 1 }));
+    }
+
+    #[test]
+    fn join_surfaces_closed_store() {
+        let (tx, rx) = bounded::<std::thread::Result<u32>>(1);
+        drop(tx);
+        let h = TaskHandle::from_channel(PartId(0), rx);
+        assert_eq!(h.join(), Err(KvError::StoreClosed));
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+use std::ops::Sub;
+
+/// Snapshot of a store's operation and marshalling counters.
+///
+/// The Ripple evaluation leans on the distinction the debugging store makes:
+/// "communication between emulated partitions involves marshalling, while
+/// local operations do not".  These counters let the engine and the
+/// experiment harnesses report exactly how much crossing happened.
+///
+/// This is a passive data snapshot, so its fields are public.  Subtracting
+/// two snapshots gives the deltas for an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Operations served without crossing a part boundary.
+    pub local_ops: u64,
+    /// Operations that crossed a part boundary (request/response marshalled).
+    pub remote_ops: u64,
+    /// Bytes marshalled across part boundaries (keys + values, both ways).
+    pub bytes_marshalled: u64,
+    /// Mobile-code tasks dispatched to parts.
+    pub tasks_dispatched: u64,
+    /// Long-running enumerations served by the long-operation lanes.
+    pub enumerations: u64,
+}
+
+impl StoreMetrics {
+    /// Total operations, local and remote.
+    pub fn total_ops(&self) -> u64 {
+        self.local_ops + self.remote_ops
+    }
+}
+
+impl Sub for StoreMetrics {
+    type Output = StoreMetrics;
+
+    fn sub(self, rhs: StoreMetrics) -> StoreMetrics {
+        StoreMetrics {
+            local_ops: self.local_ops.saturating_sub(rhs.local_ops),
+            remote_ops: self.remote_ops.saturating_sub(rhs.remote_ops),
+            bytes_marshalled: self.bytes_marshalled.saturating_sub(rhs.bytes_marshalled),
+            tasks_dispatched: self.tasks_dispatched.saturating_sub(rhs.tasks_dispatched),
+            enumerations: self.enumerations.saturating_sub(rhs.enumerations),
+        }
+    }
+}
+
+impl fmt::Display for StoreMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ops: {} local / {} remote, {} B marshalled, {} tasks, {} enumerations",
+            self.local_ops,
+            self.remote_ops,
+            self.bytes_marshalled,
+            self.tasks_dispatched,
+            self.enumerations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_subtract_fieldwise() {
+        let a = StoreMetrics {
+            local_ops: 10,
+            remote_ops: 5,
+            bytes_marshalled: 100,
+            tasks_dispatched: 3,
+            enumerations: 2,
+        };
+        let b = StoreMetrics {
+            local_ops: 4,
+            remote_ops: 1,
+            bytes_marshalled: 40,
+            tasks_dispatched: 1,
+            enumerations: 2,
+        };
+        let d = a - b;
+        assert_eq!(d.local_ops, 6);
+        assert_eq!(d.remote_ops, 4);
+        assert_eq!(d.bytes_marshalled, 60);
+        assert_eq!(d.tasks_dispatched, 2);
+        assert_eq!(d.enumerations, 0);
+        assert_eq!(d.total_ops(), 10);
+    }
+
+    #[test]
+    fn display_not_empty() {
+        assert!(!StoreMetrics::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+use crate::{KvError, KvStore, PartId};
+
+/// A store that supports shard-granularity checkpoints, the substrate for
+/// the EBSP engine's step-replay failure recovery (paper §IV-A: commit a
+/// shard transaction per step, discard a failed shard's writes, retry).
+pub trait RecoverableStore: KvStore {
+    /// An opaque captured shard state.
+    type Checkpoint: Send + 'static;
+
+    /// Captures `part` across every table co-partitioned with `reference`.
+    /// The caller must ensure quiescence (no concurrent writers to the
+    /// part); the engine checkpoints only at barriers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the part is failed or the reference was dropped.
+    fn checkpoint_part(
+        &self,
+        reference: &Self::Table,
+        part: PartId,
+    ) -> Result<Self::Checkpoint, KvError>;
+
+    /// Restores a captured shard state and heals the part.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the checkpoint is inconsistent with the store's tables.
+    fn restore_part(&self, checkpoint: &Self::Checkpoint) -> Result<(), KvError>;
+}

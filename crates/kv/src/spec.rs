@@ -1,0 +1,112 @@
+/// Description of a table to create: its name, part count, and whether it is
+/// ubiquitous (small, replicated everywhere, quick to read).
+///
+/// `TableSpec` is a non-consuming builder:
+///
+/// ```
+/// use ripple_kv::TableSpec;
+///
+/// let spec = TableSpec::new("ranks").parts(6).clone();
+/// assert_eq!(spec.part_count(), 6);
+/// assert!(!spec.is_ubiquitous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    name: String,
+    parts: u32,
+    ubiquitous: bool,
+    replicated: bool,
+}
+
+impl TableSpec {
+    /// Starts a spec for a table named `name` with one part.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            parts: 1,
+            ubiquitous: false,
+            replicated: false,
+        }
+    }
+
+    /// Sets the number of parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn parts(&mut self, parts: u32) -> &mut Self {
+        assert!(parts > 0, "a table must have at least one part");
+        self.parts = parts;
+        self
+    }
+
+    /// Marks the table ubiquitous: by contract it stays small, is fully
+    /// replicated, and reads are local everywhere.  A ubiquitous table has a
+    /// single logical part.
+    pub fn ubiquitous(&mut self) -> &mut Self {
+        self.ubiquitous = true;
+        self.parts = 1;
+        self
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of parts (always 1 for ubiquitous tables).
+    pub fn part_count(&self) -> u32 {
+        self.parts
+    }
+
+    /// Whether the table is ubiquitous.
+    pub fn is_ubiquitous(&self) -> bool {
+        self.ubiquitous
+    }
+
+    /// Requests a backup replica of each part ("a given table's parts may
+    /// be replicated", §III-A).  Stores that support it keep every part's
+    /// data twice and can recover a lost primary from its replica; stores
+    /// that do not may ignore the request.
+    pub fn replicated(&mut self) -> &mut Self {
+        self.replicated = true;
+        self
+    }
+
+    /// Whether part replication was requested.
+    pub fn is_replicated(&self) -> bool {
+        self.replicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_one_part() {
+        let spec = TableSpec::new("t");
+        assert_eq!(spec.part_count(), 1);
+        assert_eq!(spec.name(), "t");
+    }
+
+    #[test]
+    fn ubiquitous_forces_single_part() {
+        let spec = TableSpec::new("bcast").parts(8).ubiquitous().clone();
+        assert!(spec.is_ubiquitous());
+        assert_eq!(spec.part_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_rejected() {
+        TableSpec::new("t").parts(0);
+    }
+
+    #[test]
+    fn replication_flag() {
+        let spec = TableSpec::new("t").parts(2).replicated().clone();
+        assert!(spec.is_replicated());
+        assert!(!TableSpec::new("t").is_replicated());
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{
+    KvError, PairConsumer, PartConsumer, PartId, PartView, TableSpec, TaskHandle,
+};
+
+/// A key/value store that also places computation — Ripple's fundamental
+/// storage+compute layer (paper §III-A).
+///
+/// Implementations provide partitioned byte tables plus the ability to run
+/// mobile code adjacent to a given part ([`KvStore::run_at`]).  Everything
+/// above this trait — the K/V EBSP engine, message queuing, loaders,
+/// exporters — is store-independent.
+pub trait KvStore: Clone + Send + Sync + Sized + 'static {
+    /// The table handle type.
+    type Table: crate::Table;
+
+    /// Creates a table per `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::TableExists`] when the name is taken.
+    fn create_table(&self, spec: &TableSpec) -> Result<Self::Table, KvError>;
+
+    /// Creates a table named `name` guaranteed to be partitioned and placed
+    /// consistently with `like`, so that equal-routed keys are collocated.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::TableExists`] when the name is taken.
+    fn create_table_like(&self, name: &str, like: &Self::Table) -> Result<Self::Table, KvError>;
+
+    /// Looks up an existing table.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::NoSuchTable`].
+    fn lookup_table(&self, name: &str) -> Result<Self::Table, KvError>;
+
+    /// Drops a table and its data.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::NoSuchTable`].
+    fn drop_table(&self, name: &str) -> Result<(), KvError>;
+
+    /// Names of all live tables, in no particular order.
+    fn table_names(&self) -> Vec<String>;
+
+    /// Dispatches `task` to run adjacent to part `part` of `reference`,
+    /// returning immediately with a handle.
+    ///
+    /// Inside the task, the [`PartView`] gives marshalling-free access to
+    /// the local slices of every table co-partitioned with `reference` (and
+    /// read access to ubiquitous tables); remote data is reached through
+    /// ordinary [`Table`](crate::Table) handles captured by the closure.
+    fn run_at<R, F>(&self, reference: &Self::Table, part: PartId, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&dyn PartView) -> R + Send + 'static;
+
+    /// A snapshot of the store's operation/marshalling counters.
+    fn metrics(&self) -> crate::StoreMetrics;
+
+    /// Runs `task` near *every* part of `reference` in parallel and returns
+    /// the part results in part order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any task panicked or the store closed.
+    fn run_at_all<R, F>(&self, reference: &Self::Table, task: F) -> Result<Vec<R>, KvError>
+    where
+        R: Send + 'static,
+        F: Fn(&dyn PartView) -> R + Clone + Send + 'static,
+    {
+        let parts = crate::Table::part_count(reference);
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                let task = task.clone();
+                self.run_at(reference, PartId(p), move |view| task(view))
+            })
+            .collect();
+        handles.into_iter().map(TaskHandle::join).collect()
+    }
+
+    /// Enumerates the parts of `table` with a [`PartConsumer`]: one clone of
+    /// `consumer` processes each part locally, and the per-part outputs are
+    /// merged in part order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any part task panicked or the store closed.
+    fn enumerate_parts<C>(&self, table: &Self::Table, consumer: C) -> Result<C::Output, KvError>
+    where
+        C: PartConsumer,
+    {
+        let combiner = consumer.clone();
+        let outputs = self.run_at_all(table, move |view| {
+            let mut c = consumer.clone();
+            c.process(view.part(), view)
+        })?;
+        let mut iter = outputs.into_iter();
+        let first = iter.next().expect("tables have at least one part");
+        Ok(iter.fold(first, |acc, o| combiner.combine(acc, o)))
+    }
+
+    /// Enumerates the key/value pairs of `table` with a [`PairConsumer`]:
+    /// per part, `setup` runs, then `pair` for each local entry, then
+    /// `finish`; the per-part outputs are merged in part order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any part task panicked or the store closed.
+    fn enumerate_pairs<C>(&self, table: &Self::Table, consumer: C) -> Result<C::Output, KvError>
+    where
+        C: PairConsumer,
+    {
+        let name = crate::Table::name(table).to_owned();
+        let combiner = consumer.clone();
+        let outputs = self.run_at_all(table, move |view| {
+            let mut c = consumer.clone();
+            let part = view.part();
+            c.setup(part);
+            view.scan(&name, &mut |k, v| c.pair(k, v))
+                .map(|()| c.finish(part))
+        })?;
+        let mut iter = outputs.into_iter();
+        let first = iter.next().expect("tables have at least one part")?;
+        iter.try_fold(first, |acc, o| Ok(combiner.combine(acc, o?)))
+    }
+}

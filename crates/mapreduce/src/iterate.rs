@@ -1,0 +1,104 @@
+//! Iterated MapReduce: the baseline execution shape the Ripple paper
+//! improves on.  Each iteration is a full couplet — two synchronizations —
+//! with the dataset round-tripping through the key/value store between the
+//! reduce of one iteration and the map of the next.
+
+use std::sync::Arc;
+
+use ripple_core::EbspError;
+use ripple_kv::KvStore;
+
+use crate::job::{collect_output, run_couplet};
+use crate::{MapReduce, MapReduceJob, MrOutput};
+
+/// Cost summary of an iterated run.
+#[derive(Debug, Clone, Default)]
+pub struct IterationReport {
+    /// Couplets executed.
+    pub iterations: u32,
+    /// Total BSP steps (2 per couplet).
+    pub steps: u32,
+    /// Total synchronization barriers (2 per couplet).
+    pub barriers: u32,
+    /// Total compute invocations across all couplets.
+    pub invocations: u64,
+    /// Total wall-clock time in the couplets.
+    pub elapsed: std::time::Duration,
+}
+
+/// Drives a [`MapReduce`] couplet to a fixpoint.
+///
+/// After each couplet the output pairs are fed through the `feedback`
+/// function to become the next couplet's input — the explicit data-flow
+/// stitching between jobs that the paper notes MapReduce platforms force on
+/// clients ("there is nothing the client can say to get an efficient
+/// straight-line connection from reduce to following map").
+pub struct IteratedMapReduce<M: MapReduce> {
+    mr: Arc<M>,
+    max_iterations: u32,
+}
+
+impl<M> IteratedMapReduce<M>
+where
+    M: MapReduce,
+    M::MidKey: Clone + Send,
+    M::OutValue: Clone + Send,
+{
+    /// Iterates `mr` at most `max_iterations` times.
+    pub fn new(mr: Arc<M>, max_iterations: u32) -> Self {
+        Self { mr, max_iterations }
+    }
+
+    /// Runs couplets until `converged` returns `true` (called with the
+    /// 1-based iteration number and that iteration's output) or the
+    /// iteration cap is reached.  Returns the last output and the cost
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn run<S, F, C>(
+        &self,
+        store: &S,
+        mut input: Vec<(M::InKey, M::InValue)>,
+        feedback: F,
+        converged: C,
+    ) -> Result<(MrOutput<M>, IterationReport), EbspError>
+    where
+        S: KvStore,
+        F: Fn(&M::MidKey, &M::OutValue) -> (M::InKey, M::InValue),
+        C: Fn(u32, &[(M::MidKey, M::OutValue)]) -> bool,
+    {
+        let table = fresh_table_name();
+        let job = Arc::new(MapReduceJob::new(Arc::clone(&self.mr), table.clone()));
+        let mut report = IterationReport::default();
+        let mut output = Vec::new();
+        for iteration in 1..=self.max_iterations {
+            // The dataset is wholly (re)written into the store, mapped,
+            // shuffled, reduced, and wholly read back: the per-iteration
+            // I/O the direct EBSP formulation avoids.
+            if let Ok(t) = store.lookup_table(&table) {
+                ripple_kv::Table::clear(&t).map_err(EbspError::Kv)?;
+            }
+            let outcome = run_couplet(store, &job, input)?;
+            report.iterations = iteration;
+            report.steps += outcome.steps;
+            report.barriers += outcome.metrics.barriers;
+            report.invocations += outcome.metrics.invocations;
+            report.elapsed += outcome.metrics.elapsed;
+            output = collect_output::<S, M>(store, &table)?;
+            if converged(iteration, &output) {
+                break;
+            }
+            input = output.iter().map(|(k, v)| feedback(k, v)).collect();
+        }
+        store.drop_table(&table).map_err(EbspError::Kv)?;
+        Ok((output, report))
+    }
+}
+
+fn fresh_table_name() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    format!("__itmr_{}", NONCE.fetch_add(1, Ordering::Relaxed))
+}

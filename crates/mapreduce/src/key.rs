@@ -1,0 +1,121 @@
+//! The unified component key and state types that let one EBSP job host
+//! both map-side and reduce-side components.
+
+use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
+
+/// A MapReduce component key: map-side components are input keys,
+/// reduce-side components are intermediate keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MrKey<I, M> {
+    /// A map-side component (one per input pair).
+    In(I),
+    /// A reduce-side component (one per intermediate key).
+    Mid(M),
+}
+
+impl<I: Encode, M: Encode> Encode for MrKey<I, M> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            MrKey::In(k) => {
+                w.push(0);
+                k.encode(w);
+            }
+            MrKey::Mid(k) => {
+                w.push(1);
+                k.encode(w);
+            }
+        }
+    }
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            MrKey::In(k) => k.size_hint(),
+            MrKey::Mid(k) => k.size_hint(),
+        }
+    }
+}
+
+impl<I: Decode, M: Decode> Decode for MrKey<I, M> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(MrKey::In(I::decode(r)?)),
+            1 => Ok(MrKey::Mid(M::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                target: "MrKey",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A MapReduce component state: input values on the map side, reduction
+/// results on the reduce side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrState<I, O> {
+    /// An input value awaiting its map invocation.
+    In(I),
+    /// A reduction result.
+    Out(O),
+}
+
+impl<I: Encode, O: Encode> Encode for MrState<I, O> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            MrState::In(v) => {
+                w.push(0);
+                v.encode(w);
+            }
+            MrState::Out(v) => {
+                w.push(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            MrState::In(v) => v.size_hint(),
+            MrState::Out(v) => v.size_hint(),
+        }
+    }
+}
+
+impl<I: Decode, O: Decode> Decode for MrState<I, O> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(MrState::In(I::decode(r)?)),
+            1 => Ok(MrState::Out(O::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                target: "MrState",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_wire::{from_wire, to_wire};
+
+    #[test]
+    fn key_roundtrip_and_distinct() {
+        let a: MrKey<u32, String> = MrKey::In(7);
+        let b: MrKey<u32, String> = MrKey::Mid("7".to_owned());
+        assert_ne!(to_wire(&a), to_wire(&b));
+        assert_eq!(from_wire::<MrKey<u32, String>>(&to_wire(&a)).unwrap(), a);
+        assert_eq!(from_wire::<MrKey<u32, String>>(&to_wire(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let s: MrState<String, u64> = MrState::In("doc".to_owned());
+        assert_eq!(from_wire::<MrState<String, u64>>(&to_wire(&s)).unwrap(), s);
+        let s: MrState<String, u64> = MrState::Out(4);
+        assert_eq!(from_wire::<MrState<String, u64>>(&to_wire(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(from_wire::<MrKey<u32, u32>>(&[9, 0]).is_err());
+        assert!(from_wire::<MrState<u32, u32>>(&[9, 0]).is_err());
+    }
+}

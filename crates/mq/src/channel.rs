@@ -1,0 +1,157 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ripple_kv::{KvError, KvStore, PartId, PartView, Table, TaskHandle};
+
+use crate::{MqError, QueueReceiver, QueueSet};
+
+/// A queue set backed by in-process FIFO channels — the fast path,
+/// standing in for a store with a native queuing extension.
+///
+/// FIFO channels deliver all messages in put order, which is stronger than
+/// (and therefore satisfies) the per-(sender, receiver) ordering contract.
+///
+/// See the [crate docs](crate) for an example.
+pub struct ChannelQueueSet<S: KvStore> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: KvStore> Clone for ChannelQueueSet<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: KvStore> std::fmt::Debug for ChannelQueueSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelQueueSet")
+            .field("name", &self.inner.name)
+            .field("parts", &self.inner.queues.len())
+            .finish()
+    }
+}
+
+struct Inner<S: KvStore> {
+    name: String,
+    store: S,
+    reference: S::Table,
+    queues: Vec<(Sender<Bytes>, Receiver<Bytes>)>,
+    deleted: AtomicBool,
+}
+
+impl<S: KvStore> ChannelQueueSet<S> {
+    /// Creates a queue set placed like `reference`: one queue per part.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `reference` has been dropped.
+    pub fn create(store: &S, reference: &S::Table, name: &str) -> Result<Self, MqError> {
+        // Touching the table verifies it is live.
+        reference.len().map_err(MqError::Store)?;
+        let queues = (0..reference.part_count()).map(|_| unbounded()).collect();
+        Ok(Self {
+            inner: Arc::new(Inner {
+                name: name.to_owned(),
+                store: store.clone(),
+                reference: reference.clone(),
+                queues,
+                deleted: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    fn check_live(&self) -> Result<(), MqError> {
+        if self.inner.deleted.load(Ordering::Acquire) {
+            return Err(MqError::QueueSetDeleted {
+                name: self.inner.name.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+struct ChannelReceiver {
+    part: PartId,
+    rx: Receiver<Bytes>,
+}
+
+impl QueueReceiver for ChannelReceiver {
+    fn part(&self) -> PartId {
+        self.part
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Bytes>, MqError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(MqError::Store(KvError::StoreClosed)),
+        }
+    }
+}
+
+impl<S: KvStore> QueueSet for ChannelQueueSet<S> {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn parts(&self) -> u32 {
+        self.inner.queues.len() as u32
+    }
+
+    fn put(&self, part: PartId, msg: Bytes) -> Result<(), MqError> {
+        self.check_live()?;
+        let q = self
+            .inner
+            .queues
+            .get(part.index())
+            .ok_or(MqError::PartOutOfRange {
+                part: part.0,
+                parts: self.parts(),
+            })?;
+        q.0.send(msg).map_err(|_| MqError::Store(KvError::StoreClosed))
+    }
+
+    fn run_workers<R, F>(&self, worker: F) -> Result<Vec<R>, MqError>
+    where
+        R: Send + 'static,
+        F: Fn(&dyn PartView, &mut dyn QueueReceiver) -> R + Clone + Send + 'static,
+    {
+        self.check_live()?;
+        let handles: Vec<TaskHandle<R>> = (0..self.parts())
+            .map(|p| {
+                let worker = worker.clone();
+                let rx = self.inner.queues[p as usize].1.clone();
+                self.inner
+                    .store
+                    .run_at(&self.inner.reference, PartId(p), move |view| {
+                        let mut receiver = ChannelReceiver { part: PartId(p), rx };
+                        worker(view, &mut receiver)
+                    })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let part = h.part().0;
+                h.join().map_err(|e| match e {
+                    KvError::TaskPanicked { .. } => MqError::WorkerPanicked { part },
+                    other => MqError::Store(other),
+                })
+            })
+            .collect()
+    }
+
+    fn delete(&self) -> Result<(), MqError> {
+        if self.inner.deleted.swap(true, Ordering::AcqRel) {
+            return Err(MqError::QueueSetDeleted {
+                name: self.inner.name.clone(),
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use ripple_kv::KvError;
+
+/// Error produced by message-queuing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MqError {
+    /// The queue set has been deleted.
+    QueueSetDeleted {
+        /// The queue set's name.
+        name: String,
+    },
+    /// A queue index was at or past the set's queue count.
+    PartOutOfRange {
+        /// The requested part.
+        part: u32,
+        /// The set's queue count.
+        parts: u32,
+    },
+    /// A worker dispatched by `run_workers` panicked.
+    WorkerPanicked {
+        /// The part the worker ran at.
+        part: u32,
+    },
+    /// The underlying key/value store failed.
+    Store(KvError),
+}
+
+impl fmt::Display for MqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqError::QueueSetDeleted { name } => {
+                write!(f, "queue set {name:?} has been deleted")
+            }
+            MqError::PartOutOfRange { part, parts } => {
+                write!(f, "queue {part} out of range for set with {parts} queues")
+            }
+            MqError::WorkerPanicked { part } => {
+                write!(f, "queue worker panicked at part {part}")
+            }
+            MqError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl Error for MqError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MqError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KvError> for MqError {
+    fn from(e: KvError) -> Self {
+        MqError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_store_errors_with_source() {
+        let e = MqError::from(KvError::StoreClosed);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("store"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MqError>();
+    }
+}

@@ -1,0 +1,112 @@
+//! Message queuing for the Ripple analytics platform (paper §III-B).
+//!
+//! Having delegated the placement of computation to the storage layer,
+//! Ripple also asks the lower layer for a simple communication facility.
+//! The abstraction is the **queue set**: placed like a given key/value
+//! table, with one queue per part.  Mobile client code runs in each part
+//! and reads (with a timeout) from the local queue; messages can be put
+//! into any queue of the set from anywhere in the system.
+//!
+//! Two implementations are provided:
+//!
+//! - [`TableQueueSet`] — the paper's generic implementation: "each new
+//!   queue set is implemented by such a new table".  It works over *any*
+//!   [`KvStore`](ripple_kv::KvStore), creating a table co-partitioned with the reference table
+//!   and moving messages through it with sequence-numbered keys, so
+//!   per-(sender, receiver) FIFO order is preserved.
+//! - [`ChannelQueueSet`] — a fast in-process path using FIFO channels,
+//!   standing in for a store with a native queuing extension.
+//!
+//! Both preserve the ordering contract the `incremental` job property
+//! relies on: messages from a given sender to a given receiver are
+//! delivered in the order sent.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_kv::{KvStore, PartId, TableSpec};
+//! use ripple_mq::{ChannelQueueSet, QueueSet};
+//! use ripple_store_mem::MemStore;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let store = MemStore::builder().default_parts(2).build();
+//! let table = store.create_table(&TableSpec::new("data"))?;
+//! let qs = ChannelQueueSet::create(&store, &table, "work")?;
+//! qs.put(PartId(1), b"hello".to_vec().into())?;
+//! let got = qs.run_workers(move |_view, rx| {
+//!     rx.recv_timeout(Duration::from_millis(100)).unwrap()
+//! })?;
+//! assert!(got[0].is_none());
+//! assert_eq!(got[1].as_deref(), Some(&b"hello"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+mod channel;
+mod error;
+mod table_queue;
+
+pub use channel::ChannelQueueSet;
+pub use error::MqError;
+pub use table_queue::TableQueueSet;
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use ripple_kv::{PartId, PartView};
+
+/// Read access to the local queue of a queue set, handed to the mobile
+/// worker code running in each part.
+pub trait QueueReceiver {
+    /// The part whose queue this receives from.
+    fn part(&self) -> PartId;
+
+    /// Reads the next message, waiting up to `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MqError`] if the queue set was deleted or its store
+    /// closed.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Bytes>, MqError>;
+}
+
+/// A set of queues placed like a key/value table: one queue per part.
+pub trait QueueSet: Clone + Send + Sync + 'static {
+    /// The queue set's name.
+    fn name(&self) -> &str;
+
+    /// Number of queues (= parts of the reference table).
+    fn parts(&self) -> u32;
+
+    /// Puts `msg` into the queue of `part`, from anywhere in the system.
+    ///
+    /// Messages from one sender thread to one queue are delivered in the
+    /// order they were put.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MqError`] if the queue set was deleted.
+    fn put(&self, part: PartId, msg: Bytes) -> Result<(), MqError>;
+
+    /// Runs `worker` in every part concurrently, each collocated with the
+    /// part's data (through the [`PartView`]) and holding the part's
+    /// [`QueueReceiver`]; returns the workers' results in part order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a worker panicked or the store closed.
+    fn run_workers<R, F>(&self, worker: F) -> Result<Vec<R>, MqError>
+    where
+        R: Send + 'static,
+        F: Fn(&dyn PartView, &mut dyn QueueReceiver) -> R + Clone + Send + 'static;
+
+    /// Deletes the queue set and any backing resources.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MqError`] if already deleted.
+    fn delete(&self) -> Result<(), MqError>;
+}

@@ -1,0 +1,90 @@
+//! Property test: both queue-set implementations deliver every message,
+//! and deliver messages from any one logical sender in FIFO order, for
+//! arbitrary interleavings of puts across queues.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ripple_kv::{KvStore, PartId, TableSpec};
+use ripple_mq::{ChannelQueueSet, QueueSet, TableQueueSet};
+use ripple_store_mem::MemStore;
+use ripple_wire::{from_wire, to_wire};
+
+const PARTS: u32 = 3;
+
+/// A message: (sender, sequence-within-sender).
+fn encode(sender: u32, seq: u32) -> Bytes {
+    to_wire(&(sender, seq))
+}
+
+fn drain_all<Q: QueueSet>(qs: &Q) -> Vec<Vec<(u32, u32)>> {
+    qs.run_workers(|_view, rx| {
+        let mut got = Vec::new();
+        while let Some(m) = rx.recv_timeout(Duration::from_millis(40)).unwrap() {
+            got.push(from_wire::<(u32, u32)>(&m).unwrap());
+        }
+        got
+    })
+    .unwrap()
+}
+
+fn check(puts: &[(u32, u32)], received: Vec<Vec<(u32, u32)>>) -> Result<(), TestCaseError> {
+    let total: usize = received.iter().map(Vec::len).sum();
+    prop_assert_eq!(total, puts.len(), "every message must arrive");
+    // Per (sender, queue): sequence numbers strictly increase.
+    for (part, msgs) in received.iter().enumerate() {
+        let mut last: std::collections::HashMap<u32, u32> = Default::default();
+        for (sender, seq) in msgs {
+            if let Some(prev) = last.insert(*sender, *seq) {
+                prop_assert!(
+                    prev < *seq,
+                    "queue {part}: sender {sender} out of order ({prev} then {seq})"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// puts: a sequence of (sender, destination-queue) pairs; each sender's
+    /// messages carry increasing sequence numbers.
+    #[test]
+    fn channel_queues_preserve_sender_fifo(
+        plan in prop::collection::vec((0u32..4, 0u32..PARTS), 1..80),
+    ) {
+        let store = MemStore::builder().default_parts(PARTS).build();
+        let table = store.create_table(&TableSpec::new("ref")).unwrap();
+        let qs = ChannelQueueSet::create(&store, &table, "pq").unwrap();
+        let mut counters = [0u32; 4];
+        let mut puts = Vec::new();
+        for (sender, dst) in plan {
+            let seq = counters[sender as usize];
+            counters[sender as usize] += 1;
+            qs.put(PartId(dst), encode(sender, seq)).unwrap();
+            puts.push((sender, seq));
+        }
+        check(&puts, drain_all(&qs))?;
+    }
+
+    #[test]
+    fn table_queues_preserve_sender_fifo(
+        plan in prop::collection::vec((0u32..4, 0u32..PARTS), 1..60),
+    ) {
+        let store = MemStore::builder().default_parts(PARTS).build();
+        let table = store.create_table(&TableSpec::new("ref")).unwrap();
+        let qs = TableQueueSet::create(&store, &table, "pq").unwrap();
+        let mut counters = [0u32; 4];
+        let mut puts = Vec::new();
+        for (sender, dst) in plan {
+            let seq = counters[sender as usize];
+            counters[sender as usize] += 1;
+            qs.put(PartId(dst), encode(sender, seq)).unwrap();
+            puts.push((sender, seq));
+        }
+        check(&puts, drain_all(&qs))?;
+    }
+}

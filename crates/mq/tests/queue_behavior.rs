@@ -1,0 +1,211 @@
+//! Behavioural tests run against both queue-set implementations: delivery,
+//! per-sender FIFO order, timeouts, put-from-anywhere (including from
+//! workers), collocation of workers, and deletion.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec};
+use ripple_mq::{ChannelQueueSet, MqError, QueueSet, TableQueueSet};
+use ripple_store_mem::MemStore;
+
+const PARTS: u32 = 3;
+
+fn setup() -> (MemStore, ripple_store_mem::MemTable) {
+    let store = MemStore::builder().default_parts(PARTS).build();
+    let table = store.create_table(&TableSpec::new("ref")).unwrap();
+    (store, table)
+}
+
+fn msg(i: u32) -> Bytes {
+    Bytes::from(format!("m{i}"))
+}
+
+fn for_each_impl(test: impl Fn(&dyn Fn() -> Box<dyn QueueSetDyn>)) {
+    let (store, table) = setup();
+    test(&|| Box::new(ChannelQueueSet::create(&store, &table, &fresh_name()).unwrap()));
+    let (store, table) = setup();
+    test(&|| Box::new(TableQueueSet::create(&store, &table, &fresh_name()).unwrap()));
+}
+
+fn fresh_name() -> String {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    format!("q{}", N.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Object-safe adapter so one test body can drive both implementations.
+trait QueueSetDyn: Send + Sync {
+    fn put(&self, part: PartId, msg: Bytes) -> Result<(), MqError>;
+    fn drain_all(&self, idle: Duration) -> Result<Vec<Vec<Bytes>>, MqError>;
+    fn delete(&self) -> Result<(), MqError>;
+}
+
+impl<Q: QueueSet> QueueSetDyn for Q {
+    fn put(&self, part: PartId, msg: Bytes) -> Result<(), MqError> {
+        QueueSet::put(self, part, msg)
+    }
+    /// Runs a worker per part that drains until `idle` elapses with nothing.
+    fn drain_all(&self, idle: Duration) -> Result<Vec<Vec<Bytes>>, MqError> {
+        self.run_workers(move |_view, rx| {
+            let mut got = Vec::new();
+            while let Some(m) = rx.recv_timeout(idle).unwrap() {
+                got.push(m);
+            }
+            got
+        })
+    }
+    fn delete(&self) -> Result<(), MqError> {
+        QueueSet::delete(self)
+    }
+}
+
+#[test]
+fn delivers_to_the_right_queue() {
+    for_each_impl(|mk| {
+        let q = mk();
+        q.put(PartId(0), msg(0)).unwrap();
+        q.put(PartId(2), msg(2)).unwrap();
+        let got = q.drain_all(Duration::from_millis(50)).unwrap();
+        assert_eq!(got[0], vec![msg(0)]);
+        assert!(got[1].is_empty());
+        assert_eq!(got[2], vec![msg(2)]);
+    });
+}
+
+#[test]
+fn preserves_sender_fifo_order() {
+    for_each_impl(|mk| {
+        let q = mk();
+        for i in 0..100 {
+            q.put(PartId(1), msg(i)).unwrap();
+        }
+        let got = q.drain_all(Duration::from_millis(50)).unwrap();
+        let expect: Vec<Bytes> = (0..100).map(msg).collect();
+        assert_eq!(got[1], expect);
+    });
+}
+
+#[test]
+fn times_out_on_empty_queue() {
+    for_each_impl(|mk| {
+        let q = mk();
+        let got = q.drain_all(Duration::from_millis(20)).unwrap();
+        assert!(got.iter().all(Vec::is_empty));
+    });
+}
+
+#[test]
+fn rejects_out_of_range_part() {
+    for_each_impl(|mk| {
+        let q = mk();
+        assert!(matches!(
+            q.put(PartId(PARTS), msg(0)),
+            Err(MqError::PartOutOfRange { .. })
+        ));
+    });
+}
+
+#[test]
+fn delete_is_idempotent_error() {
+    for_each_impl(|mk| {
+        let q = mk();
+        q.delete().unwrap();
+        assert!(matches!(
+            q.put(PartId(0), msg(0)),
+            Err(MqError::QueueSetDeleted { .. })
+        ));
+        assert!(matches!(q.delete(), Err(MqError::QueueSetDeleted { .. })));
+    });
+}
+
+#[test]
+fn workers_can_put_to_other_queues() {
+    // Part 0 forwards each message to part 1; per-sender order holds.
+    let (store, table) = setup();
+    let q = ChannelQueueSet::create(&store, &table, "fwd").unwrap();
+    for i in 0..10 {
+        QueueSet::put(&q, PartId(0), msg(i)).unwrap();
+    }
+    let q2 = q.clone();
+    let got = q
+        .run_workers(move |_view, rx| {
+            let mut got = Vec::new();
+            while let Some(m) = rx.recv_timeout(Duration::from_millis(40)).unwrap() {
+                if rx.part() == PartId(0) {
+                    QueueSet::put(&q2, PartId(1), m).unwrap();
+                } else {
+                    got.push(m);
+                }
+            }
+            got
+        })
+        .unwrap();
+    let expect: Vec<Bytes> = (0..10).map(msg).collect();
+    assert_eq!(got[1], expect);
+}
+
+#[test]
+fn workers_are_collocated_with_reference_parts() {
+    let (store, table) = setup();
+    // Seed one entry per part of the reference table.
+    for p in 0..PARTS {
+        table
+            .put(
+                RoutedKey::with_route(u64::from(p), Bytes::from(format!("k{p}"))),
+                Bytes::from_static(b"v"),
+            )
+            .unwrap();
+    }
+    let q = TableQueueSet::create(&store, &table, "colo").unwrap();
+    let counts = q
+        .run_workers(|view, _rx| view.len("ref").unwrap())
+        .unwrap();
+    assert_eq!(counts, vec![1, 1, 1]);
+}
+
+#[test]
+fn table_queue_backing_table_is_copartitioned_and_dropped_on_delete() {
+    let (store, table) = setup();
+    let q = TableQueueSet::create(&store, &table, "life").unwrap();
+    let backing = store.lookup_table(q.table_name()).unwrap();
+    assert_eq!(backing.partitioning_id(), table.partitioning_id());
+    QueueSet::delete(&q).unwrap();
+    assert!(store.lookup_table(q.table_name()).is_err());
+}
+
+#[test]
+fn worker_panic_is_reported_per_part() {
+    let (store, table) = setup();
+    let q = ChannelQueueSet::create(&store, &table, "boom").unwrap();
+    let err = q
+        .run_workers(|_view, rx| {
+            if rx.part() == PartId(1) {
+                panic!("worker bug");
+            }
+            0u32
+        })
+        .unwrap_err();
+    assert_eq!(err, MqError::WorkerPanicked { part: 1 });
+}
+
+#[test]
+fn cross_thread_puts_all_arrive() {
+    for_each_impl(|mk| {
+        let q = mk();
+        let q = std::sync::Arc::new(q);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        q.put(PartId((t + i) % PARTS), msg(t * 1000 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        let got = q.drain_all(Duration::from_millis(60)).unwrap();
+        let total: usize = got.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+    });
+}

@@ -1,0 +1,257 @@
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+use parking_lot::RwLock;
+use ripple_kv::{
+    KvError, KvStore, PartId, PartView, StoreMetrics, Table, TableSpec, TaskHandle,
+};
+
+use crate::table::{MemTable, TableInner};
+use crate::view::MemPartView;
+use crate::Partitioning;
+
+/// Operation counters, updated lock-free.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    local_ops: AtomicU64,
+    remote_ops: AtomicU64,
+    bytes_marshalled: AtomicU64,
+    tasks: AtomicU64,
+    enumerations: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn local_op(&self) {
+        self.local_ops.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn remote_op(&self, bytes: u64) {
+        self.remote_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub(crate) fn reply_bytes(&self, bytes: u64) {
+        self.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub(crate) fn task(&self) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn enumeration(&self) {
+        self.enumerations.fetch_add(1, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> StoreMetrics {
+        StoreMetrics {
+            local_ops: self.local_ops.load(Ordering::Relaxed),
+            remote_ops: self.remote_ops.load(Ordering::Relaxed),
+            bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
+            tasks_dispatched: self.tasks.load(Ordering::Relaxed),
+            enumerations: self.enumerations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Store-wide shared state.
+#[derive(Debug)]
+pub(crate) struct StoreInner {
+    tables: RwLock<HashMap<String, Arc<TableInner>>>,
+    pub(crate) counters: Counters,
+    default_parts: u32,
+    next_partitioning: AtomicU64,
+}
+
+impl StoreInner {
+    pub(crate) fn table(&self, name: &str) -> Result<Arc<TableInner>, KvError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| KvError::NoSuchTable {
+                name: name.to_owned(),
+            })
+    }
+}
+
+/// Builder for [`MemStore`].
+///
+/// # Examples
+///
+/// ```
+/// let store = ripple_store_mem::MemStore::builder().default_parts(6).build();
+/// # let _ = store;
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemStoreBuilder {
+    default_parts: u32,
+}
+
+impl MemStoreBuilder {
+    /// Number of parts for tables whose spec does not override it; the
+    /// paper's PageRank runs used 6.
+    pub fn default_parts(&mut self, parts: u32) -> &mut Self {
+        assert!(parts > 0, "a store needs at least one part");
+        self.default_parts = parts;
+        self
+    }
+
+    /// Builds the store.
+    pub fn build(&self) -> MemStore {
+        MemStore {
+            inner: Arc::new(StoreInner {
+                tables: RwLock::new(HashMap::new()),
+                counters: Counters::default(),
+                default_parts: self.default_parts,
+                next_partitioning: AtomicU64::new(1),
+            }),
+        }
+    }
+}
+
+impl Default for MemStoreBuilder {
+    fn default() -> Self {
+        Self { default_parts: 4 }
+    }
+}
+
+/// The in-process partitioned key/value store (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    pub(crate) inner: Arc<StoreInner>,
+}
+
+impl MemStore {
+    /// Creates a store with the default part count (4).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts configuring a store.
+    pub fn builder() -> MemStoreBuilder {
+        MemStoreBuilder::default()
+    }
+
+    /// The part count used when a [`TableSpec`] leaves it at 1 and the table
+    /// is not ubiquitous.
+    pub fn default_parts(&self) -> u32 {
+        self.inner.default_parts
+    }
+
+    fn fresh_partitioning(&self, parts: u32) -> Arc<Partitioning> {
+        let id = self.inner.next_partitioning.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Partitioning::new(id, parts))
+    }
+
+    fn insert_table(&self, inner: TableInner) -> Result<MemTable, KvError> {
+        let name = inner.name.clone();
+        let mut tables = self.inner.tables.write();
+        if tables.contains_key(&name) {
+            return Err(KvError::TableExists { name });
+        }
+        let arc = Arc::new(inner);
+        tables.insert(name, Arc::clone(&arc));
+        Ok(MemTable {
+            store: Arc::clone(&self.inner),
+            inner: arc,
+        })
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore for MemStore {
+    type Table = MemTable;
+
+    fn create_table(&self, spec: &TableSpec) -> Result<MemTable, KvError> {
+        let parts = if spec.is_ubiquitous() {
+            1
+        } else if spec.part_count() == 1 {
+            self.inner.default_parts
+        } else {
+            spec.part_count()
+        };
+        let partitioning = self.fresh_partitioning(parts);
+        self.insert_table(TableInner::new(
+            spec.name().to_owned(),
+            spec.is_ubiquitous(),
+            spec.is_replicated(),
+            partitioning,
+        ))
+    }
+
+    fn create_table_like(&self, name: &str, like: &MemTable) -> Result<MemTable, KvError> {
+        like.inner.check_live()?;
+        self.insert_table(TableInner::new(
+            name.to_owned(),
+            like.inner.ubiquitous,
+            like.inner.backup.is_some(),
+            Arc::clone(&like.inner.partitioning),
+        ))
+    }
+
+    fn lookup_table(&self, name: &str) -> Result<MemTable, KvError> {
+        Ok(MemTable {
+            store: Arc::clone(&self.inner),
+            inner: self.inner.table(name)?,
+        })
+    }
+
+    fn drop_table(&self, name: &str) -> Result<(), KvError> {
+        match self.inner.tables.write().remove(name) {
+            Some(t) => {
+                t.dropped.store(true, Ordering::Release);
+                Ok(())
+            }
+            None => Err(KvError::NoSuchTable {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.inner.tables.read().keys().cloned().collect()
+    }
+
+    /// Dispatches `task` onto the long-operation lane of `part` of
+    /// `reference`'s partitioning group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range for `reference`.
+    fn run_at<R, F>(&self, reference: &MemTable, part: PartId, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&dyn PartView) -> R + Send + 'static,
+    {
+        assert!(
+            part.0 < reference.part_count(),
+            "part {part} out of range for table {:?} with {} parts",
+            reference.name(),
+            reference.part_count()
+        );
+        self.inner.counters.task();
+        let (tx, rx) = bounded(1);
+        let view = MemPartView {
+            store: Arc::clone(&self.inner),
+            partitioning_id: reference.inner.partitioning.id,
+            part,
+            reference_name: reference.inner.name.clone(),
+        };
+        reference
+            .inner
+            .partitioning
+            .lanes(part)
+            .submit_long(Box::new(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| task(&view)));
+                let _ = tx.send(result);
+            }));
+        TaskHandle::from_channel(part, rx)
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        self.inner.counters.snapshot()
+    }
+}

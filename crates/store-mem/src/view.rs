@@ -1,0 +1,120 @@
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ripple_kv::{KvError, PartId, PartView, RoutedKey, ScanControl};
+
+use crate::store::StoreInner;
+use crate::TableInner;
+
+/// The [`PartView`] handed to mobile code dispatched by
+/// [`MemStore::run_at`](crate::MemStore).
+///
+/// All access is direct (marshalling-free); tables must be co-partitioned
+/// with the dispatch's reference table, except ubiquitous tables, which are
+/// readable from any part.
+pub(crate) struct MemPartView {
+    pub(crate) store: Arc<StoreInner>,
+    pub(crate) partitioning_id: u64,
+    pub(crate) part: PartId,
+    pub(crate) reference_name: String,
+}
+
+impl MemPartView {
+    /// Resolves a table for local access, enforcing co-partitioning.
+    ///
+    /// Returns the table and the part index to use (0 for ubiquitous).
+    fn resolve(&self, table: &str, write: bool) -> Result<(Arc<TableInner>, PartId), KvError> {
+        let t = self.store.table(table)?;
+        t.check_live()?;
+        if t.ubiquitous {
+            if write {
+                return Err(KvError::UbiquityMismatch {
+                    name: table.to_owned(),
+                });
+            }
+            return Ok((t, PartId(0)));
+        }
+        if t.partitioning.id != self.partitioning_id {
+            return Err(KvError::NotCopartitioned {
+                left: table.to_owned(),
+                right: self.reference_name.clone(),
+            });
+        }
+        t.check_part_healthy(self.part)?;
+        Ok((t, self.part))
+    }
+}
+
+impl PartView for MemPartView {
+    fn part(&self) -> PartId {
+        self.part
+    }
+
+    fn get(&self, table: &str, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        let (t, p) = self.resolve(table, false)?;
+        self.store.counters.local_op();
+        let out = t.parts[p.index()].lock().get(key).cloned();
+        Ok(out)
+    }
+
+    fn put(&self, table: &str, key: RoutedKey, value: Bytes) -> Result<Option<Bytes>, KvError> {
+        let (t, p) = self.resolve(table, true)?;
+        self.store.counters.local_op();
+        t.mirror_insert(p, &key, &value);
+        let out = t.parts[p.index()].lock().insert(key, value);
+        Ok(out)
+    }
+
+    fn delete(&self, table: &str, key: &RoutedKey) -> Result<bool, KvError> {
+        let (t, p) = self.resolve(table, true)?;
+        self.store.counters.local_op();
+        t.mirror_remove(p, key);
+        let out = t.parts[p.index()].lock().remove(key).is_some();
+        Ok(out)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        f: &mut dyn FnMut(&RoutedKey, &[u8]) -> ScanControl,
+    ) -> Result<(), KvError> {
+        let (t, p) = self.resolve(table, false)?;
+        self.store.counters.enumeration();
+        let map = t.parts[p.index()].lock();
+        for (k, v) in map.iter() {
+            if !f(k, v).should_continue() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn drain(
+        &self,
+        table: &str,
+        f: &mut dyn FnMut(RoutedKey, Bytes) -> ScanControl,
+    ) -> Result<(), KvError> {
+        let (t, p) = self.resolve(table, true)?;
+        self.store.counters.enumeration();
+        // Take the whole map; on early stop, unconsumed entries go back.
+        let drained = std::mem::take(&mut *t.parts[p.index()].lock());
+        let mut iter = drained.into_iter();
+        for (k, v) in iter.by_ref() {
+            if !f(k, v).should_continue() {
+                break;
+            }
+        }
+        let rest: std::collections::HashMap<_, _> = iter.collect();
+        if !rest.is_empty() {
+            t.parts[p.index()].lock().extend(rest);
+        }
+        t.resync_backup(p);
+        Ok(())
+    }
+
+    fn len(&self, table: &str) -> Result<usize, KvError> {
+        let (t, p) = self.resolve(table, false)?;
+        let out = t.parts[p.index()].lock().len();
+        Ok(out)
+    }
+}

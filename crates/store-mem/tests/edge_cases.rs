@@ -1,0 +1,113 @@
+//! Edge cases of the debugging store: ubiquitous-table lineages, failed
+//! parts interacting with whole-table operations, metric counters, and
+//! checkpoint scope.
+
+use bytes::Bytes;
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, Table, TableSpec};
+use ripple_store_mem::MemStore;
+
+fn bkey(s: &str) -> RoutedKey {
+    RoutedKey::from_body(Bytes::copy_from_slice(s.as_bytes()))
+}
+
+#[test]
+fn table_created_like_a_ubiquitous_table_is_ubiquitous() {
+    let store = MemStore::builder().default_parts(4).build();
+    let u = store
+        .create_table(TableSpec::new("bcast").ubiquitous())
+        .unwrap();
+    let like = store.create_table_like("bcast2", &u).unwrap();
+    assert!(like.is_ubiquitous());
+    assert_eq!(like.part_count(), 1);
+    assert_eq!(like.partitioning_id(), u.partitioning_id());
+}
+
+#[test]
+fn whole_table_ops_fail_while_any_part_is_failed() {
+    let store = MemStore::builder().default_parts(3).build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    t.put(RoutedKey::with_route(2, Bytes::from_static(b"k")), Bytes::from_static(b"v"))
+        .unwrap();
+    store.fail_part(&t, PartId(2)).unwrap();
+    assert!(matches!(t.len(), Err(KvError::PartFailed { part: 2 })));
+    assert!(matches!(t.clear(), Err(KvError::PartFailed { part: 2 })));
+    // Healthy parts still serve point operations.
+    let healthy = RoutedKey::with_route(0, Bytes::from_static(b"h"));
+    t.put(healthy.clone(), Bytes::from_static(b"1")).unwrap();
+    assert!(t.get(&healthy).unwrap().is_some());
+    store.heal_part(&t, PartId(2)).unwrap();
+    assert_eq!(t.len().unwrap(), 1);
+}
+
+#[test]
+fn checkpoint_of_failed_part_is_refused() {
+    let store = MemStore::builder().default_parts(2).build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    store.fail_part(&t, PartId(1)).unwrap();
+    assert!(matches!(
+        store.checkpoint_part(&t, PartId(1)),
+        Err(KvError::PartFailed { part: 1 })
+    ));
+}
+
+#[test]
+fn checkpoints_exclude_other_partitioning_groups() {
+    let store = MemStore::builder().default_parts(2).build();
+    let a = store.create_table(&TableSpec::new("a")).unwrap();
+    let unrelated = store.create_table(&TableSpec::new("unrelated")).unwrap();
+    a.put(RoutedKey::with_route(0, Bytes::from_static(b"x")), Bytes::from_static(b"1"))
+        .unwrap();
+    unrelated
+        .put(RoutedKey::with_route(0, Bytes::from_static(b"y")), Bytes::from_static(b"2"))
+        .unwrap();
+    let cp = store.checkpoint_part(&a, PartId(0)).unwrap();
+    let names: Vec<&str> = cp.table_names().collect();
+    assert_eq!(names, vec!["a"], "unrelated groups are not captured");
+}
+
+#[test]
+fn enumeration_counter_ticks() {
+    let store = MemStore::builder().default_parts(2).build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    t.put(bkey("a"), Bytes::from_static(b"1")).unwrap();
+    let before = store.metrics().enumerations;
+    store
+        .run_at(&t, PartId(0), |view| {
+            view.scan("t", &mut |_k, _v| ripple_kv::ScanControl::Continue)
+                .unwrap();
+        })
+        .join()
+        .unwrap();
+    assert_eq!(store.metrics().enumerations, before + 1);
+}
+
+#[test]
+fn tasks_dispatched_counter_ticks() {
+    let store = MemStore::builder().default_parts(2).build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    let before = store.metrics().tasks_dispatched;
+    for p in 0..2 {
+        store.run_at(&t, PartId(p), |_| ()).join().unwrap();
+    }
+    assert_eq!(store.metrics().tasks_dispatched, before + 2);
+}
+
+#[test]
+fn default_parts_used_when_spec_leaves_one() {
+    let store = MemStore::builder().default_parts(7).build();
+    assert_eq!(store.default_parts(), 7);
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    assert_eq!(t.part_count(), 7);
+    let explicit = store
+        .create_table(TableSpec::new("t2").parts(3))
+        .unwrap();
+    assert_eq!(explicit.part_count(), 3);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn run_at_out_of_range_part_panics() {
+    let store = MemStore::builder().default_parts(2).build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    let _ = store.run_at(&t, PartId(9), |_| ());
+}

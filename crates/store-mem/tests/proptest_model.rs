@@ -1,0 +1,70 @@
+//! Property test: `MemStore` behaves like a `HashMap` under arbitrary
+//! sequences of get/put/delete, regardless of part count or key routing.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ripple_kv::{KvStore, RoutedKey, Table, TableSpec};
+use ripple_store_mem::MemStore;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>, Vec<u8>),
+    Get(u64, Vec<u8>),
+    Delete(u64, Vec<u8>),
+    Len,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = prop::collection::vec(any::<u8>(), 0..8);
+    let val = prop::collection::vec(any::<u8>(), 0..16);
+    prop_oneof![
+        (any::<u64>(), key.clone(), val).prop_map(|(r, k, v)| Op::Put(r % 8, k, v)),
+        (any::<u64>(), key.clone()).prop_map(|(r, k)| Op::Get(r % 8, k)),
+        (any::<u64>(), key).prop_map(|(r, k)| Op::Delete(r % 8, k)),
+        Just(Op::Len),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn store_matches_hashmap_model(
+        parts in 1u32..7,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let store = MemStore::builder().default_parts(parts).build();
+        let table = store.create_table(&TableSpec::new("t")).unwrap();
+        let mut model: HashMap<RoutedKey, Bytes> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(route, k, v) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    let value = Bytes::from(v);
+                    let expect = model.insert(key.clone(), value.clone());
+                    let got = table.put(key, value).unwrap();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Get(route, k) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    prop_assert_eq!(table.get(&key).unwrap(), model.get(&key).cloned());
+                }
+                Op::Delete(route, k) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    prop_assert_eq!(table.delete(&key).unwrap(), model.remove(&key).is_some());
+                }
+                Op::Len => {
+                    prop_assert_eq!(table.len().unwrap(), model.len());
+                }
+            }
+        }
+        // Final state matches exactly, via enumeration.
+        let consumer = ripple_kv::FnPairConsumer::new(
+            |k: &RoutedKey, v: &[u8]| (k.clone(), Bytes::copy_from_slice(v)),
+        );
+        let pairs = store.enumerate_pairs(&table, consumer).unwrap();
+        let observed: HashMap<RoutedKey, Bytes> = pairs.into_iter().collect();
+        prop_assert_eq!(observed, model);
+    }
+}

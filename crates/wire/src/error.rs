@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum width of 10 bytes.
+    VarintOverflow,
+    /// A decoded integer did not fit the target type.
+    IntOutOfRange {
+        /// Human-readable name of the target type.
+        target: &'static str,
+    },
+    /// A length prefix exceeded the bytes actually available.
+    LengthOverrun {
+        /// The declared length.
+        declared: u64,
+        /// The bytes available.
+        available: usize,
+    },
+    /// String bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A tag byte had no corresponding variant.
+    InvalidTag {
+        /// Human-readable name of the type being decoded.
+        target: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Decoding succeeded but bytes were left over where none were expected.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::IntOutOfRange { target } => {
+                write!(f, "decoded integer out of range for {target}")
+            }
+            WireError::LengthOverrun {
+                declared,
+                available,
+            } => write!(
+                f,
+                "declared length {declared} exceeds {available} available bytes"
+            ),
+            WireError::InvalidUtf8 => write!(f, "string bytes were not valid UTF-8"),
+            WireError::InvalidTag { target, tag } => {
+                write!(f, "invalid tag {tag} while decoding {target}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            WireError::VarintOverflow,
+            WireError::IntOutOfRange { target: "u8" },
+            WireError::LengthOverrun {
+                declared: 10,
+                available: 2,
+            },
+            WireError::InvalidUtf8,
+            WireError::InvalidTag {
+                target: "Option",
+                tag: 9,
+            },
+            WireError::TrailingBytes { remaining: 3 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<WireError>();
+    }
+}

@@ -1,0 +1,712 @@
+//! [`Encode`]/[`Decode`] implementations for primitives and std containers.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+
+use bytes::Bytes;
+
+use crate::varint::{read_u64, unzigzag, varint_len, write_u64, zigzag};
+use crate::{ByteReader, ByteWriter, Decode, Encode, WireError};
+
+// ---------------------------------------------------------------------------
+// Unsigned integers (varint)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut ByteWriter) {
+                write_u64(w, u64::from(*self));
+            }
+            fn size_hint(&self) -> usize {
+                varint_len(u64::from(*self))
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                let v = read_u64(r)?;
+                <$t>::try_from(v).map_err(|_| WireError::IntOutOfRange {
+                    target: stringify!($t),
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32);
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, *self);
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(*self)
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        read_u64(r)
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, *self as u64);
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(*self as u64)
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let v = read_u64(r)?;
+        usize::try_from(v).map_err(|_| WireError::IntOutOfRange { target: "usize" })
+    }
+}
+
+impl Encode for u128 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.extend(&self.to_le_bytes());
+    }
+    fn size_hint(&self) -> usize {
+        16
+    }
+}
+
+impl Decode for u128 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(u128::from_le_bytes(r.read_array()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signed integers (zig-zag varint)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut ByteWriter) {
+                write_u64(w, zigzag(i64::from(*self)));
+            }
+            fn size_hint(&self) -> usize {
+                varint_len(zigzag(i64::from(*self)))
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                let v = unzigzag(read_u64(r)?);
+                <$t>::try_from(v).map_err(|_| WireError::IntOutOfRange {
+                    target: stringify!($t),
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32);
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, zigzag(*self));
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(zigzag(*self))
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(unzigzag(read_u64(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Floats (fixed-width little endian, bit-exact including NaN payloads)
+// ---------------------------------------------------------------------------
+
+impl Encode for f32 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.extend(&self.to_le_bytes());
+    }
+    fn size_hint(&self) -> usize {
+        4
+    }
+}
+
+impl Decode for f32 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_le_bytes(r.read_array()?))
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.extend(&self.to_le_bytes());
+    }
+    fn size_hint(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_le_bytes(r.read_array()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bool, unit, char
+// ---------------------------------------------------------------------------
+
+impl Encode for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.push(u8::from(*self));
+    }
+    fn size_hint(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag {
+                target: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for () {
+    fn encode(&self, _w: &mut ByteWriter) {}
+    fn size_hint(&self) -> usize {
+        0
+    }
+}
+
+impl Decode for () {
+    fn decode(_r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Encode for char {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, u64::from(u32::from(*self)));
+    }
+    fn size_hint(&self) -> usize {
+        4
+    }
+}
+
+impl Decode for char {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let v = u32::decode(r)?;
+        char::from_u32(v).ok_or(WireError::IntOutOfRange { target: "char" })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings and byte buffers
+// ---------------------------------------------------------------------------
+
+impl Encode for str {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, self.len() as u64);
+        w.extend(self.as_bytes());
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.as_str().encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        self.as_str().size_hint()
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let len = r.check_len(len, 1)?;
+        let bytes = r.read_slice(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, self.len() as u64);
+        w.extend(self);
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let len = r.check_len(len, 1)?;
+        Ok(Bytes::copy_from_slice(r.read_slice(len)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option, Result
+// ---------------------------------------------------------------------------
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.push(0),
+            Some(v) => {
+                w.push(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn size_hint(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::size_hint)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                target: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode, E: Encode> Encode for Result<T, E> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Ok(v) => {
+                w.push(0);
+                v.encode(w);
+            }
+            Err(e) => {
+                w.push(1);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode, E: Decode> Decode for Result<T, E> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.read_byte()? {
+            0 => Ok(Ok(T::decode(r)?)),
+            1 => Ok(Err(E::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                target: "Result",
+                tag,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences and maps
+// ---------------------------------------------------------------------------
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::size_hint).sum::<usize>()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.as_slice().encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        self.as_slice().size_hint()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let cap = (len as usize).min(r.remaining().max(1)).min(1 << 16);
+        let mut out = Vec::with_capacity(cap);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+            // Elements that consume bytes bound the loop via EOF; guard
+            // hostile lengths of zero-size elements explicitly.
+            if r.remaining() == 0 && out.len() as u64 != len && len > ZST_LIMIT {
+                return Err(WireError::LengthOverrun {
+                    declared: len,
+                    available: 0,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Maximum declared length for collections of zero-size elements; honest
+/// message lists stay far below this, while hostile prefixes cannot force
+/// more than this many no-op iterations.
+const ZST_LIMIT: u64 = 1 << 24;
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    fn encode(&self, w: &mut ByteWriter) {
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn size_hint(&self) -> usize {
+        self.iter().map(Encode::size_hint).sum()
+    }
+}
+
+impl<T: Decode, const N: usize> Decode for [T; N] {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(r)?);
+        }
+        out.try_into()
+            .map_err(|_| WireError::IntOutOfRange { target: "array" })
+    }
+}
+
+impl<K: Encode, V: Encode, S> Encode for HashMap<K, V, S> {
+    fn encode(&self, w: &mut ByteWriter) {
+        // NOTE: iteration order of a HashMap is arbitrary, so two equal maps
+        // may encode differently.  That is acceptable for values but such a
+        // map must not be used as a routing key; `BTreeMap` encodes
+        // canonically.
+        write_u64(w, self.len() as u64);
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+}
+
+impl<K, V, S> Decode for HashMap<K, V, S>
+where
+    K: Decode + Eq + Hash,
+    V: Decode,
+    S: BuildHasher + Default,
+{
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let cap = (len as usize).min(r.remaining().max(1)).min(1 << 16);
+        let mut out = HashMap::with_capacity_and_hasher(cap, S::default());
+        for i in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+            if r.remaining() == 0 && i + 1 != len && len > ZST_LIMIT {
+                return Err(WireError::LengthOverrun {
+                    declared: len,
+                    available: 0,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, self.len() as u64);
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let mut out = BTreeMap::new();
+        for i in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+            if r.remaining() == 0 && i + 1 != len && len > ZST_LIMIT {
+                return Err(WireError::LengthOverrun {
+                    declared: len,
+                    available: 0,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode, S> Encode for HashSet<T, S> {
+    fn encode(&self, w: &mut ByteWriter) {
+        write_u64(w, self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T, S> Decode for HashSet<T, S>
+where
+    T: Decode + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let len = read_u64(r)?;
+        let cap = (len as usize).min(r.remaining().max(1)).min(1 << 16);
+        let mut out = HashSet::with_capacity_and_hasher(cap, S::default());
+        for i in 0..len {
+            out.insert(T::decode(r)?);
+            if r.remaining() == 0 && i + 1 != len && len > ZST_LIMIT {
+                return Err(WireError::LengthOverrun {
+                    declared: len,
+                    available: 0,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, w: &mut ByteWriter) {
+                $(self.$idx.encode(w);)+
+            }
+            fn size_hint(&self) -> usize {
+                0 $(+ self.$idx.size_hint())+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ---------------------------------------------------------------------------
+// References and boxes
+// ---------------------------------------------------------------------------
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, w: &mut ByteWriter) {
+        (**self).encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        (**self).size_hint()
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for Box<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        (**self).encode(w);
+    }
+    fn size_hint(&self) -> usize {
+        (**self).size_hint()
+    }
+}
+
+impl<T: Decode> Decode for Box<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_wire, to_wire};
+    use std::collections::{BTreeMap, HashMap, HashSet};
+
+    fn rt<T: crate::Encode + crate::Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_wire(&v);
+        let back: T = from_wire(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        rt(0u8);
+        rt(255u8);
+        rt(u16::MAX);
+        rt(u32::MAX);
+        rt(u64::MAX);
+        rt(usize::MAX);
+        rt(u128::MAX);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        rt(i8::MIN);
+        rt(i8::MAX);
+        rt(i16::MIN);
+        rt(i32::MIN);
+        rt(i64::MIN);
+        rt(i64::MAX);
+        rt(-1i32);
+    }
+
+    #[test]
+    fn narrow_decode_rejects_wide_value() {
+        let bytes = to_wire(&300u64);
+        assert!(from_wire::<u8>(&bytes).is_err());
+        let bytes = to_wire(&(i64::from(i32::MAX) + 1));
+        assert!(from_wire::<i32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn floats_bit_exact() {
+        rt(0.0f64);
+        rt(-0.0f64);
+        rt(f64::INFINITY);
+        rt(f64::NEG_INFINITY);
+        rt(1.5f32);
+        let bytes = to_wire(&f64::NAN);
+        let back: f64 = from_wire(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn bool_and_unit_and_char() {
+        rt(true);
+        rt(false);
+        rt(());
+        rt('x');
+        rt('é');
+        rt('𝕏');
+        assert!(from_wire::<bool>(&[2]).is_err());
+    }
+
+    #[test]
+    fn char_rejects_surrogate() {
+        let bytes = to_wire(&0xD800u32);
+        assert!(from_wire::<char>(&bytes).is_err());
+    }
+
+    #[test]
+    fn strings() {
+        rt(String::new());
+        rt("hello".to_owned());
+        rt("héllo wörld 𝕏".to_owned());
+        // Invalid UTF-8 rejected.
+        let mut bad = to_wire(&2u64).to_vec();
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(from_wire::<String>(&bad).is_err());
+    }
+
+    #[test]
+    fn bytes_buffer() {
+        rt(bytes::Bytes::from_static(b""));
+        rt(bytes::Bytes::from_static(b"\x00\x01\xff"));
+    }
+
+    #[test]
+    fn options_and_results() {
+        rt(Option::<u32>::None);
+        rt(Some(7u32));
+        rt(Result::<u32, String>::Ok(1));
+        rt(Result::<u32, String>::Err("bad".into()));
+        assert!(from_wire::<Option<u32>>(&[7]).is_err());
+    }
+
+    #[test]
+    fn sequences() {
+        rt(Vec::<u32>::new());
+        rt(vec![1u32, 2, 3]);
+        rt(vec![vec![1i64], vec![], vec![-5, 5]]);
+        rt([1u8, 2, 3]);
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Declared length of u64::MAX with only a few bytes present must
+        // error rather than attempt a huge allocation.
+        let bytes = to_wire(&u64::MAX);
+        assert!(from_wire::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn maps_and_sets() {
+        let mut hm = HashMap::new();
+        hm.insert(1u32, "one".to_owned());
+        hm.insert(2, "two".to_owned());
+        rt(hm);
+        let mut bm = BTreeMap::new();
+        bm.insert("a".to_owned(), 1i64);
+        bm.insert("b".to_owned(), -2);
+        rt(bm);
+        let mut hs = HashSet::new();
+        hs.insert(9u64);
+        rt(hs);
+    }
+
+    #[test]
+    fn btreemap_encoding_is_canonical() {
+        let mut a = BTreeMap::new();
+        a.insert(2u32, 20u32);
+        a.insert(1, 10);
+        let mut b = BTreeMap::new();
+        b.insert(1u32, 10u32);
+        b.insert(2, 20);
+        assert_eq!(to_wire(&a), to_wire(&b));
+    }
+
+    #[test]
+    fn tuples() {
+        rt((1u8,));
+        rt((1u8, 2u16));
+        rt((1u8, "x".to_owned(), vec![1.0f64], Some(false), 9i32, 7u64));
+    }
+
+    #[test]
+    fn boxed() {
+        rt(Box::new(17u64));
+    }
+
+    #[test]
+    fn size_hints_cover_encoding() {
+        // size_hint does not have to be exact, but for the common scalar and
+        // container cases it should match to keep buffers right-sized.
+        let v = vec![1u64, 300, 70_000];
+        assert_eq!(crate::Encode::size_hint(&v), to_wire(&v).len());
+        let s = "hello".to_owned();
+        assert_eq!(crate::Encode::size_hint(&s), to_wire(&s).len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Binary wire codec for the Ripple analytics platform.
+//!
+//! Ripple's lower layer (the key/value store and the message queuing
+//! facility) holds raw bytes, and the K/V EBSP engine marshals typed keys,
+//! states, and messages whenever data crosses an (emulated) partition
+//! boundary — exactly the cost structure the Ripple paper's "parallel
+//! debugging store" models.  This crate is the codec used for that
+//! marshalling: a small, deterministic, self-contained binary format built
+//! from LEB128 varints and explicit [`Encode`]/[`Decode`] implementations.
+//!
+//! The format makes no attempt at cross-version schema evolution; it is a
+//! marshalling format for data in flight inside one job, not a persistence
+//! format.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_wire::{from_wire, to_wire};
+//!
+//! # fn main() -> Result<(), ripple_wire::WireError> {
+//! let value: (u32, String, Vec<i64>) = (7, "rank".to_owned(), vec![-1, 2, -3]);
+//! let bytes = to_wire(&value);
+//! let back: (u32, String, Vec<i64>) = from_wire(&bytes)?;
+//! assert_eq!(value, back);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod impls;
+mod macros;
+mod reader;
+mod varint;
+mod writer;
+
+pub use error::WireError;
+pub use reader::ByteReader;
+pub use writer::ByteWriter;
+
+use bytes::Bytes;
+
+/// A type that can be marshalled into Ripple's binary wire format.
+///
+/// Implementations must be deterministic: encoding equal values must produce
+/// equal bytes, because the engine uses encoded keys for routing and
+/// deduplication.
+pub trait Encode {
+    /// Appends the wire representation of `self` to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// A cheap guess at the encoded size in bytes, used to pre-size buffers.
+    ///
+    /// The default is deliberately small; implementations for large values
+    /// (blocks, adjacency lists) should override it.
+    fn size_hint(&self) -> usize {
+        8
+    }
+}
+
+/// A type that can be unmarshalled from Ripple's binary wire format.
+pub trait Decode: Sized {
+    /// Reads one value from the front of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the bytes are truncated or malformed.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Convenience alias bound for values that travel through the platform:
+/// component keys, local states, BSP messages, and job outputs.
+pub trait Wire: Encode + Decode + Clone + Send + 'static {}
+
+impl<T: Encode + Decode + Clone + Send + 'static> Wire for T {}
+
+/// Encodes a value into a freshly allocated byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// let bytes = ripple_wire::to_wire(&42u64);
+/// assert!(!bytes.is_empty());
+/// ```
+pub fn to_wire<T: Encode + ?Sized>(value: &T) -> Bytes {
+    let mut w = ByteWriter::with_capacity(value.size_hint());
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value from a byte slice, requiring that all bytes are consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError::TrailingBytes`] if the value does not occupy the
+/// whole slice, and other [`WireError`] variants for truncated or malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ripple_wire::WireError> {
+/// let n: u64 = ripple_wire::from_wire(&ripple_wire::to_wire(&42u64))?;
+/// assert_eq!(n, 42);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_wire<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+/// Decodes a value from the front of a byte slice, returning the value and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated or malformed input.
+pub fn from_wire_prefix<T: Decode>(bytes: &[u8]) -> Result<(T, usize), WireError> {
+    let mut r = ByteReader::new(bytes);
+    let value = T::decode(&mut r)?;
+    let used = bytes.len() - r.remaining();
+    Ok((value, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_helpers() {
+        let v = vec![(1u32, "a".to_owned()), (2, "b".to_owned())];
+        let bytes = to_wire(&v);
+        let back: Vec<(u32, String)> = from_wire(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_wire(&5u32).to_vec();
+        bytes.push(0);
+        let err = from_wire::<u32>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn prefix_reports_consumed() {
+        let mut buf = to_wire(&300u64).to_vec();
+        buf.extend_from_slice(&[9, 9, 9]);
+        let (value, used) = from_wire_prefix::<u64>(&buf).unwrap();
+        assert_eq!(value, 300);
+        assert_eq!(used, buf.len() - 3);
+    }
+}

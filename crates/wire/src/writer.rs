@@ -1,0 +1,102 @@
+use bytes::Bytes;
+
+/// An append-only byte buffer used as the encoding target.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_wire::ByteWriter;
+///
+/// let mut w = ByteWriter::new();
+/// w.push(1);
+/// w.extend(&[2, 3]);
+/// assert_eq!(w.as_slice(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer pre-sized to `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn push(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    /// Appends a slice of bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// A view of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, yielding its bytes.
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Consumes the writer, yielding the raw vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl From<ByteWriter> for Bytes {
+    fn from(w: ByteWriter) -> Bytes {
+        w.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let w = ByteWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn push_and_extend_accumulate() {
+        let mut w = ByteWriter::with_capacity(4);
+        w.push(9);
+        w.extend(&[8, 7]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.into_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn converts_to_bytes() {
+        let mut w = ByteWriter::new();
+        w.extend(b"abc");
+        let b: Bytes = w.into();
+        assert_eq!(&b[..], b"abc");
+    }
+}

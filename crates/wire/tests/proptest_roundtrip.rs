@@ -1,0 +1,95 @@
+//! Property tests: every wire codec roundtrips, and decoding never panics on
+//! arbitrary bytes.
+
+use proptest::collection::{btree_map, hash_map, vec};
+use proptest::prelude::*;
+use ripple_wire::{from_wire, to_wire, Decode, Encode};
+
+fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_wire(v);
+    let back: T = from_wire(&bytes).expect("roundtrip decode");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v: u64) { roundtrip(&v); }
+
+    #[test]
+    fn i64_roundtrip(v: i64) { roundtrip(&v); }
+
+    #[test]
+    fn u32_roundtrip(v: u32) { roundtrip(&v); }
+
+    #[test]
+    fn i32_roundtrip(v: i32) { roundtrip(&v); }
+
+    #[test]
+    fn f64_roundtrip(v: f64) {
+        let bytes = to_wire(&v);
+        let back: f64 = from_wire(&bytes).unwrap();
+        assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn string_roundtrip(v: String) { roundtrip(&v); }
+
+    #[test]
+    fn vec_i64_roundtrip(v in vec(any::<i64>(), 0..64)) { roundtrip(&v); }
+
+    #[test]
+    fn vec_string_roundtrip(v in vec(any::<String>(), 0..16)) { roundtrip(&v); }
+
+    #[test]
+    fn nested_roundtrip(v in vec(vec(any::<u32>(), 0..8), 0..8)) { roundtrip(&v); }
+
+    #[test]
+    fn tuple_roundtrip(v: (u64, i32, String, Option<bool>)) { roundtrip(&v); }
+
+    #[test]
+    fn hashmap_roundtrip(v in hash_map(any::<u32>(), any::<String>(), 0..16)) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn btreemap_roundtrip(v in btree_map(any::<String>(), any::<i64>(), 0..16)) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn option_vec_roundtrip(v: Option<Vec<u16>>) { roundtrip(&v); }
+
+    /// Decoding arbitrary garbage must fail cleanly, never panic or hang.
+    #[test]
+    fn decode_garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = from_wire::<u64>(&bytes);
+        let _ = from_wire::<String>(&bytes);
+        let _ = from_wire::<Vec<u64>>(&bytes);
+        let _ = from_wire::<Vec<String>>(&bytes);
+        let _ = from_wire::<(u32, String)>(&bytes);
+        let _ = from_wire::<Option<Vec<i64>>>(&bytes);
+    }
+
+    /// Encoding is deterministic: equal values give identical bytes.
+    #[test]
+    fn encoding_deterministic(v in vec(any::<i64>(), 0..32)) {
+        let a = to_wire(&v);
+        let b = to_wire(&v.clone());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Concatenated values decode back in order via prefix decoding.
+    #[test]
+    fn prefix_decode_sequences(a: u64, b: String, c in vec(any::<i32>(), 0..8)) {
+        let mut buf = to_wire(&a).to_vec();
+        buf.extend_from_slice(&to_wire(&b));
+        buf.extend_from_slice(&to_wire(&c));
+        let (a2, n1) = ripple_wire::from_wire_prefix::<u64>(&buf).unwrap();
+        let (b2, n2) = ripple_wire::from_wire_prefix::<String>(&buf[n1..]).unwrap();
+        let (c2, n3) = ripple_wire::from_wire_prefix::<Vec<i32>>(&buf[n1 + n2..]).unwrap();
+        prop_assert_eq!(a, a2);
+        prop_assert_eq!(b, b2);
+        prop_assert_eq!(c, c2);
+        prop_assert_eq!(n1 + n2 + n3, buf.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! Graph EBSP — the Pregel-like layer (Figure 2): connected components and
+//! frontier-driven BFS written purely against the vertex-centric API, with
+//! selective enablement doing the scheduling underneath.
+//!
+//! Run: `cargo run --example graph_analytics`
+
+use ripple::graph::algorithms::{bfs, connected_components, degree_counts};
+use ripple::graph::generate::{GraphChange, MutableGraph};
+use ripple::graph::INF;
+use ripple::prelude::*;
+
+fn main() -> Result<(), EbspError> {
+    // Two islands and a hermit.
+    let mut g = MutableGraph::new(12);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+        g.apply(GraphChange::AddEdge(u, v));
+    }
+    for (u, v) in [(5, 6), (6, 7), (7, 8), (8, 9), (9, 5), (5, 7)] {
+        g.apply(GraphChange::AddEdge(u, v));
+    }
+    let graph = g.graph().clone();
+
+    let store = MemStore::builder().default_parts(4).build();
+
+    let labels = connected_components(&store, "cc", &graph)?;
+    println!("connected components (vertex -> smallest member):");
+    for (v, label) in &labels {
+        println!("  {v:>2} -> {label}");
+    }
+    assert_eq!(labels[6], (6, 5));
+    assert_eq!(labels[10], (10, 10), "hermits label themselves");
+
+    let dists = bfs(&store, "bfs", &graph, 5)?;
+    println!("\nhop distances from vertex 5:");
+    for (v, d) in &dists {
+        let shown = if *d == INF {
+            "unreachable".to_owned()
+        } else {
+            d.to_string()
+        };
+        println!("  {v:>2}: {shown}");
+    }
+    assert_eq!(dists[8].1, 2);
+    assert_eq!(dists[0].1, INF);
+
+    let degrees = degree_counts(&store, "deg", &graph)?;
+    let max = degrees.iter().max_by_key(|(_, d)| *d).expect("non-empty");
+    println!("\nhighest degree: vertex {} with {} edges", max.0, max.1);
+    Ok(())
+}

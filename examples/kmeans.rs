@@ -1,0 +1,162 @@
+//! K-means clustering as an iterative K/V EBSP analytic, exercising
+//! **broadcast data** (the current centroids live in a ubiquitous table)
+//! and **aggregators** (per-centroid sums flow up through the barrier).
+//!
+//! Each outer round: every point reads the centroids from broadcast data,
+//! assigns itself, and feeds per-cluster sums into aggregators; the driver
+//! recomputes centroids from the aggregates and rebroadcasts until stable.
+//!
+//! Run: `cargo run --example kmeans`
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ripple::ebsp::SumF64;
+use ripple::prelude::*;
+use ripple_wire::to_wire;
+
+const K: usize = 3;
+
+struct AssignPoints;
+
+impl Job for AssignPoints {
+    type Key = u32;
+    type State = (f64, f64, u32); // (x, y, assigned cluster)
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec!["points".to_owned()]
+    }
+
+    fn broadcast_table(&self) -> Option<String> {
+        Some("centroids".to_owned())
+    }
+
+    fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
+        let mut aggs: Vec<(String, Arc<dyn Aggregate>)> = Vec::new();
+        for c in 0..K {
+            aggs.push((format!("sx{c}"), Arc::new(SumF64)));
+            aggs.push((format!("sy{c}"), Arc::new(SumF64)));
+            aggs.push((format!("n{c}"), Arc::new(SumF64)));
+        }
+        aggs
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let (x, y, _) = ctx.read_state(0)?.expect("points are preloaded");
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..K {
+            let (cx, cy): (f64, f64) = ctx
+                .broadcast(&(c as u32))?
+                .expect("centroids are broadcast");
+            let d = (x - cx).powi(2) + (y - cy).powi(2);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        let c = best.0;
+        ctx.write_state(0, &(x, y, c as u32))?;
+        ctx.aggregate(&format!("sx{c}"), AggValue::F64(x))?;
+        ctx.aggregate(&format!("sy{c}"), AggValue::F64(y))?;
+        ctx.aggregate(&format!("n{c}"), AggValue::F64(1.0))?;
+        Ok(false) // one step per outer round
+    }
+}
+
+fn main() -> Result<(), EbspError> {
+    let store = MemStore::builder().default_parts(4).build();
+
+    // Three blobs of points.
+    let mut rng = StdRng::seed_from_u64(12);
+    let blobs = [(0.0, 0.0), (8.0, 8.0), (0.0, 9.0)];
+    let points: Vec<(u32, (f64, f64, u32))> = (0..300u32)
+        .map(|i| {
+            let (bx, by) = blobs[i as usize % 3];
+            let x = bx + rng.gen_range(-1.5..1.5);
+            let y = by + rng.gen_range(-1.5..1.5);
+            (i, (x, y, 0))
+        })
+        .collect();
+
+    // The ubiquitous broadcast table holding the centroids.
+    let centroids_table = store
+        .create_table(TableSpec::new("centroids").ubiquitous())
+        .map_err(EbspError::Kv)?;
+    // Forgy initialization: seed the centroids with the first K points.
+    let mut centroids: Vec<(f64, f64)> = points
+        .iter()
+        .take(K)
+        .map(|(_, (x, y, _))| (*x, *y))
+        .collect();
+
+    // Load the points into the state table once, up front.
+    let points_table = store
+        .create_table(&TableSpec::new("points"))
+        .map_err(EbspError::Kv)?;
+    for (id, p) in &points {
+        points_table
+            .put(ripple::ebsp::key_to_routed(id), to_wire(p))
+            .map_err(EbspError::Kv)?;
+    }
+
+    for round in 1..=20 {
+        for (c, (x, y)) in centroids.iter().enumerate() {
+            centroids_table
+                .put(
+                    ripple::ebsp::key_to_routed(&(c as u32)),
+                    to_wire(&(*x, *y)),
+                )
+                .map_err(EbspError::Kv)?;
+        }
+        let job = Arc::new(AssignPoints);
+        let ids: Vec<u32> = points.iter().map(|(id, _)| *id).collect();
+        let outcome = JobRunner::new(store.clone()).run_with_loaders(
+            job,
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<AssignPoints>| {
+                    for id in ids {
+                        sink.enable(id)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )?;
+
+        let mut moved = 0.0f64;
+        for (c, slot) in centroids.iter_mut().enumerate() {
+            let n = outcome
+                .aggregates
+                .get(&format!("n{c}"))
+                .map_or(0.0, |v| v.as_f64());
+            if n > 0.0 {
+                let nx = outcome.aggregates.get(&format!("sx{c}")).expect("fed").as_f64() / n;
+                let ny = outcome.aggregates.get(&format!("sy{c}")).expect("fed").as_f64() / n;
+                moved += (slot.0 - nx).abs() + (slot.1 - ny).abs();
+                *slot = (nx, ny);
+            }
+        }
+        println!(
+            "round {round:>2}: centroids {:?} (moved {moved:.4})",
+            centroids
+                .iter()
+                .map(|(x, y)| format!("({x:.2},{y:.2})"))
+                .collect::<Vec<_>>()
+        );
+        if moved < 1e-6 {
+            println!("converged after {round} rounds");
+            break;
+        }
+    }
+
+    // The centroids should sit near the blob centers.
+    for (bx, by) in blobs {
+        let close = centroids
+            .iter()
+            .any(|(cx, cy)| (cx - bx).abs() < 1.0 && (cy - by).abs() < 1.0);
+        assert!(close, "a centroid should have found blob ({bx},{by})");
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # Ripple
+//!
+//! A Rust reproduction of *Ripple: Improved Architecture and Programming
+//! Model for Bulk Synchronous Parallel Style of Analytics* (ICDCS 2013):
+//! a middleware for distributed data analytics built around two ideas —
+//!
+//! 1. a **limited generic interface to a fundamental storage+compute
+//!    layer** (a key/value store that also places computation, plus a
+//!    message-queuing facility), and
+//! 2. an **enhanced BSP programming model** (K/V EBSP) that recognizes the
+//!    iterative structure of many analytics: selective enablement,
+//!    factored component state, combiners, aggregators, broadcast data,
+//!    direct output — and, for jobs that declare the right properties,
+//!    execution with *no synchronization barriers at all*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`wire`] | `ripple-wire` | binary marshalling codec |
+//! | [`kv`] | `ripple-kv` | key/value store + compute-placement SPI |
+//! | [`store`] | `ripple-store-mem` | the in-process partitioned "debugging store" |
+//! | [`store_simple`] | `ripple-store-simple` | a minimal single-map reference store |
+//! | [`mq`] | `ripple-mq` | queue sets (table-backed and channel-backed) |
+//! | [`ebsp`] | `ripple-core` | the K/V EBSP programming model and engines |
+//! | [`mapreduce`] | `ripple-mapreduce` | (iterated) MapReduce atop K/V EBSP |
+//! | [`graph`] | `ripple-graph` | Graph EBSP, generators, PageRank, SSSP |
+//! | [`summa`] | `ripple-summa` | SUMMA dense matrix multiplication |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ripple_core as ebsp;
+pub use ripple_graph as graph;
+pub use ripple_kv as kv;
+pub use ripple_mapreduce as mapreduce;
+pub use ripple_mq as mq;
+pub use ripple_store_mem as store;
+pub use ripple_store_simple as store_simple;
+pub use ripple_summa as summa;
+pub use ripple_wire as wire;
+
+/// The commonly used subset of the API, for glob import in examples.
+pub mod prelude {
+    pub use ripple_core::{
+        export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter,
+        ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner,
+        LoadSink, Loader, PairsLoader, QueueKind, RunOutcome,
+    };
+    pub use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec};
+    pub use ripple_store_mem::MemStore;
+}

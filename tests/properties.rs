@@ -1,0 +1,210 @@
+//! Workspace-level property tests: the headline invariants of the
+//! reproduced applications hold on *arbitrary* inputs, not just the
+//! evaluation workloads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ripple::graph::generate::{Graph, GraphChange, MutableGraph};
+use ripple::graph::pagerank::{read_ranks, reference_ranks, run_direct, PageRankConfig};
+use ripple::graph::sssp::{bfs_oracle, SelectiveInstance};
+use ripple::prelude::*;
+use ripple::store_simple::SimpleStore;
+use ripple::summa::{multiply, DenseMatrix, SummaOptions};
+
+fn store(parts: u32) -> MemStore {
+    MemStore::builder().default_parts(parts).build()
+}
+
+/// An arbitrary directed graph as an edge list over `n` vertices.
+fn arb_digraph(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+            let mut g = Graph::empty(n);
+            for (u, v) in edges {
+                g.add_edge(u, v);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PageRank on any graph: the distributed direct variant matches the
+    /// sequential reference and conserves rank mass.
+    #[test]
+    fn pagerank_invariants(graph in arb_digraph(40, 150), parts in 1u32..5) {
+        let config = PageRankConfig { damping: 0.85, iterations: 6 };
+        let s = store(parts);
+        run_direct(&s, "pr", &graph, config).unwrap();
+        let ranks = read_ranks(&s, "pr").unwrap();
+        let reference = reference_ranks(&graph, config);
+        let mut sum = 0.0;
+        for (v, r) in &ranks {
+            prop_assert!((r - reference[*v as usize]).abs() < 1e-10);
+            sum += r;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9, "mass {sum}");
+    }
+
+    /// SUMMA on any compatible shapes, both modes, equals the sequential
+    /// kernel.
+    #[test]
+    fn summa_matches_kernel(
+        grid in 1u32..4,
+        blocks in 1usize..4,
+        seed in 0u64..1000,
+        sync in any::<bool>(),
+    ) {
+        let dim = grid as usize * blocks * 2;
+        let a = DenseMatrix::random(dim, dim, seed);
+        let b = DenseMatrix::random(dim, dim, seed + 1);
+        let mode = if sync { ExecMode::Synchronized } else { ExecMode::Unsynchronized };
+        let s = store(grid.min(3));
+        let (c, _) = multiply(&s, &a, &b, &SummaOptions { grid, mode, trace: false }).unwrap();
+        prop_assert!(c.approx_eq(&a.multiply(&b), 1e-9));
+    }
+
+    /// Incremental SSSP tracks any mutation sequence exactly (vs BFS).
+    #[test]
+    fn incremental_sssp_tracks_arbitrary_mutations(
+        n in 5u32..30,
+        initial in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+        batches in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), 0u32..30, 0u32..30), 1..10),
+            1..4
+        ),
+    ) {
+        let mut graph = MutableGraph::new(n);
+        for (u, v) in initial {
+            if u < n && v < n {
+                graph.apply(GraphChange::AddEdge(u, v));
+            }
+        }
+        let s = store(3);
+        let (inst, _) = SelectiveInstance::initialize(&s, "sel", graph.graph(), 0).unwrap();
+        let oracle = bfs_oracle(&graph, 0);
+        for (v, d) in inst.distances().unwrap() {
+            prop_assert_eq!(d, oracle[v as usize], "initial, vertex {}", v);
+        }
+        for batch_spec in batches {
+            let batch: Vec<GraphChange> = batch_spec
+                .into_iter()
+                .filter(|(_, u, v)| *u < n && *v < n)
+                .map(|(add, u, v)| if add {
+                    GraphChange::AddEdge(u, v)
+                } else {
+                    GraphChange::RemoveEdge(u, v)
+                })
+                .collect();
+            for c in &batch {
+                graph.apply(*c);
+            }
+            inst.apply_batch(&batch).unwrap();
+            let oracle = bfs_oracle(&graph, 0);
+            for (v, d) in inst.distances().unwrap() {
+                prop_assert_eq!(d, oracle[v as usize], "vertex {}", v);
+            }
+        }
+    }
+
+    /// A min-propagation job reaches the same fixpoint with and without
+    /// barriers (the no-sync soundness property), for arbitrary graphs.
+    #[test]
+    fn sync_and_nosync_agree_on_arbitrary_graphs(
+        n in 2u32..25,
+        edges in prop::collection::vec((0u32..25, 0u32..25), 0..60),
+    ) {
+        struct Flood {
+            adj: Arc<Vec<Vec<u32>>>,
+        }
+        impl Job for Flood {
+            type Key = u32;
+            type State = u32;
+            type Message = u32;
+            type OutKey = ();
+            type OutValue = ();
+            fn state_tables(&self) -> Vec<String> {
+                vec!["flood".to_owned()]
+            }
+            fn properties(&self) -> JobProperties {
+                JobProperties { incremental: true, deterministic: true, ..Default::default() }
+            }
+            fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+                let me = *ctx.key();
+                let current = ctx.read_state(0)?;
+                let best = ctx.messages().iter().copied().min()
+                    .map_or(me, |m| m.min(current.unwrap_or(me)));
+                if current != Some(best.min(current.unwrap_or(u32::MAX))) || current.is_none() {
+                    let new = best.min(current.unwrap_or(best));
+                    if current != Some(new) {
+                        ctx.write_state(0, &new)?;
+                        for &nb in &self.adj[me as usize] {
+                            ctx.send(nb, new);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        }
+        let mut adj = vec![Vec::new(); n as usize];
+        for (u, v) in edges {
+            if u < n && v < n && u != v {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+        let adj = Arc::new(adj);
+        let run = |mode: Option<ExecMode>| {
+            let s = store(3);
+            let job = Arc::new(Flood { adj: Arc::clone(&adj) });
+            let mut runner = JobRunner::new(s.clone());
+            if let Some(m) = mode {
+                runner.force_mode(m);
+            }
+            runner
+                .run_with_loaders(job, vec![Box::new(FnLoader::new(
+                    move |sink: &mut dyn LoadSink<Flood>| {
+                        for v in 0..n {
+                            sink.message(v, v)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .unwrap();
+            let table = s.lookup_table("flood").unwrap();
+            let exporter = Arc::new(CollectingExporter::<u32, u32>::new());
+            export_state_table(&s, &table, Arc::clone(&exporter)).unwrap();
+            let mut out = exporter.take();
+            out.sort();
+            out
+        };
+        let synced = run(Some(ExecMode::Synchronized));
+        let nosync = run(None);
+        prop_assert_eq!(synced, nosync);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential store test: PageRank over the debugging store and the
+    /// minimal reference store must agree bit-for-bit on arbitrary graphs.
+    #[test]
+    fn stores_agree_on_arbitrary_graphs(graph in arb_digraph(30, 100)) {
+        let config = PageRankConfig { damping: 0.85, iterations: 5 };
+        let mem = store(3);
+        run_direct(&mem, "pr_d", &graph, config).unwrap();
+        let a = read_ranks(&mem, "pr_d").unwrap();
+        let simple = SimpleStore::new(3);
+        run_direct(&simple, "pr_d", &graph, config).unwrap();
+        let b = read_ranks(&simple, "pr_d").unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for ((v1, r1), (v2, r2)) in a.iter().zip(&b) {
+            prop_assert_eq!(v1, v2);
+            prop_assert!((r1 - r2).abs() < 1e-13, "vertex {}: {} vs {}", v1, r1, r2);
+        }
+    }
+}
