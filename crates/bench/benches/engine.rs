@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ripple_core::{
-    ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, QueueKind,
-};
+use ripple_core::{ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, QueueKind};
 use ripple_store_mem::MemStore;
 
 /// A fan-in job: `senders` components each send `per` messages to one sink.
@@ -58,14 +56,12 @@ fn bench_combiner(c: &mut Criterion) {
                     JobRunner::new(store)
                         .run_with_loaders(
                             job,
-                            vec![Box::new(FnLoader::new(
-                                |sink: &mut dyn LoadSink<FanIn>| {
-                                    for k in 0..64u32 {
-                                        sink.enable(k)?;
-                                    }
-                                    Ok(())
-                                },
-                            ))],
+                            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<FanIn>| {
+                                for k in 0..64u32 {
+                                    sink.enable(k)?;
+                                }
+                                Ok(())
+                            }))],
                         )
                         .unwrap()
                 });
@@ -114,10 +110,7 @@ impl Job for Relay {
 fn bench_queue_kinds(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_kind_ablation");
     group.sample_size(10);
-    for (label, kind) in [
-        ("channel", QueueKind::Channel),
-        ("table", QueueKind::Table),
-    ] {
+    for (label, kind) in [("channel", QueueKind::Channel), ("table", QueueKind::Table)] {
         group.bench_function(BenchmarkId::new("relay_ring", label), |b| {
             b.iter(|| {
                 let store = MemStore::builder().default_parts(4).build();
@@ -129,9 +122,9 @@ fn bench_queue_kinds(c: &mut Criterion) {
                     .queue_kind(kind)
                     .run_with_loaders(
                         job,
-                        vec![Box::new(FnLoader::new(
-                            |sink: &mut dyn LoadSink<Relay>| sink.message(0, 0),
-                        ))],
+                        vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Relay>| {
+                            sink.message(0, 0)
+                        }))],
                     )
                     .unwrap()
             });

@@ -49,9 +49,8 @@ fn main() {
         let source = 0;
 
         let sel_store = MemStore::builder().default_parts(parts).build();
-        let (sel, _) =
-            SelectiveInstance::initialize(&sel_store, "sel", graph.graph(), source)
-                .expect("selective init");
+        let (sel, _) = SelectiveInstance::initialize(&sel_store, "sel", graph.graph(), source)
+            .expect("selective init");
         let fs = if skip_fullscan {
             None
         } else {

@@ -49,9 +49,7 @@ fn main() {
         (Stats::of(&times), barriers)
     };
 
-    println!(
-        "SUMMA {dim}x{dim} (grid {grid}x{grid}, block {block}), {trials} trials"
-    );
+    println!("SUMMA {dim}x{dim} (grid {grid}x{grid}, block {block}), {trials} trials");
     let (with_sync, sync_barriers) = run(ExecMode::Synchronized);
     let (without, nosync_barriers) = run(ExecMode::Unsynchronized);
     println!("  with synchronization:    {with_sync} s  ({sync_barriers} barriers)");

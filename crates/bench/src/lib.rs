@@ -29,8 +29,7 @@ impl Stats {
         let stddev = if n < 2 {
             0.0
         } else {
-            let var =
-                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
             var.sqrt()
         };
         Stats { mean, stddev, n }
@@ -95,8 +94,7 @@ impl Args {
                     .raw
                     .get(i + 1)
                     .unwrap_or_else(|| panic!("{flag} needs a value"));
-                v.parse()
-                    .unwrap_or_else(|e| panic!("{flag} {v}: {e}"))
+                v.parse().unwrap_or_else(|e| panic!("{flag} {v}: {e}"))
             }
         }
     }
@@ -137,11 +135,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags() {
-        let args = Args::from_vec(vec![
-            "--scale".into(),
-            "10".into(),
-            "--verbose".into(),
-        ]);
+        let args = Args::from_vec(vec!["--scale".into(), "10".into(), "--verbose".into()]);
         assert_eq!(args.get("scale", 1u32), 10);
         assert_eq!(args.get("trials", 7u32), 7);
         assert!(args.has("verbose"));

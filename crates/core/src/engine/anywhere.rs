@@ -75,11 +75,10 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
                     .as_ref()
                     .and_then(|n| env.store.lookup_table(n).ok()),
             };
-            env.store
-                .run_at(&env.reference, PartId(p), move |view| -> Result<
-                    (HashMap<String, AggValue>, PartCounters),
-                    EbspError,
-                > {
+            env.store.run_at(
+                &env.reference,
+                PartId(p),
+                move |view| -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
                     let part = view.part();
                     let mut out = Outbox::<J>::new();
                     loop {
@@ -122,9 +121,18 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
                         }
                     }
                     let envelopes = std::mem::take(&mut out.envelopes);
-                    write_spills(&transport, parts, step, part.0, envelopes, &mut out.metrics)?;
+                    write_spills(
+                        &transport,
+                        parts,
+                        step,
+                        part.0,
+                        envelopes,
+                        &mut out.metrics,
+                        None,
+                    )?;
                     Ok((out.agg, out.metrics))
-                })
+                },
+            )
         })
         .collect();
 

@@ -13,9 +13,10 @@ use ripple_wire::{from_wire, to_wire, Encode};
 
 use crate::context::{Outbox, StateOps};
 use crate::metrics::PartCounters;
+use crate::retry::{kv_with_retry, FaultRetry};
 use crate::{
-    key_to_routed, AggValue, AggregatorRegistry, EbspError, Envelope, ExecutionPlan, Exporter,
-    Job, LoadSink,
+    key_to_routed, AggValue, AggregatorRegistry, EbspError, Envelope, ExecutionPlan, Exporter, Job,
+    LoadSink,
 };
 
 /// Everything about one job run that both engines (and every part task)
@@ -38,28 +39,44 @@ impl<S: KvStore, J: Job> JobEnv<S, J> {
     }
 }
 
-/// Collocated state access for pinned execution.
+/// Collocated state access for pinned execution.  Transient store faults
+/// are absorbed by the run's [`FaultRetry`] before they surface.
 pub(crate) struct LocalStateOps<'a> {
     pub(crate) view: &'a dyn PartView,
     pub(crate) tables: &'a [String],
     pub(crate) broadcast: Option<&'a str>,
+    pub(crate) retry: Option<&'a FaultRetry>,
+}
+
+impl LocalStateOps<'_> {
+    fn part(&self) -> u32 {
+        self.view.part().0
+    }
 }
 
 impl StateOps for LocalStateOps<'_> {
     fn get(&self, tab: usize, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
-        self.view.get(&self.tables[tab], key)
+        kv_with_retry(self.retry, self.part(), || {
+            self.view.get(&self.tables[tab], key)
+        })
     }
     fn put(&self, tab: usize, key: RoutedKey, value: Bytes) -> Result<(), KvError> {
-        self.view.put(&self.tables[tab], key, value)?;
+        kv_with_retry(self.retry, self.part(), || {
+            self.view.put(&self.tables[tab], key.clone(), value.clone())
+        })?;
         Ok(())
     }
     fn delete(&self, tab: usize, key: &RoutedKey) -> Result<bool, KvError> {
-        self.view.delete(&self.tables[tab], key)
+        kv_with_retry(self.retry, self.part(), || {
+            self.view.delete(&self.tables[tab], key)
+        })
     }
     fn broadcast_get(&self, key: &RoutedKey) -> Result<Option<Option<Bytes>>, KvError> {
         match self.broadcast {
             None => Ok(None),
-            Some(name) => Ok(Some(self.view.get(name, key)?)),
+            Some(name) => Ok(Some(kv_with_retry(self.retry, self.part(), || {
+                self.view.get(name, key)
+            })?)),
         }
     }
     fn table_count(&self) -> usize {
@@ -114,6 +131,7 @@ pub(crate) fn write_spills<T: Table, J: Job>(
     src: u32,
     envelopes: Vec<Envelope<J>>,
     counters: &mut PartCounters,
+    retry: Option<&FaultRetry>,
 ) -> Result<(), EbspError> {
     if envelopes.is_empty() {
         return Ok(());
@@ -129,7 +147,10 @@ pub(crate) fn write_spills<T: Table, J: Job>(
         }
         let body = to_wire(&(step, src, counters.spill_batches));
         let key = RoutedKey::with_route(dst as u64, body.to_vec().into());
-        transport.put(key, to_wire(&batch))?;
+        let value = to_wire(&batch);
+        kv_with_retry(retry, src, || {
+            transport.put(key.clone(), value.clone()).map(|_| ())
+        })?;
         counters.spill_batches += 1;
     }
     Ok(())
@@ -138,7 +159,11 @@ pub(crate) fn write_spills<T: Table, J: Job>(
 /// Drains this part's slice of the transport table and builds the inbox
 /// for the next step: per-component message lists (combined pairwise where
 /// the job's combiner applies), continue-enabled components, and applied
-/// state creations.  Returns the number of enabled components.
+/// state creations.  Returns the number of enabled components, the
+/// counters, and — when `record` is set — the materialized inbox entries,
+/// which the synchronized engine keeps controller-side as the replay log
+/// for fast single-part recovery.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 pub(crate) fn build_inbox_at_part<J: Job>(
     job: &J,
     plan: &ExecutionPlan,
@@ -146,7 +171,9 @@ pub(crate) fn build_inbox_at_part<J: Job>(
     transport_name: &str,
     inbox_name: &str,
     table_names: &[String],
-) -> Result<(u64, PartCounters), EbspError> {
+    retry: Option<&FaultRetry>,
+    record: bool,
+) -> Result<(u64, PartCounters, Vec<(RoutedKey, Bytes)>), EbspError> {
     let mut counters = PartCounters::default();
     // Drain spills; order deterministically by (step, src, seq) so that
     // replay after recovery sees identical message orders.
@@ -205,21 +232,24 @@ pub(crate) fn build_inbox_at_part<J: Job>(
     // Apply state creations, merging conflicts.
     for (tab, key, state) in creates {
         let idx = tab as usize;
-        let name = table_names
-            .get(idx)
-            .ok_or(EbspError::StateTableIndex {
-                index: idx,
-                tables: table_names.len(),
-            })?;
+        let name = table_names.get(idx).ok_or(EbspError::StateTableIndex {
+            index: idx,
+            tables: table_names.len(),
+        })?;
         let routed = key_to_routed(&key);
-        let merged = match view.get(name, &routed)? {
+        let part = view.part().0;
+        let existing = kv_with_retry(retry, part, || view.get(name, &routed))?;
+        let merged = match existing {
             Some(existing) => {
                 let old: J::State = from_wire(&existing)?;
                 job.combine_states(&key, old, state)
             }
             None => state,
         };
-        view.put(name, routed, to_wire(&merged))?;
+        let value = to_wire(&merged);
+        kv_with_retry(retry, part, || {
+            view.put(name, routed.clone(), value.clone()).map(|_| ())
+        })?;
     }
 
     // Enforce one-msg when the plan dropped collection.
@@ -228,10 +258,7 @@ pub(crate) fn build_inbox_at_part<J: Job>(
             if list.len() > 1 {
                 return Err(EbspError::PropertyViolation {
                     property: "one-msg",
-                    detail: format!(
-                        "{} messages arrived for one key in one step",
-                        list.len()
-                    ),
+                    detail: format!("{} messages arrived for one key in one step", list.len()),
                 });
             }
         }
@@ -239,15 +266,31 @@ pub(crate) fn build_inbox_at_part<J: Job>(
 
     // Materialize the inbox table: one entry per enabled component.
     let enabled = inbox.len() as u64;
+    let part = view.part().0;
+    let mut recorded = Vec::new();
     for (key, msgs) in inbox {
-        view.put(inbox_name, key_to_routed(&key), to_wire(&msgs))?;
+        let routed = key_to_routed(&key);
+        let value = to_wire(&msgs);
+        kv_with_retry(retry, part, || {
+            view.put(inbox_name, routed.clone(), value.clone())
+                .map(|_| ())
+        })?;
+        if record {
+            recorded.push((routed, value));
+        }
     }
-    Ok((enabled, counters))
+    Ok((enabled, counters, recorded))
 }
 
 /// Runs the compute invocations of one part for one step: drains the
 /// inbox, invokes enabled components (sorted by key iff the plan says so),
 /// appends continue signals, and spills outgoing envelopes.
+///
+/// When `replay_entries` is supplied (fast recovery), the inbox table is
+/// ignored and the given entries are computed instead; `suppress` replays
+/// a *past* step purely for its state effects — sends, aggregator partials
+/// and direct outputs already happened in the original execution and are
+/// dropped so they cannot duplicate.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn compute_at_part<T: Table, J: Job>(
     job: &J,
@@ -263,13 +306,21 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
     direct: Option<&dyn Exporter<J::OutKey, J::OutValue>>,
     parts: u32,
     agg_table: Option<&T>,
+    retry: Option<&FaultRetry>,
+    replay_entries: Option<Vec<(RoutedKey, Bytes)>>,
+    suppress: bool,
 ) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
     // Collect this step's enabled components at this part.
     let mut entries: Vec<(RoutedKey, Bytes)> = Vec::new();
-    view.drain(inbox_name, &mut |key, value| {
-        entries.push((key, value));
-        ripple_kv::ScanControl::Continue
-    })?;
+    match replay_entries {
+        Some(replayed) => entries = replayed,
+        None => {
+            view.drain(inbox_name, &mut |key, value| {
+                entries.push((key, value));
+                ripple_kv::ScanControl::Continue
+            })?;
+        }
+    }
 
     let mut decoded: Vec<(J::Key, RoutedKey, Vec<J::Message>)> = Vec::with_capacity(entries.len());
     for (routed, bytes) in entries {
@@ -285,6 +336,7 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
         view,
         tables: table_names,
         broadcast: broadcast_name,
+        retry,
     };
     let no_continue = job.properties().no_continue;
     let part = view.part();
@@ -302,7 +354,7 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
             out: &mut out,
             registry,
             prev_agg,
-            direct,
+            direct: if suppress { None } else { direct },
         };
         let cont = job.compute(&mut ctx)?;
         if cont {
@@ -317,7 +369,22 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
     }
 
     let envelopes = std::mem::take(&mut out.envelopes);
-    write_spills(transport, parts, step, part.0, envelopes, &mut out.metrics)?;
+    if suppress {
+        // Replaying a completed step: its messages were already delivered
+        // and its aggregator contribution already merged.
+        drop(envelopes);
+        out.agg.clear();
+        return Ok((out.agg, out.metrics));
+    }
+    write_spills(
+        transport,
+        parts,
+        step,
+        part.0,
+        envelopes,
+        &mut out.metrics,
+        retry,
+    )?;
 
     // Large-aggregator path (§IV-A): rather than returning partials to the
     // table client, write them into an auxiliary table keyed (and routed)

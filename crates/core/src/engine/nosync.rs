@@ -11,14 +11,32 @@
 //! per-(sender, receiver) order — the guarantee the `incremental` property
 //! relies on.  The continue signal is meaningless without steps and is
 //! ignored; a component is re-invoked whenever messages arrive for it.
+//!
+//! # Worker self-recovery
+//!
+//! There is no barrier to rendezvous recovery at, so each worker
+//! supervises itself.  The weighted envelopes of the round in flight stay
+//! in a *ledger* outside the panic boundary; when the worker's own part
+//! fails (or its compute panics) and a heal hook is available, the worker
+//! heals the part (promoting surviving replicas), re-mints fresh detector
+//! weight for each ledgered envelope, re-enqueues them, gives the old held
+//! weight back — mint-before-give-back, so the detector never observes a
+//! spurious quiescence — and re-enters its loop on the same thread and
+//! view.  Redelivery is at-least-once: a crash mid-round may have already
+//! applied some state writes and forwarded some sends, so jobs recovered
+//! this way must be idempotent (the `incremental` jobs this engine serves,
+//! such as monotone shortest-paths relaxation, are).  When the store
+//! cannot heal the part or the respawn budget is exhausted, the run fails
+//! with the typed [`EbspError::Unrecoverable`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::Mutex;
-use ripple_kv::PartId;
+use ripple_kv::{KvError, PartId};
 use ripple_kv::{KvStore, PartView};
 use ripple_mq::{ChannelQueueSet, QueueReceiver, QueueSet, TableQueueSet};
 use ripple_wire::{from_wire, to_wire, ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -26,16 +44,32 @@ use ripple_wire::{from_wire, to_wire, ByteReader, ByteWriter, Decode, Encode, Wi
 use crate::context::Outbox;
 use crate::engine::{dst_part, EngineLoadSink, JobEnv, LoadBuffer, LocalStateOps};
 use crate::metrics::PartCounters;
+use crate::retry::{kv_with_retry, FaultRetry};
 use crate::{
-    AggregateSnapshot, EbspError, Envelope, ExecMode, Job, Loader, QueueKind, RunMetrics,
-    RunOutcome, WeightThrow,
+    AggregateSnapshot, EbspError, Envelope, ExecMode, Job, Loader, QueueKind, RetryPolicy,
+    RunMetrics, RunOutcome, WeightThrow,
 };
+
+/// Heals one failed part (e.g. by promoting surviving replicas); returns
+/// how many tables were restored.  Type-erased so the engine does not
+/// carry a `HealableStore` bound.
+pub(crate) type HealFn = dyn Fn(PartId) -> Result<usize, KvError> + Send + Sync;
+
+/// How many times one worker may heal its part and respawn before the
+/// failure is declared unrecoverable.
+const MAX_RESPAWNS: u32 = 3;
 
 /// Options for an unsynchronized run.
 pub(crate) struct NosyncOptions {
     pub(crate) quiescence_timeout: Duration,
     pub(crate) idle_timeout: Duration,
     pub(crate) batch_limit: usize,
+    /// How transient store faults are retried before surfacing.
+    pub(crate) retry: RetryPolicy,
+    /// Retry/fault callbacks.
+    pub(crate) observer: Option<Arc<dyn crate::RunObserver>>,
+    /// Store-side part healing for worker self-recovery.
+    pub(crate) heal: Option<Arc<HealFn>>,
 }
 
 impl Default for NosyncOptions {
@@ -44,6 +78,9 @@ impl Default for NosyncOptions {
             quiescence_timeout: Duration::from_secs(300),
             idle_timeout: Duration::from_millis(2),
             batch_limit: 256,
+            retry: RetryPolicy::default(),
+            observer: None,
+            heal: None,
         }
     }
 }
@@ -135,6 +172,7 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
     let detector = Arc::new(WeightThrow::new());
     let failure: Arc<Mutex<Option<EbspError>>> = Arc::new(Mutex::new(None));
     let stopping = Arc::new(AtomicBool::new(false));
+    let retry = Arc::new(FaultRetry::new(opts.retry, opts.observer.clone()));
 
     // ----- Initial condition ------------------------------------------------
     let mut buffer = LoadBuffer::new();
@@ -173,23 +211,21 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         let deadline = Instant::now() + opts.quiescence_timeout;
         std::thread::Builder::new()
             .name("ripple-nosync-watch".to_owned())
-            .spawn(move || {
-                loop {
-                    let failed = failure.lock().is_some();
-                    let quiescent = detector.quiescent();
-                    let late = Instant::now() >= deadline;
-                    if failed || quiescent || late {
-                        if late && !quiescent && !failed {
-                            timed_out.store(true, Ordering::Release);
-                        }
-                        stopping.store(true, Ordering::Release);
-                        for p in 0..qs.parts() {
-                            let _ = qs.put(PartId(p), to_wire(&NosyncMsg::<J>::Stop));
-                        }
-                        return;
+            .spawn(move || loop {
+                let failed = failure.lock().is_some();
+                let quiescent = detector.quiescent();
+                let late = Instant::now() >= deadline;
+                if failed || quiescent || late {
+                    if late && !quiescent && !failed {
+                        timed_out.store(true, Ordering::Release);
                     }
-                    std::thread::sleep(Duration::from_micros(300));
+                    stopping.store(true, Ordering::Release);
+                    for p in 0..qs.parts() {
+                        let _ = qs.put(PartId(p), to_wire(&NosyncMsg::<J>::Stop));
+                    }
+                    return;
                 }
+                std::thread::sleep(Duration::from_micros(300));
             })
             .expect("spawn nosync watcher")
     };
@@ -207,6 +243,9 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         batch_limit: opts.batch_limit,
         prev_agg: AggregateSnapshot::default(),
         registry: env.registry.clone(),
+        retry: Arc::clone(&retry),
+        heal: opts.heal.clone(),
+        recoveries: std::sync::atomic::AtomicU32::new(0),
     });
     let counters = {
         let worker_env = Arc::clone(&worker_env);
@@ -219,7 +258,9 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         return Err(e);
     }
     if timed_out.load(Ordering::Acquire) {
-        return Err(EbspError::QuiescenceTimeout);
+        return Err(EbspError::QuiescenceTimeout {
+            waited: started.elapsed(),
+        });
     }
 
     let mut metrics = RunMetrics::default();
@@ -229,6 +270,8 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
     metrics.steps = 0;
     metrics.barriers = 0;
     metrics.messages_sent += seeded;
+    metrics.retries = retry.count();
+    metrics.recoveries = worker_env.recoveries.load(Ordering::Relaxed);
     metrics.store = env.store.metrics() - store_before;
     metrics.elapsed = started.elapsed();
     Ok(RunOutcome {
@@ -252,37 +295,113 @@ struct WorkerEnv<J: Job> {
     batch_limit: usize,
     prev_agg: AggregateSnapshot,
     registry: crate::AggregatorRegistry,
+    retry: Arc<FaultRetry>,
+    heal: Option<Arc<HealFn>>,
+    recoveries: std::sync::atomic::AtomicU32,
 }
 
-/// One part's worker: drain, group per component (order-preserving),
-/// invoke, forward — returning consumed weight only after each round's
-/// sends are minted (the detector's protocol obligation).
+/// Whether a worker failure is worth healing the part and respawning for:
+/// the worker's *own* part failed underneath it, or its compute panicked.
+fn recoverable_failure(err: &EbspError, own_part: u32) -> bool {
+    matches!(
+        err,
+        EbspError::Kv(KvError::PartFailed { part }) if *part == own_part
+    ) || matches!(err, EbspError::Kv(KvError::TaskPanicked { .. }))
+}
+
+/// One part's worker: runs [`worker_inner`] under a panic boundary and
+/// supervises it — healing the part and redelivering the in-flight ledger
+/// on recoverable failures, recording the failure otherwise.
 fn worker_loop<J: Job, Q: QueueSet>(
     wenv: &WorkerEnv<J>,
     qs: &Q,
     view: &dyn PartView,
     rx: &mut dyn QueueReceiver,
 ) -> Option<PartCounters> {
-    // Contain application panics so the watcher learns of the failure
-    // immediately instead of waiting out the quiescence timeout.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        worker_inner(wenv, qs, view, rx)
-    }))
-    .unwrap_or_else(|_| {
-        Err(EbspError::Kv(ripple_kv::KvError::TaskPanicked {
-            part: view.part().0,
+    let own_part = view.part().0;
+    let mut counters = PartCounters::default();
+    // The round in flight, outside the panic boundary so it survives a
+    // crash and can be redelivered.
+    let ledger: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
+    let mut respawns = 0u32;
+    loop {
+        // Contain application panics so the watcher learns of the failure
+        // immediately instead of waiting out the quiescence timeout.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_inner(wenv, qs, view, rx, &ledger, &mut counters)
         }))
-    });
-    match result {
-        Ok(counters) => Some(counters),
-        Err(e) => {
+        .unwrap_or_else(|panic| {
+            Err(EbspError::Kv(KvError::TaskPanicked {
+                part: own_part,
+                message: ripple_kv::panic_message(panic.as_ref()),
+            }))
+        });
+        let error = match result {
+            Ok(()) => return Some(counters),
+            Err(e) => e,
+        };
+
+        // Self-recovery: heal the part, redeliver the ledger with fresh
+        // weight, and re-enter the loop on this same thread and view.
+        // Without a heal hook the failure surfaces as-is; with one, an
+        // exhausted budget or failed heal is the typed unrecoverable end.
+        let recoverable = recoverable_failure(&error, own_part);
+        let heal = wenv
+            .heal
+            .as_ref()
+            .filter(|_| recoverable && respawns < MAX_RESPAWNS);
+        let healed = match heal {
+            None => None,
+            Some(heal) => heal(PartId(own_part)).ok(),
+        };
+        if healed.is_none() {
+            let fatal = if recoverable && wenv.heal.is_some() {
+                EbspError::Unrecoverable { part: own_part }
+            } else {
+                error
+            };
             let mut slot = wenv.failure.lock();
             if slot.is_none() {
-                *slot = Some(e);
+                *slot = Some(fatal);
             }
-            None
+            return None;
+        }
+        respawns += 1;
+        wenv.recoveries.fetch_add(1, Ordering::Relaxed);
+        if redeliver_ledger::<J, Q>(wenv, qs, &ledger).is_err() {
+            let mut slot = wenv.failure.lock();
+            if slot.is_none() {
+                *slot = Some(EbspError::Unrecoverable { part: own_part });
+            }
+            return None;
         }
     }
+}
+
+/// Re-enqueues every envelope of the crashed round: fresh weight is minted
+/// *before* the old held weight goes home, so the detector's outstanding
+/// total never dips to zero mid-recovery (a spurious quiescence would stop
+/// the run with work still pending).
+fn redeliver_ledger<J: Job, Q: QueueSet>(
+    wenv: &WorkerEnv<J>,
+    qs: &Q,
+    ledger: &Mutex<Vec<Bytes>>,
+) -> Result<(), EbspError> {
+    let held = std::mem::take(&mut *ledger.lock());
+    let mut old_weight = 0u64;
+    for bytes in held {
+        match from_wire::<NosyncMsg<J>>(&bytes)? {
+            NosyncMsg::Stop => {}
+            NosyncMsg::Env { weight, env } => {
+                old_weight += weight;
+                let dst = dst_part(env.key(), wenv.parts);
+                let fresh = wenv.detector.mint(1);
+                qs.put(PartId(dst), to_wire(&NosyncMsg::Env { weight: fresh, env }))?;
+            }
+        }
+    }
+    wenv.detector.give_back(old_weight);
+    Ok(())
 }
 
 fn worker_inner<J: Job, Q: QueueSet>(
@@ -290,13 +409,15 @@ fn worker_inner<J: Job, Q: QueueSet>(
     qs: &Q,
     view: &dyn PartView,
     rx: &mut dyn QueueReceiver,
-) -> Result<PartCounters, EbspError> {
-    let mut counters = PartCounters::default();
+    ledger: &Mutex<Vec<Bytes>>,
+    counters: &mut PartCounters,
+) -> Result<(), EbspError> {
     let mut invocation_seq: HashMap<J::Key, u32> = HashMap::new();
     let ops = LocalStateOps {
         view,
         tables: &wenv.table_names,
         broadcast: wenv.broadcast.as_deref(),
+        retry: Some(&wenv.retry),
     };
     let part = view.part();
 
@@ -308,7 +429,10 @@ fn worker_inner<J: Job, Q: QueueSet>(
         let mut batch: Vec<(u64, Envelope<J>)> = Vec::new();
         match from_wire::<NosyncMsg<J>>(&first)? {
             NosyncMsg::Stop => break 'main,
-            NosyncMsg::Env { weight, env } => batch.push((weight, env)),
+            NosyncMsg::Env { weight, env } => {
+                ledger.lock().push(first);
+                batch.push((weight, env));
+            }
         }
         while batch.len() < wenv.batch_limit {
             match rx.recv_timeout(Duration::ZERO)? {
@@ -318,7 +442,10 @@ fn worker_inner<J: Job, Q: QueueSet>(
                         stop_after_batch = true;
                         break;
                     }
-                    NosyncMsg::Env { weight, env } => batch.push((weight, env)),
+                    NosyncMsg::Env { weight, env } => {
+                        ledger.lock().push(bytes);
+                        batch.push((weight, env));
+                    }
                 },
             }
         }
@@ -387,13 +514,14 @@ fn worker_inner<J: Job, Q: QueueSet>(
         }
         counters.merge(&out.metrics);
         // All sends of this round are visible; now the consumed weight may
-        // go home.
+        // go home, and the round is off the books.
         wenv.detector.give_back(hold);
+        ledger.lock().clear();
         if stop_after_batch {
             break 'main;
         }
     }
-    Ok(counters)
+    Ok(())
 }
 
 fn apply_create<J: Job>(
@@ -412,13 +540,18 @@ fn apply_create<J: Job>(
             tables: wenv.table_names.len(),
         })?;
     let routed = crate::key_to_routed(&key);
-    let merged = match view.get(name, &routed)? {
+    let part = view.part().0;
+    let existing = kv_with_retry(Some(&wenv.retry), part, || view.get(name, &routed))?;
+    let merged = match existing {
         Some(existing) => {
             let old: J::State = from_wire(&existing)?;
             wenv.job.combine_states(&key, old, state)
         }
         None => state,
     };
-    view.put(name, routed, to_wire(&merged))?;
+    let value = to_wire(&merged);
+    kv_with_retry(Some(&wenv.retry), part, || {
+        view.put(name, routed.clone(), value.clone()).map(|_| ())
+    })?;
     Ok(())
 }

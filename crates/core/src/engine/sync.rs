@@ -14,20 +14,39 @@
 //! hooks, every part is checkpointed at configured barriers and a part
 //! failure rolls the whole group back to the last checkpoint and replays —
 //! the shard-transaction discipline of §IV-A at simulation fidelity.
+//!
+//! # Fast single-part recovery
+//!
+//! Whole-group rollback re-executes every part for every rewound step.
+//! When the job is deterministic (`plan.fast_recovery`) and fast recovery
+//! is enabled, the engine instead keeps a controller-side *replay log* —
+//! the materialized inbox of every step since the last checkpoint, plus
+//! the aggregate snapshot each step observed — and runs its temporary
+//! tables replicated.  A single crashed part is then healed alone: its
+//! surviving replicas are promoted (bringing the transport and inbox back
+//! to their crash-instant contents), only its state tables rewind to the
+//! checkpoint, and the part replays the logged steps by itself — past
+//! steps for their state effects only, the failed step in full — while
+//! every surviving part keeps its state, spills, and aggregator partials.
+//! Determinism makes the replay produce byte-identical state and
+//! messages, so the group never notices.
 
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ripple_kv::{KvError, KvStore, PartId, Table};
+use bytes::Bytes;
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, Table};
 
 use crate::engine::{
     build_inbox_at_part, compute_at_part, write_spills, EngineLoadSink, JobEnv, LoadBuffer,
     TableGuard,
 };
 use crate::metrics::PartCounters;
+use crate::retry::FaultRetry;
 use crate::{
-    AggValue, AggregateSnapshot, EbspError, ExecMode, Job, Loader, RunMetrics, RunOutcome,
+    AggValue, AggregateSnapshot, EbspError, ExecMode, Job, Loader, RetryPolicy, RunMetrics,
+    RunObserver, RunOutcome,
 };
 
 /// Options for a synchronized run.
@@ -40,6 +59,11 @@ pub(crate) struct SyncOptions {
     pub(crate) agg_table_threshold: usize,
     /// Optional per-step/checkpoint/recovery callbacks.
     pub(crate) observer: Option<std::sync::Arc<dyn crate::RunObserver>>,
+    /// How transient store faults are retried before surfacing.
+    pub(crate) retry: RetryPolicy,
+    /// Replay a single failed part alone instead of rolling the whole
+    /// group back, where the plan's determinism allows it.
+    pub(crate) fast_recovery: bool,
 }
 
 /// A captured, type-erased shard checkpoint.
@@ -48,12 +72,21 @@ pub(crate) type AnyCheckpoint = Box<dyn Any + Send>;
 pub(crate) type CheckpointFn = dyn Fn(PartId) -> Result<AnyCheckpoint, KvError> + Send + Sync;
 /// Restores one captured part.
 pub(crate) type RestoreFn = dyn Fn(&(dyn Any + Send)) -> Result<(), KvError> + Send + Sync;
+/// Restores only the named tables of one captured part (fast recovery
+/// rewinds state tables while the promoted replicas keep everything else).
+pub(crate) type RestoreTablesFn =
+    dyn Fn(&(dyn Any + Send), &[String]) -> Result<(), KvError> + Send + Sync;
+/// Heals a failed part by promoting surviving replicas; returns how many
+/// tables were restored from replicas.
+pub(crate) type PromoteFn = dyn Fn(PartId) -> Result<usize, KvError> + Send + Sync;
 
 /// Store-specific checkpoint/restore callbacks, type-erased so the engine
 /// does not carry a `RecoverableStore` bound.
 pub(crate) struct RecoveryHooks {
     pub(crate) checkpoint: Box<CheckpointFn>,
     pub(crate) restore: Box<RestoreFn>,
+    pub(crate) restore_tables: Box<RestoreTablesFn>,
+    pub(crate) promote: Box<PromoteFn>,
 }
 
 /// A consistent cut the run can rewind to.
@@ -64,6 +97,10 @@ struct CheckRecord {
     parts: Vec<AnyCheckpoint>,
 }
 
+/// The controller-side inputs needed to replay one part through one step:
+/// its recorded inbox entries per part, per step fed.
+type ReplayLog = HashMap<u32, Vec<Vec<(RoutedKey, Bytes)>>>;
+
 pub(crate) fn run_sync<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     loaders: Vec<Box<dyn Loader<J>>>,
@@ -73,19 +110,36 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
     let started = std::time::Instant::now();
     let store_before = env.store.metrics();
     let parts = env.parts();
+    let fault_retry = Arc::new(FaultRetry::new(opts.retry, opts.observer.clone()));
+    // Fast recovery needs determinism (the plan), a checkpoint to rewind
+    // state tables to, and pinned execution.
+    let fast = opts.fast_recovery
+        && env.plan.fast_recovery
+        && recovery.is_some()
+        && opts.checkpoint_interval.is_some()
+        && !env.plan.run_anywhere;
     let nonce = run_nonce();
+    let make_table = |name: &str| {
+        if fast {
+            // Replicated, so a crashed part's transport/inbox slices can
+            // be promoted back to their crash-instant contents.
+            env.store.create_table_like_replicated(name, &env.reference)
+        } else {
+            env.store.create_table_like(name, &env.reference)
+        }
+    };
     let transport_name = format!("__ebsp_xport_{nonce}");
     let inbox_name = format!("__ebsp_inbox_{nonce}");
-    let transport = env.store.create_table_like(&transport_name, &env.reference)?;
-    let _inbox = env.store.create_table_like(&inbox_name, &env.reference)?;
+    let transport = make_table(&transport_name)?;
+    let _inbox = make_table(&inbox_name)?;
     let large_aggs = env.registry.names().count() >= opts.agg_table_threshold.max(1)
         && !env.registry.is_empty()
         && !env.plan.run_anywhere;
     let agg_tables = if large_aggs {
         let a1 = format!("__ebsp_agg1_{nonce}");
         let a2 = format!("__ebsp_agg2_{nonce}");
-        let t1 = env.store.create_table_like(&a1, &env.reference)?;
-        let t2 = env.store.create_table_like(&a2, &env.reference)?;
+        let t1 = make_table(&a1)?;
+        let t2 = make_table(&a2)?;
         Some(((a1, t1), (a2, t2)))
     } else {
         None
@@ -122,6 +176,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         u32::MAX, // the controller as a pseudo-source
         buffer.envelopes,
         &mut initial_counters,
+        Some(&fault_retry),
     )?;
     metrics.absorb(&initial_counters);
 
@@ -134,7 +189,20 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
 
     // ----- Inbox for step 1 -------------------------------------------------
     // Nothing to recover to yet if this fails.
-    let mut enabled = run_inbox_phase(env, &transport_name, &inbox_name, &mut metrics)?;
+    let (mut enabled, recorded) = run_inbox_phase(
+        env,
+        &transport_name,
+        &inbox_name,
+        &mut metrics,
+        &fault_retry,
+        fast,
+    )?;
+    let mut replay_log: ReplayLog = HashMap::new();
+    let mut agg_history: HashMap<u32, AggregateSnapshot> = HashMap::new();
+    if fast {
+        replay_log.insert(1, recorded);
+        agg_history.insert(1, agg_snapshot.clone());
+    }
 
     let mut step: u32 = 0;
     let mut aborted = false;
@@ -170,14 +238,68 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 &inbox_name,
             )
         } else {
-            run_compute_phase(
+            let per_part = run_compute_phase(
                 env,
                 next_step,
                 &agg_snapshot,
                 &transport,
                 &inbox_name,
                 agg_tables.as_ref().map(|((_, t), _)| t),
-            )
+                &fault_retry,
+            );
+            let mut aggs = env.registry.identities();
+            let mut counters = PartCounters::default();
+            let mut failures: Vec<(u32, EbspError)> = Vec::new();
+            for (p, result) in per_part.into_iter().enumerate() {
+                match result {
+                    Ok((partial, c)) => {
+                        env.registry.merge(&mut aggs, partial);
+                        counters.merge(&c);
+                    }
+                    Err(e) => failures.push((p as u32, e)),
+                }
+            }
+            if failures.is_empty() {
+                Ok((aggs, counters))
+            } else {
+                // Fast path: exactly one part failed, it failed *as
+                // itself* (no survivor tripped over it), and the replay
+                // inputs are on hand.
+                let sole_crash = failures.len() == 1
+                    && matches!(
+                        &failures[0].1,
+                        EbspError::Kv(KvError::PartFailed { part }) if *part == failures[0].0
+                    );
+                let mut recovered = false;
+                if fast && sole_crash {
+                    if let (Some(hooks), Some(record)) = (&recovery, &checkpoint) {
+                        if let Some((replayed_aggs, replayed_counters)) = fast_recover(
+                            env,
+                            hooks,
+                            record,
+                            failures[0].0,
+                            next_step,
+                            &replay_log,
+                            &agg_history,
+                            &transport,
+                            &inbox_name,
+                            agg_tables.as_ref().map(|((_, t), _)| t),
+                            &fault_retry,
+                            &mut metrics,
+                            &opts.observer,
+                        ) {
+                            env.registry.merge(&mut aggs, replayed_aggs);
+                            counters.merge(&replayed_counters);
+                            recovered = true;
+                        }
+                    }
+                }
+                if recovered {
+                    Ok((aggs, counters))
+                } else {
+                    Err(failures.swap_remove(0).1)
+                }
+            }
         };
         let step_aggs = match compute_result {
             Ok((aggs, counters)) => {
@@ -195,6 +317,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                                     &recovery,
                                     &checkpoint,
                                     e,
+                                    next_step,
                                     &mut step,
                                     &mut enabled,
                                     &mut agg_snapshot,
@@ -215,6 +338,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     &recovery,
                     &checkpoint,
                     e,
+                    next_step,
                     &mut step,
                     &mut enabled,
                     &mut agg_snapshot,
@@ -233,11 +357,22 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         let next_snapshot = AggregateSnapshot::new(merged);
 
         // Inbox build phase.
-        match run_inbox_phase(env, &transport_name, &inbox_name, &mut metrics) {
-            Ok(n) => {
+        match run_inbox_phase(
+            env,
+            &transport_name,
+            &inbox_name,
+            &mut metrics,
+            &fault_retry,
+            fast,
+        ) {
+            Ok((n, recorded)) => {
                 enabled = n;
                 agg_snapshot = next_snapshot;
                 step = next_step;
+                if fast {
+                    replay_log.insert(step + 1, recorded);
+                    agg_history.insert(step + 1, agg_snapshot.clone());
+                }
                 if let Some(observer) = &opts.observer {
                     observer.on_step(step, enabled, &agg_snapshot);
                 }
@@ -248,6 +383,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     &recovery,
                     &checkpoint,
                     e,
+                    next_step,
                     &mut step,
                     &mut enabled,
                     &mut agg_snapshot,
@@ -263,6 +399,12 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         if let (Some(hooks), Some(interval)) = (&recovery, opts.checkpoint_interval) {
             if step.is_multiple_of(interval.max(1)) {
                 checkpoint = Some(take_checkpoint(hooks, parts, step, enabled, &agg_snapshot)?);
+                if fast {
+                    // Steps at or before the checkpoint can never be
+                    // replayed again.
+                    replay_log.retain(|s, _| *s > step);
+                    agg_history.retain(|s, _| *s > step);
+                }
                 if let Some(observer) = &opts.observer {
                     observer.on_checkpoint(step);
                 }
@@ -272,6 +414,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
 
     metrics.steps = step;
     metrics.barriers = step;
+    metrics.retries = fault_retry.count();
     metrics.store = env.store.metrics() - store_before;
     metrics.elapsed = started.elapsed();
     Ok(RunOutcome {
@@ -283,7 +426,10 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
     })
 }
 
-/// Dispatches the compute task to every part and joins (the barrier).
+/// Dispatches the compute task to every part and joins (the barrier);
+/// returns each part's result so the caller can recover a single failed
+/// part without discarding the survivors' work.
+#[allow(clippy::type_complexity)]
 fn run_compute_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     step: u32,
@@ -291,7 +437,8 @@ fn run_compute_phase<S: KvStore, J: Job>(
     transport: &S::Table,
     inbox_name: &str,
     agg_table: Option<&S::Table>,
-) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
+    retry: &Arc<FaultRetry>,
+) -> Vec<Result<(HashMap<String, AggValue>, PartCounters), EbspError>> {
     let parts = env.parts();
     let agg_table = agg_table.cloned();
     let handles: Vec<_> = (0..parts)
@@ -306,6 +453,7 @@ fn run_compute_phase<S: KvStore, J: Job>(
             let inbox = inbox_name.to_owned();
             let direct = env.direct.clone();
             let agg_table = agg_table.clone();
+            let retry = Arc::clone(retry);
             env.store.run_at(&env.reference, PartId(p), move |view| {
                 compute_at_part::<S::Table, J>(
                     &job,
@@ -321,38 +469,35 @@ fn run_compute_phase<S: KvStore, J: Job>(
                     direct.as_deref(),
                     parts,
                     agg_table.as_ref(),
+                    Some(&retry),
+                    None,
+                    false,
                 )
             })
         })
         .collect();
 
-    let mut aggs = env.registry.identities();
-    let mut counters = PartCounters::default();
-    let mut first_err: Option<EbspError> = None;
-    for handle in handles {
-        match handle.join() {
-            Ok(Ok((partial, c))) => {
-                env.registry.merge(&mut aggs, partial);
-                counters.merge(&c);
-            }
-            Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
-            Err(e) => first_err = Some(first_err.unwrap_or(EbspError::Kv(e))),
-        }
-    }
-    match first_err {
-        None => Ok((aggs, counters)),
-        Some(e) => Err(e),
-    }
+    handles
+        .into_iter()
+        .map(|handle| match handle.join() {
+            Ok(result) => result,
+            Err(e) => Err(EbspError::Kv(e)),
+        })
+        .collect()
 }
 
 /// Dispatches the inbox-build task to every part and joins; returns the
-/// total enabled component count for the next step.
+/// total enabled component count for the next step and — when `record` is
+/// set — every part's materialized inbox entries, indexed by part.
+#[allow(clippy::type_complexity)]
 fn run_inbox_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     transport_name: &str,
     inbox_name: &str,
     metrics: &mut RunMetrics,
-) -> Result<u64, EbspError> {
+    retry: &Arc<FaultRetry>,
+    record: bool,
+) -> Result<(u64, Vec<Vec<(RoutedKey, Bytes)>>), EbspError> {
     let handles: Vec<_> = (0..env.parts())
         .map(|p| {
             let job = Arc::clone(&env.job);
@@ -360,26 +505,44 @@ fn run_inbox_phase<S: KvStore, J: Job>(
             let table_names = Arc::clone(&env.table_names);
             let transport = transport_name.to_owned();
             let inbox = inbox_name.to_owned();
+            let retry = Arc::clone(retry);
             env.store.run_at(&env.reference, PartId(p), move |view| {
-                build_inbox_at_part::<J>(&job, &plan, view, &transport, &inbox, &table_names)
+                build_inbox_at_part::<J>(
+                    &job,
+                    &plan,
+                    view,
+                    &transport,
+                    &inbox,
+                    &table_names,
+                    Some(&retry),
+                    record,
+                )
             })
         })
         .collect();
 
     let mut enabled = 0u64;
+    let mut recorded = Vec::with_capacity(handles.len());
     let mut first_err: Option<EbspError> = None;
     for handle in handles {
         match handle.join() {
-            Ok(Ok((n, counters))) => {
+            Ok(Ok((n, counters, entries))) => {
                 enabled += n;
                 metrics.absorb(&counters);
+                recorded.push(entries);
             }
-            Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
-            Err(e) => first_err = Some(first_err.unwrap_or(EbspError::Kv(e))),
+            Ok(Err(e)) => {
+                recorded.push(Vec::new());
+                first_err = Some(first_err.unwrap_or(e));
+            }
+            Err(e) => {
+                recorded.push(Vec::new());
+                first_err = Some(first_err.unwrap_or(EbspError::Kv(e)));
+            }
         }
     }
     match first_err {
-        None => Ok(enabled),
+        None => Ok((enabled, recorded)),
         Some(e) => Err(e),
     }
 }
@@ -429,14 +592,121 @@ fn take_checkpoint(
     })
 }
 
+/// Restores and replays a single failed part from the last checkpoint
+/// while every surviving part keeps its state.  Returns the replayed
+/// part's aggregator partials and counters for the failed step, or `None`
+/// if anything about the fast path is not satisfiable — the caller then
+/// falls back to whole-group rollback, which overwrites any partial work
+/// done here.
+#[allow(clippy::too_many_arguments)]
+fn fast_recover<S: KvStore, J: Job>(
+    env: &JobEnv<S, J>,
+    hooks: &RecoveryHooks,
+    record: &CheckRecord,
+    part: u32,
+    next_step: u32,
+    replay_log: &ReplayLog,
+    agg_history: &HashMap<u32, AggregateSnapshot>,
+    transport: &S::Table,
+    inbox_name: &str,
+    agg_table: Option<&S::Table>,
+    retry: &Arc<FaultRetry>,
+    metrics: &mut RunMetrics,
+    observer: &Option<Arc<dyn RunObserver>>,
+) -> Option<(HashMap<String, AggValue>, PartCounters)> {
+    let from = record.step;
+    // Every replayed step needs its recorded inbox and the aggregate
+    // snapshot its compute observed.
+    for s in (from + 1)..=next_step {
+        replay_log.get(&s)?.get(part as usize)?;
+        agg_history.get(&s)?;
+    }
+    let captured = record.parts.get(part as usize)?;
+
+    // Heal: promote surviving replicas (the replicated temporaries come
+    // back at their crash-instant contents), then rewind only this part's
+    // state tables to the checkpoint.
+    (hooks.promote)(PartId(part)).ok()?;
+    (hooks.restore_tables)(captured.as_ref(), &env.table_names).ok()?;
+
+    // The promoted inbox replica may hold entries the failed compute was
+    // mid-drain over; replay feeds from the controller-side log instead.
+    {
+        let inbox = inbox_name.to_owned();
+        let handle = env.store.run_at(&env.reference, PartId(part), move |view| {
+            view.drain(&inbox, &mut |_k, _v| ripple_kv::ScanControl::Continue)
+        });
+        handle.join().ok()?.ok()?;
+    }
+
+    let mut aggs = env.registry.identities();
+    let mut counters = PartCounters::default();
+    for s in (from + 1)..=next_step {
+        let entries = replay_log.get(&s)?.get(part as usize)?.clone();
+        let prev = agg_history.get(&s)?.clone();
+        // Past steps replay purely for their state effects; the failed
+        // step replays in full (its sends and partials never happened).
+        let suppress = s < next_step;
+        let job = Arc::clone(&env.job);
+        let plan = env.plan;
+        let table_names = Arc::clone(&env.table_names);
+        let broadcast = env.broadcast_name.clone();
+        let registry = env.registry.clone();
+        let transport = transport.clone();
+        let inbox = inbox_name.to_owned();
+        let direct = env.direct.clone();
+        let agg_table = agg_table.cloned();
+        let retry = Arc::clone(retry);
+        let parts = env.parts();
+        let handle = env.store.run_at(&env.reference, PartId(part), move |view| {
+            compute_at_part::<S::Table, J>(
+                &job,
+                &plan,
+                view,
+                s,
+                &transport,
+                &inbox,
+                &table_names,
+                broadcast.as_deref(),
+                &registry,
+                &prev,
+                direct.as_deref(),
+                parts,
+                agg_table.as_ref(),
+                Some(&retry),
+                Some(entries),
+                suppress,
+            )
+        });
+        match handle.join() {
+            Ok(Ok((partial, c))) => {
+                env.registry.merge(&mut aggs, partial);
+                counters.merge(&c);
+            }
+            _ => return None,
+        }
+    }
+
+    let replayed = next_step - from;
+    metrics.recoveries += 1;
+    metrics.replayed_part_steps += u64::from(replayed);
+    if let Some(observer) = observer {
+        observer.on_fast_recovery(part, replayed);
+    }
+    Some((aggs, counters))
+}
+
 /// Rolls the whole group back to the last checkpoint if the failure is a
-/// recoverable part failure; otherwise propagates.
+/// recoverable part failure; otherwise propagates.  `failed_step` is the
+/// step whose phase failed — every part re-executes from the checkpoint
+/// through it, which is what [`RunMetrics::replayed_part_steps`] records.
 #[allow(clippy::too_many_arguments)]
 fn recover_or_fail<S: KvStore, J: Job>(
-    _env: &JobEnv<S, J>,
+    env: &JobEnv<S, J>,
     recovery: &Option<RecoveryHooks>,
     checkpoint: &Option<CheckRecord>,
     error: EbspError,
+    failed_step: u32,
     step: &mut u32,
     enabled: &mut u64,
     agg: &mut AggregateSnapshot,
@@ -456,6 +726,8 @@ fn recover_or_fail<S: KvStore, J: Job>(
     *enabled = record.enabled;
     *agg = record.agg.clone();
     metrics.recoveries += 1;
+    metrics.replayed_part_steps +=
+        u64::from(env.parts()) * u64::from(failed_step.saturating_sub(record.step));
     Ok(())
 }
 

@@ -47,7 +47,18 @@ pub enum EbspError {
         limit: u32,
     },
     /// Unsynchronized execution did not quiesce within the safety timeout.
-    QuiescenceTimeout,
+    QuiescenceTimeout {
+        /// How long the engine waited before giving up.
+        waited: std::time::Duration,
+    },
+    /// A run option asks for something the configured store cannot do
+    /// (e.g. checkpointing on a store without shard snapshots).
+    ConfigUnsupported {
+        /// The offending option.
+        option: &'static str,
+        /// Why the option cannot be honored.
+        reason: String,
+    },
     /// A part failed and no recovery was configured.
     Unrecoverable {
         /// The failed part.
@@ -66,7 +77,10 @@ impl fmt::Display for EbspError {
         match self {
             EbspError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
             EbspError::StateTableIndex { index, tables } => {
-                write!(f, "state table index {index} out of range ({tables} tables)")
+                write!(
+                    f,
+                    "state table index {index} out of range ({tables} tables)"
+                )
             }
             EbspError::NoSuchAggregator { name } => {
                 write!(f, "aggregator {name:?} was not declared by the job")
@@ -80,8 +94,15 @@ impl fmt::Display for EbspError {
             EbspError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} exceeded")
             }
-            EbspError::QuiescenceTimeout => {
-                write!(f, "unsynchronized execution did not quiesce in time")
+            EbspError::QuiescenceTimeout { waited } => {
+                write!(
+                    f,
+                    "unsynchronized execution did not quiesce within {:.3}s",
+                    waited.as_secs_f64()
+                )
+            }
+            EbspError::ConfigUnsupported { option, reason } => {
+                write!(f, "run option {option} not supported here: {reason}")
             }
             EbspError::Unrecoverable { part } => {
                 write!(f, "part {part} failed and no recovery was configured")
@@ -130,7 +151,25 @@ mod tests {
     fn sources_chain() {
         assert!(EbspError::from(KvError::StoreClosed).source().is_some());
         assert!(EbspError::from(WireError::InvalidUtf8).source().is_some());
-        assert!(EbspError::QuiescenceTimeout.source().is_none());
+        assert!(EbspError::QuiescenceTimeout {
+            waited: std::time::Duration::from_secs(1),
+        }
+        .source()
+        .is_none());
+    }
+
+    #[test]
+    fn timeout_and_config_errors_render_specifics() {
+        let e = EbspError::QuiescenceTimeout {
+            waited: std::time::Duration::from_millis(1500),
+        };
+        assert!(e.to_string().contains("1.500"));
+        let e = EbspError::ConfigUnsupported {
+            option: "checkpoint_interval",
+            reason: "store has no shard snapshots".into(),
+        };
+        assert!(e.to_string().contains("checkpoint_interval"));
+        assert!(e.to_string().contains("shard snapshots"));
     }
 
     #[test]

@@ -8,8 +8,7 @@ use crate::{
 };
 
 /// The per-table exporters a job attaches to its final state (`getWriters`).
-pub type StateExporters<J> =
-    Vec<(usize, Arc<dyn Exporter<<J as Job>::Key, <J as Job>::State>>)>;
+pub type StateExporters<J> = Vec<(usize, Arc<dyn Exporter<<J as Job>::Key, <J as Job>::State>>)>;
 
 /// A K/V EBSP job: the central application programming concept (paper §II,
 /// Listings 1–3 folded into one idiomatic Rust trait).
@@ -52,10 +51,7 @@ pub trait Job: Send + Sync + Sized + 'static {
     /// The table whose partitioning governs component placement; defaults
     /// to the first state table.
     fn reference_table(&self) -> String {
-        self.state_tables()
-            .first()
-            .cloned()
-            .unwrap_or_default()
+        self.state_tables().first().cloned().unwrap_or_default()
     }
 
     /// Name of the ubiquitous table holding immutable broadcast data, if
@@ -76,10 +72,7 @@ pub trait Job: Send + Sync + Sized + 'static {
     /// Propagate [`EbspError`](crate::EbspError)s from context operations;
     /// the engine treats a part failure as recoverable when checkpointing
     /// is on.
-    fn compute(
-        &self,
-        ctx: &mut ComputeContext<'_, Self>,
-    ) -> Result<bool, crate::EbspError>;
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, crate::EbspError>;
 
     /// Pairwise message combiner: return `Some(combined)` to replace `a`
     /// and `b` with one message, or `None` to keep both (the default: no

@@ -54,6 +54,7 @@ mod loader;
 mod metrics;
 mod observer;
 mod properties;
+mod retry;
 mod runner;
 mod simple;
 mod termination;
@@ -73,6 +74,7 @@ pub use loader::{FnLoader, LoadSink, Loader, PairsLoader, TableLoader};
 pub use metrics::RunMetrics;
 pub use observer::{ObservedEvent, RecordingObserver, RunObserver};
 pub use properties::{ExecMode, ExecutionPlan, JobProperties};
+pub use retry::RetryPolicy;
 pub use runner::{JobRunner, QueueKind, RunOutcome};
 pub use simple::{SimpleJob, SimpleJobBuilder};
 pub use termination::WeightThrow;

@@ -60,8 +60,15 @@ pub struct RunMetrics {
     pub direct_outputs: u64,
     /// Spill batches written to the transport table.
     pub spill_batches: u64,
+    /// Retries of transient store faults performed under the run's
+    /// [`RetryPolicy`](crate::RetryPolicy).
+    pub retries: u64,
     /// Recoveries performed after injected or real part failures.
     pub recoveries: u32,
+    /// Part-steps re-executed by recovery: whole-group rollback counts
+    /// every part for every rewound step, fast recovery counts only the
+    /// failed part's replayed steps.
+    pub replayed_part_steps: u64,
     /// The store's operation/marshalling counters, as a delta over the run.
     pub store: StoreMetrics,
     /// Wall-clock duration of the run.
@@ -87,7 +94,8 @@ impl fmt::Display for RunMetrics {
         write!(
             f,
             "{} steps, {} barriers, {} invocations, {} msgs ({} combined), \
-             state r/w/d {}/{}/{}, {} spills, {} recoveries, {:.3}s [{}]",
+             state r/w/d {}/{}/{}, {} spills, {} retries, {} recoveries \
+             ({} part-steps replayed), {:.3}s [{}]",
             self.steps,
             self.barriers,
             self.invocations,
@@ -97,7 +105,9 @@ impl fmt::Display for RunMetrics {
             self.state_writes,
             self.state_deletes,
             self.spill_batches,
+            self.retries,
             self.recoveries,
+            self.replayed_part_steps,
             self.elapsed.as_secs_f64(),
             self.store,
         )

@@ -27,6 +27,25 @@ pub trait RunObserver: Send + Sync + 'static {
     fn on_recovery(&self, rewound_to_step: u32) {
         let _ = rewound_to_step;
     }
+
+    /// A single failed part was restored and replayed alone (fast
+    /// recovery) instead of rolling the whole group back; `replayed_steps`
+    /// is how many steps the part re-executed.
+    fn on_fast_recovery(&self, part: u32, replayed_steps: u32) {
+        let _ = (part, replayed_steps);
+    }
+
+    /// The engine observed a transient store fault at `part`; `detail`
+    /// describes it.  Fired before any retry decision.
+    fn on_fault_injected(&self, part: u32, detail: &str) {
+        let _ = (part, detail);
+    }
+
+    /// The engine is about to retry a transient fault at `part`;
+    /// `attempt` is the 1-based number of the attempt that just failed.
+    fn on_retry(&self, part: u32, attempt: u32) {
+        let _ = (part, attempt);
+    }
 }
 
 /// An observer that records every callback, for tests and diagnostics.
@@ -44,6 +63,12 @@ pub enum ObservedEvent {
     Checkpoint(u32),
     /// `on_recovery(rewound_to_step)`.
     Recovery(u32),
+    /// `on_fast_recovery(part, replayed_steps)`.
+    FastRecovery(u32, u32),
+    /// `on_fault_injected(part, detail)`.
+    FaultInjected(u32, String),
+    /// `on_retry(part, attempt)`.
+    Retry(u32, u32),
 }
 
 impl RecordingObserver {
@@ -60,12 +85,29 @@ impl RecordingObserver {
 
 impl RunObserver for RecordingObserver {
     fn on_step(&self, step: u32, enabled_next: u64, _aggregates: &AggregateSnapshot) {
-        self.events.lock().push(ObservedEvent::Step(step, enabled_next));
+        self.events
+            .lock()
+            .push(ObservedEvent::Step(step, enabled_next));
     }
     fn on_checkpoint(&self, step: u32) {
         self.events.lock().push(ObservedEvent::Checkpoint(step));
     }
     fn on_recovery(&self, rewound_to_step: u32) {
-        self.events.lock().push(ObservedEvent::Recovery(rewound_to_step));
+        self.events
+            .lock()
+            .push(ObservedEvent::Recovery(rewound_to_step));
+    }
+    fn on_fast_recovery(&self, part: u32, replayed_steps: u32) {
+        self.events
+            .lock()
+            .push(ObservedEvent::FastRecovery(part, replayed_steps));
+    }
+    fn on_fault_injected(&self, part: u32, detail: &str) {
+        self.events
+            .lock()
+            .push(ObservedEvent::FaultInjected(part, detail.to_owned()));
+    }
+    fn on_retry(&self, part: u32, attempt: u32) {
+        self.events.lock().push(ObservedEvent::Retry(part, attempt));
     }
 }

@@ -1,14 +1,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ripple_kv::{KvStore, RecoverableStore, Table, TableSpec};
+use ripple_kv::{HealableStore, KvStore, RecoverableStore, Table, TableSpec};
 
-use crate::engine::nosync::{run_nosync, NosyncOptions};
+use crate::engine::nosync::{run_nosync, HealFn, NosyncOptions};
 use crate::engine::sync::{run_sync, RecoveryHooks, SyncOptions};
 use crate::engine::JobEnv;
 use crate::{
     AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job, Loader,
-    RunMetrics,
+    RetryPolicy, RunMetrics,
 };
 
 /// Which message-queuing implementation unsynchronized runs use.
@@ -97,6 +97,8 @@ pub struct JobRunner<S: KvStore> {
     quiescence_timeout: Duration,
     agg_table_threshold: usize,
     observer: Option<Arc<dyn crate::RunObserver>>,
+    retry: RetryPolicy,
+    fast_recovery: bool,
 }
 
 impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
@@ -109,6 +111,8 @@ impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
             .field("quiescence_timeout", &self.quiescence_timeout)
             .field("agg_table_threshold", &self.agg_table_threshold)
             .field("observer", &self.observer.is_some())
+            .field("retry", &self.retry)
+            .field("fast_recovery", &self.fast_recovery)
             .finish_non_exhaustive()
     }
 }
@@ -125,7 +129,27 @@ impl<S: KvStore> JobRunner<S> {
             quiescence_timeout: Duration::from_secs(300),
             agg_table_threshold: 16,
             observer: None,
+            retry: RetryPolicy::default(),
+            fast_recovery: true,
         }
+    }
+
+    /// Sets how the engines retry transient store faults
+    /// ([`KvError::Transient`](ripple_kv::KvError)) before surfacing them.
+    /// Defaults to [`RetryPolicy::default`]; use [`RetryPolicy::none`] to
+    /// fail fast.
+    pub fn retry_policy(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Whether [`JobRunner::run_recoverable`] may replay a single failed
+    /// part alone instead of rolling the whole group back.  Enabled by
+    /// default; it only takes effect when the job's declared determinism
+    /// lets the plan allow it.
+    pub fn fast_recovery(&mut self, enabled: bool) -> &mut Self {
+        self.fast_recovery = enabled;
+        self
     }
 
     /// Attaches a [`RunObserver`](crate::RunObserver) receiving per-step,
@@ -197,12 +221,32 @@ impl<S: KvStore> JobRunner<S> {
     ///
     /// Fails with [`EbspError::InvalidJob`] for inconsistent job
     /// definitions, [`EbspError::PlanViolation`] for impossible forced
-    /// modes, and engine/store errors from the run itself.
+    /// modes, [`EbspError::ConfigUnsupported`] when a
+    /// [`JobRunner::checkpoint_interval`] is set (this entry point cannot
+    /// checkpoint — it would be silently ignored), and engine/store errors
+    /// from the run itself.
     pub fn run_with_loaders<J: Job>(
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
     ) -> Result<RunOutcome, EbspError> {
+        self.run_inner(job, extra_loaders, None)
+    }
+
+    fn run_inner<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+        heal: Option<Arc<HealFn>>,
+    ) -> Result<RunOutcome, EbspError> {
+        if self.checkpoint_interval.is_some() {
+            return Err(EbspError::ConfigUnsupported {
+                option: "checkpoint_interval",
+                reason: "this entry point takes no checkpoints; call run_recoverable on a \
+                         store with shard snapshots"
+                    .to_owned(),
+            });
+        }
         let (env, mode) = self.prepare(job)?;
         let mut loaders = env.job.loaders();
         loaders.extend(extra_loaders);
@@ -215,6 +259,8 @@ impl<S: KvStore> JobRunner<S> {
                     checkpoint_interval: None,
                     agg_table_threshold: self.agg_table_threshold,
                     observer: self.observer.clone(),
+                    retry: self.retry,
+                    fast_recovery: self.fast_recovery,
                 },
                 None,
             ),
@@ -223,6 +269,9 @@ impl<S: KvStore> JobRunner<S> {
                 loaders,
                 &NosyncOptions {
                     quiescence_timeout: self.quiescence_timeout,
+                    retry: self.retry,
+                    observer: self.observer.clone(),
+                    heal,
                     ..NosyncOptions::default()
                 },
                 self.queue_kind,
@@ -239,11 +288,7 @@ impl<S: KvStore> JobRunner<S> {
                 index: tab,
                 tables: env.tables.len(),
             })?;
-            crate::export_state_table::<S, J::Key, J::State, _>(
-                &self.store,
-                table,
-                exporter,
-            )?;
+            crate::export_state_table::<S, J::Key, J::State, _>(&self.store, table, exporter)?;
         }
         Ok(())
     }
@@ -302,11 +347,8 @@ impl<S: KvStore> JobRunner<S> {
             }
         };
         let registry = AggregatorRegistry::new(job.aggregators())?;
-        let plan = ExecutionPlan::derive(
-            &job.properties(),
-            registry.is_empty(),
-            !job.has_aborter(),
-        );
+        let plan =
+            ExecutionPlan::derive(&job.properties(), registry.is_empty(), !job.has_aborter());
         let mode = match self.force_mode {
             None => plan.mode,
             Some(ExecMode::Synchronized) => ExecMode::Synchronized,
@@ -338,9 +380,40 @@ impl<S: KvStore> JobRunner<S> {
     }
 }
 
-impl<S: RecoverableStore> JobRunner<S> {
-    /// Runs `job` with barrier checkpointing and automatic rollback-replay
-    /// recovery from part failures.  Requires a store with shard
+impl<S: HealableStore> JobRunner<S> {
+    /// Runs `job` with store-side part *healing* enabled: an
+    /// unsynchronized worker whose part fails underneath it (or whose
+    /// compute panics) promotes the part's surviving replicas, re-mints
+    /// termination-detector weight for its in-flight round, redelivers it,
+    /// and carries on.  Redelivery is at-least-once, so the job must be
+    /// idempotent — which the incremental jobs this engine serves are.
+    ///
+    /// # Errors
+    ///
+    /// As for [`JobRunner::run_with_loaders`], plus
+    /// [`EbspError::Unrecoverable`] when the store cannot restore the part
+    /// or the respawn budget is exhausted.
+    pub fn run_healable<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        let store = self.store.clone();
+        let reference_name = job.reference_table();
+        let heal: Arc<HealFn> = Arc::new(move |part| {
+            let reference = store.lookup_table(&reference_name)?;
+            store.recover_part(&reference, part)
+        });
+        self.run_inner(job, extra_loaders, Some(heal))
+    }
+}
+
+impl<S: RecoverableStore + HealableStore> JobRunner<S> {
+    /// Runs `job` with barrier checkpointing and automatic recovery from
+    /// part failures: whole-group rollback-replay by default, or — when
+    /// the job's determinism allows it and [`JobRunner::fast_recovery`] is
+    /// left enabled — restore-and-replay of the failed part *alone* while
+    /// surviving parts keep their state.  Requires a store with shard
     /// checkpoints and a configured [`JobRunner::checkpoint_interval`]
     /// (defaulting to every barrier if unset).  Only synchronized
     /// execution supports recovery; the mode is forced.
@@ -361,6 +434,9 @@ impl<S: RecoverableStore> JobRunner<S> {
         let store = self.store.clone();
         let reference = env.reference.clone();
         let restore_store = store.clone();
+        let tables_store = store.clone();
+        let promote_store = store.clone();
+        let promote_reference = env.reference.clone();
         let hooks = RecoveryHooks {
             checkpoint: Box::new(move |part| {
                 store
@@ -373,6 +449,13 @@ impl<S: RecoverableStore> JobRunner<S> {
                     .expect("checkpoint type is fixed per store");
                 restore_store.restore_part(cp)
             }),
+            restore_tables: Box::new(move |any, tables| {
+                let cp = any
+                    .downcast_ref::<S::Checkpoint>()
+                    .expect("checkpoint type is fixed per store");
+                tables_store.restore_part_tables(cp, tables)
+            }),
+            promote: Box::new(move |part| promote_store.recover_part(&promote_reference, part)),
         };
         let interval = self.checkpoint_interval.unwrap_or(1);
         let outcome = run_sync(
@@ -383,6 +466,8 @@ impl<S: RecoverableStore> JobRunner<S> {
                 checkpoint_interval: Some(interval),
                 agg_table_threshold: self.agg_table_threshold,
                 observer: self.observer.clone(),
+                retry: self.retry,
+                fast_recovery: self.fast_recovery,
             },
             Some(hooks),
         )?;

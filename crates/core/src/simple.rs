@@ -46,7 +46,12 @@ type CombineFn<K, M> = dyn Fn(&K, &M, &M) -> Option<M> + Send + Sync;
 /// # Ok(())
 /// # }
 /// ```
-pub struct SimpleJob<K, S, M> {
+pub struct SimpleJob<K, S, M>
+where
+    K: Wire + Eq + Hash + Ord,
+    S: Wire,
+    M: Wire,
+{
     tables: Vec<String>,
     compute: Box<ComputeFn<K, S, M>>,
     combine: Option<Box<CombineFn<K, M>>>,
@@ -76,7 +81,12 @@ where
 }
 
 /// Builder for [`SimpleJob`]; see its docs.
-pub struct SimpleJobBuilder<K, S, M> {
+pub struct SimpleJobBuilder<K, S, M>
+where
+    K: Wire + Eq + Hash + Ord,
+    S: Wire,
+    M: Wire,
+{
     tables: Vec<String>,
     compute: Option<Box<ComputeFn<K, S, M>>>,
     combine: Option<Box<CombineFn<K, M>>>,

@@ -66,7 +66,9 @@ fn run_with_threshold(threshold: usize) -> ripple_core::RunOutcome {
 }
 
 fn expected_sum(slot: usize) -> i64 {
-    (0..60i64).filter(|k| (*k as usize) % (AGGS / 2) == slot).sum()
+    (0..60i64)
+        .filter(|k| (*k as usize) % (AGGS / 2) == slot)
+        .sum()
 }
 
 fn expected_max(slot: usize) -> i64 {
@@ -184,12 +186,14 @@ fn table_path_results_visible_next_step() {
         .aggregator_table_threshold(1)
         .run_with_loaders(
             Arc::new(ReadBack),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<ReadBack>| {
-                for k in 0..5u32 {
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<ReadBack>| {
+                    for k in 0..5u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.aggregates.get("a0"), Some(AggValue::I64(10)));

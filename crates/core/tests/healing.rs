@@ -1,0 +1,170 @@
+//! Worker self-recovery in the unsynchronized engine: a part failure under
+//! a live worker is healed from replicas, in-flight detector weight is
+//! re-minted and the round redelivered, and the run completes with correct
+//! output and Huang termination intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ripple_core::{
+    export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job,
+    JobProperties, JobRunner, LoadSink,
+};
+use ripple_kv::{KvStore, TableSpec};
+use ripple_store_mem::MemStore;
+
+const CHAIN: &str = "chain_heal";
+
+/// An idempotent chain relaxation: key k keeps the minimum distance it has
+/// heard and forwards `best + 1` to key k+1 on improvement.  Redelivering a
+/// message is a no-op once the state already holds the minimum, which is
+/// what makes at-least-once redelivery safe.
+struct ChainRelax {
+    store: MemStore,
+    injected: AtomicBool,
+    fail_on_key: u32,
+    n: u32,
+    /// When set, every visit to `fail_on_key` re-fails the part,
+    /// exhausting the respawn budget.
+    always_fail: bool,
+}
+
+impl Job for ChainRelax {
+    type Key = u32;
+    type State = u32;
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+
+    fn state_tables(&self) -> Vec<String> {
+        vec![CHAIN.to_owned()]
+    }
+
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            ..JobProperties::default()
+        }
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        if me == self.fail_on_key
+            && (self.always_fail || !self.injected.swap(true, Ordering::SeqCst))
+        {
+            // Fail the worker's own part out from under it; the state read
+            // below surfaces PartFailed.
+            let t = self.store.lookup_table(CHAIN).unwrap();
+            self.store.fail_part(&t, ctx.part()).unwrap();
+        }
+        let mut best = ctx.read_state(0)?.unwrap_or(u32::MAX);
+        let mut improved = false;
+        for d in ctx.take_messages() {
+            if d < best {
+                best = d;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.write_state(0, &best)?;
+            if me + 1 < self.n {
+                ctx.send(me + 1, best + 1);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn replicated_store() -> MemStore {
+    let store = MemStore::builder().default_parts(2).build();
+    // Pre-create the state table with part replicas so a failed primary can
+    // be promoted back from its backup.
+    store
+        .create_table(TableSpec::new(CHAIN).parts(2).replicated())
+        .unwrap();
+    store
+}
+
+#[test]
+fn healable_run_survives_an_injected_part_failure() {
+    let n = 12u32;
+    let store = replicated_store();
+    let outcome = JobRunner::new(store.clone())
+        .quiescence_timeout(Duration::from_secs(30))
+        .run_healable(
+            Arc::new(ChainRelax {
+                store: store.clone(),
+                injected: AtomicBool::new(false),
+                fail_on_key: n / 2,
+                n,
+                always_fail: false,
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+            ))],
+        )
+        .unwrap();
+    assert!(
+        outcome.metrics.recoveries >= 1,
+        "the worker must have healed at least once: {:?}",
+        outcome.metrics
+    );
+    let table = store.lookup_table(CHAIN).unwrap();
+    let exporter = Arc::new(CollectingExporter::<u32, u32>::new());
+    export_state_table(&store, &table, Arc::clone(&exporter)).unwrap();
+    let mut pairs = exporter.take();
+    pairs.sort();
+    let expect: Vec<(u32, u32)> = (0..n).map(|k| (k, k)).collect();
+    assert_eq!(pairs, expect, "distances must be exact despite the failure");
+}
+
+#[test]
+fn without_healing_the_part_failure_surfaces() {
+    let n = 12u32;
+    let store = replicated_store();
+    let err = JobRunner::new(store.clone())
+        .quiescence_timeout(Duration::from_secs(30))
+        .run_with_loaders(
+            Arc::new(ChainRelax {
+                store: store.clone(),
+                injected: AtomicBool::new(false),
+                fail_on_key: n / 2,
+                n,
+                always_fail: false,
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+            ))],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, EbspError::Kv(ripple_kv::KvError::PartFailed { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn exhausted_respawn_budget_is_typed_unrecoverable() {
+    let n = 6u32;
+    let store = replicated_store();
+    let err = JobRunner::new(store.clone())
+        .quiescence_timeout(Duration::from_secs(30))
+        .run_healable(
+            Arc::new(ChainRelax {
+                store: store.clone(),
+                injected: AtomicBool::new(false),
+                fail_on_key: 2,
+                n,
+                always_fail: true,
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+            ))],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, EbspError::Unrecoverable { .. }),
+        "an exhausted respawn budget must fail with the typed fallback, got {err:?}"
+    );
+}

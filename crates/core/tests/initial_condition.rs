@@ -50,19 +50,21 @@ fn all_four_initial_condition_channels() {
     let outcome = JobRunner::new(store.clone())
         .run_with_loaders(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
-                // 1. initial states
-                sink.state(0, 1, (11, Vec::new()))?;
-                sink.state(0, 2, (22, Vec::new()))?;
-                // 2. initial messages (enable their targets too)
-                sink.message(1, -5)?;
-                sink.message(1, -6)?;
-                // 3. extra enablement without a message
-                sink.enable(2)?;
-                // 4. initial aggregator input (joins the job's 100)
-                sink.aggregate("seed", AggValue::I64(42))?;
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Observer>| {
+                    // 1. initial states
+                    sink.state(0, 1, (11, Vec::new()))?;
+                    sink.state(0, 2, (22, Vec::new()))?;
+                    // 2. initial messages (enable their targets too)
+                    sink.message(1, -5)?;
+                    sink.message(1, -6)?;
+                    // 3. extra enablement without a message
+                    sink.enable(2)?;
+                    // 4. initial aggregator input (joins the job's 100)
+                    sink.aggregate("seed", AggValue::I64(42))?;
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.steps, 1);
@@ -92,9 +94,9 @@ fn loader_rejects_unknown_aggregator() {
     let err = JobRunner::new(store)
         .run_with_loaders(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
-                sink.aggregate("nonexistent", AggValue::I64(1))
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Observer>| sink.aggregate("nonexistent", AggValue::I64(1)),
+            ))],
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::NoSuchAggregator { .. }));
@@ -106,9 +108,9 @@ fn loader_rejects_bad_state_table_index() {
     let err = JobRunner::new(store)
         .run_with_loaders(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Observer>| {
-                sink.state(5, 0, (0, Vec::new()))
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Observer>| sink.state(5, 0, (0, Vec::new())),
+            ))],
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::StateTableIndex { index: 5, .. }));

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    export_state_table, CollectingExporter, ComputeContext, EbspError, Job, JobRunner,
-    PairsLoader, TableLoader,
+    export_state_table, CollectingExporter, ComputeContext, EbspError, Job, JobRunner, PairsLoader,
+    TableLoader,
 };
 use ripple_kv::{KvStore, Table, TableSpec};
 use ripple_store_mem::MemStore;
@@ -63,7 +63,10 @@ fn pairs_loader_without_enabling_runs_nothing() {
     let store = MemStore::builder().default_parts(3).build();
     let pairs: Vec<(u32, u64)> = (0..5).map(|k| (k, 7)).collect();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(Arc::new(Doubler), vec![Box::new(PairsLoader::new(0, pairs))])
+        .run_with_loaders(
+            Arc::new(Doubler),
+            vec![Box::new(PairsLoader::new(0, pairs))],
+        )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 0);
     // States installed, untouched.
@@ -86,9 +89,7 @@ fn table_loader_reads_existing_data_without_changing_it() {
     let outcome = JobRunner::new(store.clone())
         .run_with_loaders(
             Arc::new(Doubler),
-            vec![Box::new(
-                TableLoader::new(&store, &source, 0).enabling(),
-            )],
+            vec![Box::new(TableLoader::new(&store, &source, 0).enabling())],
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 15);
@@ -101,7 +102,10 @@ fn table_loader_reads_existing_data_without_changing_it() {
     // not involve changing existing data").
     assert_eq!(source.len().unwrap(), 15);
     for k in 0..15u32 {
-        let raw = source.get(&ripple_core::key_to_routed(&k)).unwrap().unwrap();
+        let raw = source
+            .get(&ripple_core::key_to_routed(&k))
+            .unwrap()
+            .unwrap();
         let v: u64 = ripple_wire::from_wire(&raw).unwrap();
         assert_eq!(v, u64::from(k * 10));
     }
@@ -157,7 +161,10 @@ impl Job for SelfExporting {
     }
 
     fn state_exporters(&self) -> ripple_core::StateExporters<Self> {
-        vec![(0, self.writer.clone() as Arc<dyn ripple_core::Exporter<u32, u64>>)]
+        vec![(
+            0,
+            self.writer.clone() as Arc<dyn ripple_core::Exporter<u32, u64>>,
+        )]
     }
 
     fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {

@@ -328,12 +328,14 @@ fn creations_merge_via_combine_states() {
     JobRunner::new(s.clone())
         .run_with_loaders(
             Arc::new(NosyncCreator),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<NosyncCreator>| {
-                for k in 0..8u32 {
-                    sink.message(k, ())?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<NosyncCreator>| {
+                    for k in 0..8u32 {
+                        sink.message(k, ())?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     let table = s.lookup_table("created").unwrap();

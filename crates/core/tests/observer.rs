@@ -36,15 +36,17 @@ fn observer_sees_every_step_with_enabled_counts() {
         .observer(observer.clone())
         .run_with_loaders(
             Arc::new(CountDown),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<CountDown>| {
-                // Component k counts down from k+1: k=0 runs 1 step,
-                // k=2 runs 3 steps.
-                for k in 0..3u32 {
-                    sink.state(0, k, k + 1)?;
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<CountDown>| {
+                    // Component k counts down from k+1: k=0 runs 1 step,
+                    // k=2 runs 3 steps.
+                    for k in 0..3u32 {
+                        sink.state(0, k, k + 1)?;
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     let steps: Vec<(u32, u64)> = observer
@@ -114,12 +116,56 @@ fn observer_sees_checkpoints_and_recoveries() {
         )
         .unwrap();
     let events = observer.take();
+    // The job declares determinism, so the failed part is replayed alone.
     assert!(
-        events.iter().any(|e| matches!(e, ObservedEvent::Recovery(_))),
+        events
+            .iter()
+            .any(|e| matches!(e, ObservedEvent::FastRecovery(0, _))),
         "{events:?}"
     );
     assert!(
-        events.iter().any(|e| matches!(e, ObservedEvent::Checkpoint(_))),
+        events
+            .iter()
+            .any(|e| matches!(e, ObservedEvent::Checkpoint(_))),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn observer_sees_whole_group_recovery_when_fast_is_disabled() {
+    let observer = Arc::new(RecordingObserver::new());
+    let store = MemStore::builder().default_parts(2).build();
+    JobRunner::new(store.clone())
+        .checkpoint_interval(1)
+        .fast_recovery(false)
+        .observer(observer.clone())
+        .run_recoverable(
+            Arc::new(FaultyCountDown {
+                store: store.clone(),
+                injected: AtomicBool::new(false),
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                    for k in 0..8u32 {
+                        sink.state(0, k, 4)?;
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )
+        .unwrap();
+    let events = observer.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ObservedEvent::Recovery(_))),
+        "{events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ObservedEvent::FastRecovery(..))),
         "{events:?}"
     );
 }

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ripple_core::{
-    ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink,
-};
+use ripple_core::{ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink};
 use ripple_store_mem::MemStore;
 
 /// A job that never quiesces: every message spawns another.
@@ -46,12 +44,18 @@ fn non_quiescing_job_hits_the_safety_timeout() {
         .quiescence_timeout(Duration::from_millis(150))
         .run_with_loaders(
             Arc::new(PingForever),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<PingForever>| {
-                sink.message(0, ())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<PingForever>| sink.message(0, ()),
+            ))],
         )
         .unwrap_err();
-    assert_eq!(err, EbspError::QuiescenceTimeout);
+    let EbspError::QuiescenceTimeout { waited } = err else {
+        panic!("expected a quiescence timeout, got {err:?}");
+    };
+    assert!(
+        waited >= Duration::from_millis(150),
+        "the reported wait ({waited:?}) must cover the configured timeout"
+    );
 }
 
 /// A deep message cascade: 1 seed fans out to `width` children for `depth`
@@ -99,17 +103,16 @@ fn deep_cascades_drain_completely() {
     let outcome = JobRunner::new(store)
         .run_with_loaders(
             Arc::clone(&job),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Cascade>| {
-                sink.message(0, 6)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Cascade>| sink.message(0, 6),
+            ))],
         )
         .unwrap();
     // Message count: 1 + 3 + 9 + ... + 3^6; each message triggers (at most
     // batched) invocations — the invariant is total messages processed.
     let expected_messages: u64 = (0..=6u32).map(|d| 3u64.pow(d)).sum();
     assert_eq!(
-        outcome.metrics.messages_sent,
-        expected_messages,
+        outcome.metrics.messages_sent, expected_messages,
         "every generation of the cascade must happen before quiescence"
     );
 }

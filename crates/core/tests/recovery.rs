@@ -64,6 +64,15 @@ fn run_summer(
     fail_at_step: u32,
     checkpoint_interval: u32,
 ) -> (Vec<(u32, u64)>, ripple_core::RunMetrics) {
+    run_summer_with(steps, fail_at_step, checkpoint_interval, true)
+}
+
+fn run_summer_with(
+    steps: u32,
+    fail_at_step: u32,
+    checkpoint_interval: u32,
+    fast: bool,
+) -> (Vec<(u32, u64)>, ripple_core::RunMetrics) {
     let store = MemStore::builder().default_parts(3).build();
     let job = Arc::new(StepSummer {
         steps,
@@ -74,14 +83,17 @@ fn run_summer(
     });
     let outcome = JobRunner::new(store.clone())
         .checkpoint_interval(checkpoint_interval)
+        .fast_recovery(fast)
         .run_recoverable(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<StepSummer>| {
-                for k in 0..30u32 {
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<StepSummer>| {
+                    for k in 0..30u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     let table = store.lookup_table("sums_rec").unwrap();
@@ -134,6 +146,36 @@ fn failure_at_first_step_recovers_from_initial_checkpoint() {
     }
 }
 
+/// The ISSUE's fast-recovery acceptance criterion: a single part failure
+/// yields the correct output either way, but replaying the failed part
+/// *alone* charges strictly fewer part-steps than rolling the whole group
+/// back to the checkpoint.
+#[test]
+fn fast_recovery_replays_strictly_fewer_part_steps() {
+    let (fast_pairs, fast_metrics) = run_summer_with(6, 4, 2, true);
+    let (full_pairs, full_metrics) = run_summer_with(6, 4, 2, false);
+    assert!(fast_metrics.recoveries >= 1, "fast run must have recovered");
+    assert!(full_metrics.recoveries >= 1, "full run must have recovered");
+    let expect: u64 = (1..=6u64).sum();
+    assert_eq!(fast_pairs.len(), 30);
+    for (k, v) in &fast_pairs {
+        assert_eq!(*v, expect, "component {k} diverged under fast recovery");
+    }
+    assert_eq!(
+        fast_pairs, full_pairs,
+        "both modes must converge identically"
+    );
+    // Failure during step 4 with a checkpoint at step 2: fast recovery
+    // replays one part for 2 steps; whole-group rollback re-runs all
+    // 3 parts for those 2 steps.
+    assert!(
+        fast_metrics.replayed_part_steps < full_metrics.replayed_part_steps,
+        "fast ({}) must replay strictly fewer part-steps than whole-group ({})",
+        fast_metrics.replayed_part_steps,
+        full_metrics.replayed_part_steps
+    );
+}
+
 #[test]
 fn unrecoverable_without_checkpointing() {
     let store = MemStore::builder().default_parts(3).build();
@@ -148,12 +190,14 @@ fn unrecoverable_without_checkpointing() {
     let err = JobRunner::new(store)
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<StepSummer>| {
-                for k in 0..30u32 {
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<StepSummer>| {
+                    for k in 0..30u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap_err();
     assert!(

@@ -89,12 +89,14 @@ fn skewed_work_is_stolen_across_parts() {
     let outcome = JobRunner::new(store)
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<SkewedWork>| {
-                for k in keys {
-                    sink.message(k, 7)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SkewedWork>| {
+                    for k in keys {
+                        sink.message(k, 7)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 200);
@@ -122,12 +124,14 @@ fn run_anywhere_results_are_correct() {
     JobRunner::new(store.clone())
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<SkewedWork>| {
-                for k in keys {
-                    sink.message(k, 41)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SkewedWork>| {
+                    for k in keys {
+                        sink.message(k, 41)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     // Every component wrote 42, into its *home* part's state table.
@@ -201,12 +205,14 @@ fn stealing_costs_remote_state_access() {
             Arc::new(SkewedWork {
                 exporter: Arc::new(CollectingExporter::new()),
             }),
-            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<SkewedWork>| {
-                for k in keys {
-                    sink.message(k, 1)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SkewedWork>| {
+                    for k in keys {
+                        sink.message(k, 1)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     let stolen_delta = store2.metrics() - before;

@@ -135,9 +135,9 @@ fn components_exist_without_state_entries() {
     let outcome = JobRunner::new(store.clone())
         .run_with_loaders(
             Arc::new(Stateless),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Stateless>| {
-                sink.message(0, 9)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Stateless>| sink.message(0, 9),
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.steps, 10);

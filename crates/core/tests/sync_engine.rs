@@ -6,9 +6,8 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter,
-    ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobRunner, JobProperties,
-    LoadSink, SumI64,
+    export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter, ComputeContext,
+    EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner, LoadSink, SumI64,
 };
 use ripple_kv::{KvStore, Table, TableSpec};
 use ripple_store_mem::MemStore;
@@ -62,9 +61,9 @@ fn message_arrives_exactly_next_step() {
     let outcome = JobRunner::new(store())
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<RingToken>| {
-                sink.message(0, 1)
-            }))],
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<RingToken>| sink.message(0, 1),
+            ))],
         )
         .unwrap();
     // Token makes 2*n hops; each hop is one step.
@@ -83,9 +82,9 @@ fn ring_observations_match_steps() {
     JobRunner::new(s.clone())
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<RingToken>| {
-                sink.message(0, 1)
-            }))],
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<RingToken>| sink.message(0, 1),
+            ))],
         )
         .unwrap();
     let table = s.lookup_table("ring").unwrap();
@@ -131,16 +130,18 @@ fn only_enabled_components_run() {
     let outcome = JobRunner::new(s.clone())
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<TouchCounter>| {
-                // 100 components exist, only 3 get messages.
-                for k in 0..100u32 {
-                    sink.state(0, k, 0)?;
-                }
-                sink.message(7, ())?;
-                sink.message(42, ())?;
-                sink.message(99, ())?;
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<TouchCounter>| {
+                    // 100 components exist, only 3 get messages.
+                    for k in 0..100u32 {
+                        sink.state(0, k, 0)?;
+                    }
+                    sink.message(7, ())?;
+                    sink.message(42, ())?;
+                    sink.message(99, ())?;
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.steps, 1);
@@ -206,9 +207,9 @@ fn combiner_merges_fan_in() {
         let outcome = JobRunner::new(s.clone())
             .run_with_loaders(
                 job,
-                vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<SumFanIn>| {
-                    sink.message(0, 0)
-                }))],
+                vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<SumFanIn>| sink.message(0, 0),
+                ))],
             )
             .unwrap();
         let table = s.lookup_table("sums").unwrap();
@@ -275,12 +276,14 @@ fn needs_order_sorts_invocations() {
     JobRunner::new(store())
         .run_with_loaders(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<TraceJob>| {
-                for k in (0..64u32).rev() {
-                    sink.message(k, ())?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<TraceJob>| {
+                    for k in (0..64u32).rev() {
+                        sink.message(k, ())?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     // Within each part, keys must appear in ascending order.
@@ -337,12 +340,14 @@ fn aggregates_flow_across_steps() {
     let outcome = JobRunner::new(store())
         .run_with_loaders(
             Arc::new(AggJob),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<AggJob>| {
-                for k in 0..10u32 {
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<AggJob>| {
+                    for k in 0..10u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.steps, 3);
@@ -380,9 +385,9 @@ fn aborter_stops_execution_between_steps() {
     let outcome = JobRunner::new(store())
         .run_with_loaders(
             Arc::new(AbortAtThree),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<AbortAtThree>| {
-                sink.enable(0)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<AbortAtThree>| sink.enable(0),
+            ))],
         )
         .unwrap();
     assert!(outcome.aborted);
@@ -434,12 +439,14 @@ fn broadcast_data_is_readable_everywhere() {
     JobRunner::new(s.clone())
         .run_with_loaders(
             Arc::new(BroadcastReader),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<BroadcastReader>| {
-                for k in 0..16u32 {
-                    sink.message(k, ())?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<BroadcastReader>| {
+                    for k in 0..16u32 {
+                        sink.message(k, ())?;
+                    }
+                    Ok(())
+                },
+            ))],
         )
         .unwrap();
     let table = s.lookup_table("bc_state").unwrap();
@@ -491,10 +498,12 @@ fn components_create_and_delete_state() {
     let outcome = JobRunner::new(s.clone())
         .run_with_loaders(
             Arc::new(SpawnChain { limit: 10 }),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<SpawnChain>| {
-                sink.state(0, 0, 0)?;
-                sink.message(0, ())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<SpawnChain>| {
+                    sink.state(0, 0, 0)?;
+                    sink.message(0, ())
+                },
+            ))],
         )
         .unwrap();
     assert_eq!(outcome.steps, 11);
@@ -537,9 +546,9 @@ fn no_continue_lie_is_detected() {
     let err = JobRunner::new(store())
         .run_with_loaders(
             Arc::new(LyingNoContinue),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<LyingNoContinue>| {
-                sink.message(0, ())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<LyingNoContinue>| sink.message(0, ()),
+            ))],
         )
         .unwrap_err();
     assert!(matches!(
@@ -584,9 +593,9 @@ fn one_msg_lie_is_detected() {
     let err = JobRunner::new(store())
         .run_with_loaders(
             Arc::new(LyingOneMsg),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<LyingOneMsg>| {
-                sink.message(0, 0)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<LyingOneMsg>| sink.message(0, 0),
+            ))],
         )
         .unwrap_err();
     assert!(matches!(

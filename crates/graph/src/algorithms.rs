@@ -55,7 +55,13 @@ pub fn connected_components<S: KvStore>(
     table: &str,
     graph: &Graph,
 ) -> Result<Vec<(VertexId, VertexId)>, EbspError> {
-    run_vertex_program(store, Arc::new(MinLabelComponents), table, graph.clone(), |v| v)?;
+    run_vertex_program(
+        store,
+        Arc::new(MinLabelComponents),
+        table,
+        graph.clone(),
+        |v| v,
+    )?;
     read_vertex_values(store, table)
 }
 
@@ -147,8 +153,7 @@ impl VertexProgram for TriangleCount {
     fn compute(&self, ctx: &mut VertexContext<'_, '_, Self>) -> Result<(), EbspError> {
         let me = ctx.id();
         if ctx.superstep() == 1 {
-            let higher: Vec<VertexId> =
-                ctx.edges().iter().copied().filter(|&w| w > me).collect();
+            let higher: Vec<VertexId> = ctx.edges().iter().copied().filter(|&w| w > me).collect();
             if !higher.is_empty() {
                 let targets = higher.clone();
                 for u in targets {
@@ -182,11 +187,7 @@ impl VertexProgram for TriangleCount {
 /// # Errors
 ///
 /// Propagates engine and store errors.
-pub fn triangle_count<S: KvStore>(
-    store: &S,
-    table: &str,
-    graph: &Graph,
-) -> Result<u64, EbspError> {
+pub fn triangle_count<S: KvStore>(store: &S, table: &str, graph: &Graph) -> Result<u64, EbspError> {
     let outcome = run_vertex_program(store, Arc::new(TriangleCount), table, graph.clone(), |_| 0)?;
     Ok(outcome
         .aggregates

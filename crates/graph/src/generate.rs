@@ -229,12 +229,7 @@ pub fn random_undirected(n: u32, edges: u64, alpha: f64, seed: u64) -> MutableGr
 /// Generates one batch of `count` random primitive changes, additions and
 /// removals mixed, endpoints power-law distributed, "without regard to
 /// which already exist".
-pub fn random_change_batch(
-    n: u32,
-    count: usize,
-    alpha: f64,
-    seed: u64,
-) -> Vec<GraphChange> {
+pub fn random_change_batch(n: u32, count: usize, alpha: f64, seed: u64) -> Vec<GraphChange> {
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = PowerLawSampler::new(n, alpha);
     (0..count)

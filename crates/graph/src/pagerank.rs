@@ -262,11 +262,10 @@ impl Job for DirectPageRank {
             (state.edges, 1.0 / n)
         } else {
             let sink_prev = ctx.aggregate_prev(SINK).map_or(0.0, |v| v.as_f64());
-            let folded = fold_messages(ctx.take_messages()).ok_or_else(|| {
-                EbspError::InvalidJob {
+            let folded =
+                fold_messages(ctx.take_messages()).ok_or_else(|| EbspError::InvalidJob {
                     reason: format!("vertex {me} lost its self-state message"),
-                }
-            })?;
+                })?;
             let rank = new_rank(n, self.config.damping, folded.contrib, sink_prev);
             (folded.edges, rank)
         };
@@ -338,11 +337,10 @@ impl Job for MapReducePageRank {
             // Reduce-like step: fold the shuffle, apply the equations,
             // write structure+rank back to the table.
             let sink_prev = ctx.aggregate_prev(SINK).map_or(0.0, |v| v.as_f64());
-            let folded = fold_messages(ctx.take_messages()).ok_or_else(|| {
-                EbspError::InvalidJob {
+            let folded =
+                fold_messages(ctx.take_messages()).ok_or_else(|| EbspError::InvalidJob {
                     reason: format!("vertex {me} lost its self-state message"),
-                }
-            })?;
+                })?;
             let rank = new_rank(n, self.config.damping, folded.contrib, sink_prev);
             ctx.write_state(
                 0,
@@ -468,7 +466,6 @@ pub fn reference_ranks(graph: &Graph, config: PageRankConfig) -> Vec<f64> {
     rank
 }
 
-
 // ---------------------------------------------------------------------------
 // Adaptive variant (aborter showcase)
 // ---------------------------------------------------------------------------
@@ -537,11 +534,10 @@ impl Job for AdaptivePageRank {
                 reason: format!("vertex {me} lost its state"),
             })?;
             let old = state.rank.unwrap_or(1.0 / n);
-            let folded = fold_messages(ctx.take_messages()).ok_or_else(|| {
-                EbspError::InvalidJob {
+            let folded =
+                fold_messages(ctx.take_messages()).ok_or_else(|| EbspError::InvalidJob {
                     reason: format!("vertex {me} lost its self-state message"),
-                }
-            })?;
+                })?;
             let rank = new_rank(n, self.damping, folded.contrib, sink_prev);
             (folded.edges, old, rank)
         };
@@ -628,7 +624,9 @@ mod tests {
     #[test]
     fn adaptive_variant_stops_early_and_converges() {
         let graph = crate::generate::power_law_graph(150, 1500, 0.8, 4);
-        let store = ripple_store_mem::MemStore::builder().default_parts(4).build();
+        let store = ripple_store_mem::MemStore::builder()
+            .default_parts(4)
+            .build();
         let outcome = run_adaptive(&store, "apr", &graph, 0.85, 1e-7, 500).unwrap();
         assert!(outcome.aborted, "the aborter must stop the job");
         assert!(outcome.steps < 500, "and well before the safety net");

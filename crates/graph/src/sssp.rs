@@ -28,10 +28,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ripple_core::{
-    Aggregate, AggValue, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink,
-    RunMetrics, SumI64,
+    AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner,
+    LoadSink, RunMetrics, SumI64,
 };
-use ripple_kv::{KvStore, Table};
+use ripple_kv::{HealableStore, KvStore, RecoverableStore, Table};
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
 
 use crate::generate::{Graph, GraphChange, MutableGraph};
@@ -131,6 +131,17 @@ impl Job for SelectiveSssp {
         vec![self.table.clone()]
     }
 
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            // Sorted invocation order plus a deterministic compute function
+            // make every run (and every replay of a failed part) produce
+            // the same states, messages, and fault-injection points.
+            needs_order: true,
+            deterministic: true,
+            ..JobProperties::default()
+        }
+    }
+
     // No combiner: "the job's combiner does not combine these messages".
 
     fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
@@ -191,10 +202,8 @@ impl<S: KvStore> SelectiveInstance<S> {
             source,
             n,
         };
-        let entries: Vec<(VertexId, Vec<VertexId>)> = graph
-            .iter()
-            .map(|(v, adj)| (v, adj.to_vec()))
-            .collect();
+        let entries: Vec<(VertexId, Vec<VertexId>)> =
+            graph.iter().map(|(v, adj)| (v, adj.to_vec())).collect();
         let job = instance.job();
         let outcome = JobRunner::new(store.clone()).run_with_loaders(
             job,
@@ -238,7 +247,32 @@ impl<S: KvStore> SelectiveInstance<S> {
     ///
     /// Propagates engine and store errors.
     pub fn apply_batch(&self, changes: &[GraphChange]) -> Result<RunMetrics, EbspError> {
-        let table = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let seeds = self.seed_batch(changes)?;
+        let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
+            self.job(),
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                    for (to, msg) in seeds {
+                        sink.message(to, msg)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )?;
+        Ok(outcome.metrics)
+    }
+
+    /// Edits the endpoint states for one batch of primitive changes and
+    /// returns the seed messages that wake the affected vertices.
+    #[allow(clippy::type_complexity)]
+    fn seed_batch(
+        &self,
+        changes: &[GraphChange],
+    ) -> Result<Vec<(VertexId, (VertexId, u32))>, EbspError> {
+        let table = self
+            .store
+            .lookup_table(&self.table)
+            .map_err(EbspError::Kv)?;
         // Edit endpoint states directly (the incremental bookkeeping), and
         // collect seed messages telling each endpoint its counterpart's
         // current distance.
@@ -278,18 +312,7 @@ impl<S: KvStore> SelectiveInstance<S> {
                 }
             }
         }
-        let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
-            self.job(),
-            vec![Box::new(FnLoader::new(
-                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
-                    for (to, msg) in seeds {
-                        sink.message(to, msg)?;
-                    }
-                    Ok(())
-                },
-            ))],
-        )?;
-        Ok(outcome.metrics)
+        Ok(seeds)
     }
 
     /// Reads all distance annotations, sorted by vertex.
@@ -298,7 +321,10 @@ impl<S: KvStore> SelectiveInstance<S> {
     ///
     /// Propagates store errors.
     pub fn distances(&self) -> Result<Vec<(VertexId, u32)>, EbspError> {
-        let handle = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let handle = self
+            .store
+            .lookup_table(&self.table)
+            .map_err(EbspError::Kv)?;
         let exporter = Arc::new(ripple_core::CollectingExporter::new());
         ripple_core::export_state_table::<S, VertexId, SelState, _>(
             &self.store,
@@ -312,6 +338,86 @@ impl<S: KvStore> SelectiveInstance<S> {
             .collect();
         out.sort_by_key(|(v, _)| *v);
         Ok(out)
+    }
+}
+
+impl<S: RecoverableStore + HealableStore> SelectiveInstance<S> {
+    /// Like [`SelectiveInstance::initialize`], but runs the initial solve
+    /// under barrier checkpointing with automatic part recovery (fast
+    /// single-part replay when possible, whole-group rollback otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn initialize_recoverable(
+        store: &S,
+        table: &str,
+        graph: &Graph,
+        source: VertexId,
+        checkpoint_interval: u32,
+    ) -> Result<(Self, RunMetrics), EbspError> {
+        let n = graph.vertex_count();
+        let instance = Self {
+            store: store.clone(),
+            table: table.to_owned(),
+            source,
+            n,
+        };
+        let entries: Vec<(VertexId, Vec<VertexId>)> =
+            graph.iter().map(|(v, adj)| (v, adj.to_vec())).collect();
+        let job = instance.job();
+        let outcome = JobRunner::new(store.clone())
+            .checkpoint_interval(checkpoint_interval)
+            .run_recoverable(
+                job,
+                vec![Box::new(FnLoader::new(
+                    move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                        for (v, neighbors) in entries {
+                            let dists = vec![INF; neighbors.len()];
+                            sink.state(
+                                0,
+                                v,
+                                SelState {
+                                    neighbors,
+                                    neighbor_dists: dists,
+                                    dist: INF,
+                                },
+                            )?;
+                            sink.enable(v)?;
+                        }
+                        Ok(())
+                    },
+                ))],
+            )?;
+        Ok((instance, outcome.metrics))
+    }
+
+    /// Like [`SelectiveInstance::apply_batch`], but the update wave runs
+    /// under barrier checkpointing with automatic part recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn apply_batch_recoverable(
+        &self,
+        changes: &[GraphChange],
+        checkpoint_interval: u32,
+    ) -> Result<RunMetrics, EbspError> {
+        let seeds = self.seed_batch(changes)?;
+        let outcome = JobRunner::new(self.store.clone())
+            .checkpoint_interval(checkpoint_interval)
+            .run_recoverable(
+                self.job(),
+                vec![Box::new(FnLoader::new(
+                    move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                        for (to, msg) in seeds {
+                            sink.message(to, msg)?;
+                        }
+                        Ok(())
+                    },
+                ))],
+            )?;
+        Ok(outcome.metrics)
     }
 }
 
@@ -510,9 +616,9 @@ impl Job for FullScanSssp {
         } else {
             // Reduce: recompute the distance from the folded messages.
             let msgs = ctx.take_messages();
-            let folded = msgs.into_iter().reduce(|a, b| {
-                self.combine_messages(&me, &a, &b).expect("always combines")
-            });
+            let folded = msgs
+                .into_iter()
+                .reduce(|a, b| self.combine_messages(&me, &a, &b).expect("always combines"));
             let Some(folded) = folded else {
                 return Ok(false);
             };
@@ -606,7 +712,10 @@ impl<S: KvStore> FullScanInstance<S> {
     ///
     /// Propagates engine and store errors.
     pub fn apply_batch(&self, changes: &[GraphChange]) -> Result<RunMetrics, EbspError> {
-        let table = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let table = self
+            .store
+            .lookup_table(&self.table)
+            .map_err(EbspError::Kv)?;
         let mut any_removal = false;
         for change in changes {
             let (u, v) = change.endpoints();
@@ -660,10 +769,7 @@ impl<S: KvStore> FullScanInstance<S> {
                 ))],
             )?;
             accumulate(total, &outcome.metrics);
-            let changed = outcome
-                .aggregates
-                .get(CHANGED)
-                .map_or(0, |v| v.as_i64());
+            let changed = outcome.aggregates.get(CHANGED).map_or(0, |v| v.as_i64());
             if changed == 0 {
                 return Ok(());
             }
@@ -676,7 +782,10 @@ impl<S: KvStore> FullScanInstance<S> {
     ///
     /// Propagates store errors.
     pub fn distances(&self) -> Result<Vec<(VertexId, u32)>, EbspError> {
-        let handle = self.store.lookup_table(&self.table).map_err(EbspError::Kv)?;
+        let handle = self
+            .store
+            .lookup_table(&self.table)
+            .map_err(EbspError::Kv)?;
         let exporter = Arc::new(ripple_core::CollectingExporter::new());
         ripple_core::export_state_table::<S, VertexId, FsState, _>(
             &self.store,

@@ -3,9 +3,7 @@
 //! selective variant must do work proportional to the change, not to the
 //! graph.
 
-use ripple_graph::generate::{
-    random_change_batch, random_undirected, GraphChange, MutableGraph,
-};
+use ripple_graph::generate::{random_change_batch, random_undirected, GraphChange, MutableGraph};
 use ripple_graph::sssp::{bfs_oracle, FullScanInstance, SelectiveInstance};
 use ripple_graph::INF;
 use ripple_store_mem::MemStore;

@@ -2,7 +2,7 @@
 //! against it — the Figure 2 layering in action.
 
 use ripple_graph::algorithms::{bfs, connected_components, degree_counts};
-use ripple_graph::generate::{Graph, MutableGraph, GraphChange};
+use ripple_graph::generate::{Graph, GraphChange, MutableGraph};
 use ripple_graph::{VertexId, INF};
 use ripple_store_mem::MemStore;
 
@@ -24,10 +24,7 @@ fn components_of_disjoint_cliques() {
     // Components {0,1,2}, {3,4}, {5}.
     let g = undirected(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
     let labels = connected_components(&store(), "cc", &g).unwrap();
-    assert_eq!(
-        labels,
-        vec![(0, 0), (1, 0), (2, 0), (3, 3), (4, 3), (5, 5)]
-    );
+    assert_eq!(labels, vec![(0, 0), (1, 0), (2, 0), (3, 3), (4, 3), (5, 5)]);
 }
 
 #[test]
@@ -153,10 +150,10 @@ mod pregel_features {
     use std::sync::Arc;
 
     use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, SumI64};
+    use ripple_graph::generate::Graph;
     use ripple_graph::vertex::{
         read_vertex_values, GraphLoader, VertexContext, VertexJob, VertexProgram,
     };
-    use ripple_graph::generate::Graph;
     use ripple_store_mem::MemStore;
 
     /// Every vertex reports its degree into an aggregator, then halts; the

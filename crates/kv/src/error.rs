@@ -39,6 +39,18 @@ pub enum KvError {
     TaskPanicked {
         /// The part the task ran at.
         part: u32,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// A transient store fault: the operation failed this time but may
+    /// succeed if retried (injected fault, dropped connection, timeout).
+    Transient {
+        /// The operation that faulted (`"get"`, `"put"`, `"delete"`, ...).
+        op: &'static str,
+        /// The part the operation addressed.
+        part: u32,
+        /// Human-readable description.
+        detail: String,
     },
     /// Tables passed to a multi-table operation are not co-partitioned.
     NotCopartitioned {
@@ -71,7 +83,12 @@ impl fmt::Display for KvError {
             KvError::TableDropped { name } => write!(f, "table {name:?} has been dropped"),
             KvError::StoreClosed => write!(f, "store has been shut down"),
             KvError::PartFailed { part } => write!(f, "part {part} is failed"),
-            KvError::TaskPanicked { part } => write!(f, "mobile code panicked at part {part}"),
+            KvError::TaskPanicked { part, message } => {
+                write!(f, "mobile code panicked at part {part}: {message}")
+            }
+            KvError::Transient { op, part, detail } => {
+                write!(f, "transient {op} fault at part {part}: {detail}")
+            }
             KvError::NotCopartitioned { left, right } => {
                 write!(f, "tables {left:?} and {right:?} are not co-partitioned")
             }
@@ -83,7 +100,30 @@ impl fmt::Display for KvError {
     }
 }
 
+impl KvError {
+    /// Whether retrying the same operation may succeed without any
+    /// recovery action.  Engines consult this to drive their
+    /// [`RetryPolicy`](https://docs.rs/ripple-core)-bounded retry loops;
+    /// everything else (missing tables, failed parts, panics) needs a
+    /// structural fix, not a retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, KvError::Transient { .. })
+    }
+}
+
 impl Error for KvError {}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`Box<dyn Any + Send>` as produced by `catch_unwind`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,5 +144,38 @@ mod tests {
         let e = KvError::PartOutOfRange { part: 9, parts: 6 };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('6'));
+        let e = KvError::TaskPanicked {
+            part: 3,
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("index out of bounds"));
+        let e = KvError::Transient {
+            op: "put",
+            part: 2,
+            detail: "injected".into(),
+        };
+        assert!(e.to_string().contains("transient put fault"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(KvError::Transient {
+            op: "get",
+            part: 0,
+            detail: String::new(),
+        }
+        .is_transient());
+        assert!(!KvError::PartFailed { part: 0 }.is_transient());
+        assert!(!KvError::StoreClosed.is_transient());
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p: Box<dyn std::any::Any + Send> = Box::new("formatted 7".to_owned());
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 }

@@ -33,7 +33,10 @@ impl<R> TaskHandle<R> {
     pub fn join(self) -> Result<R, KvError> {
         match self.rx.recv() {
             Ok(Ok(value)) => Ok(value),
-            Ok(Err(_panic)) => Err(KvError::TaskPanicked { part: self.part.0 }),
+            Ok(Err(panic)) => Err(KvError::TaskPanicked {
+                part: self.part.0,
+                message: crate::panic_message(panic.as_ref()),
+            }),
             Err(_) => Err(KvError::StoreClosed),
         }
     }
@@ -58,7 +61,13 @@ mod tests {
         let (tx, rx) = bounded::<std::thread::Result<u32>>(1);
         tx.send(Err(Box::new("boom"))).unwrap();
         let h = TaskHandle::from_channel(PartId(1), rx);
-        assert_eq!(h.join(), Err(KvError::TaskPanicked { part: 1 }));
+        assert_eq!(
+            h.join(),
+            Err(KvError::TaskPanicked {
+                part: 1,
+                message: "boom".to_owned(),
+            })
+        );
     }
 
     #[test]

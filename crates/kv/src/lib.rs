@@ -39,11 +39,11 @@ mod store;
 mod table;
 
 pub use consumer::{FnPairConsumer, PairConsumer, PartConsumer, ScanControl};
-pub use error::KvError;
+pub use error::{panic_message, KvError};
 pub use handle::TaskHandle;
 pub use key::{fnv64, PartId, RoutedKey};
 pub use metrics::StoreMetrics;
-pub use recover::RecoverableStore;
+pub use recover::{HealableStore, RecoverableStore};
 pub use spec::TableSpec;
 pub use store::KvStore;
 pub use table::{PartView, Table};

@@ -26,4 +26,43 @@ pub trait RecoverableStore: KvStore {
     ///
     /// Fails if the checkpoint is inconsistent with the store's tables.
     fn restore_part(&self, checkpoint: &Self::Checkpoint) -> Result<(), KvError>;
+
+    /// Restores only the named tables of a captured shard state (and heals
+    /// the part), leaving the part's other co-partitioned tables untouched.
+    ///
+    /// This is the substrate for *fast recovery*: a deterministic job's
+    /// state tables are rewound to the last barrier while transport tables
+    /// — recovered by other means, e.g. replica promotion — keep their
+    /// newer contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the checkpoint is inconsistent with the store's tables or
+    /// if a named table is not part of the checkpoint.
+    fn restore_part_tables(
+        &self,
+        checkpoint: &Self::Checkpoint,
+        tables: &[String],
+    ) -> Result<(), KvError>;
+}
+
+/// A store that can bring a failed part back online from replicas alone,
+/// without a checkpoint — the substrate for the unsynchronized engine's
+/// in-place worker recovery and for the synchronized engine's fast
+/// single-part replay.
+pub trait HealableStore: KvStore {
+    /// Brings `part` back online across every table co-partitioned with
+    /// `reference`, restoring each replicated table's contents from its
+    /// surviving replica.  Unreplicated tables come back empty.  Returns
+    /// how many tables had replica data to promote.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference table was dropped or the store cannot bring
+    /// the part back at all.
+    fn recover_part(&self, reference: &Self::Table, part: PartId) -> Result<usize, KvError>;
+
+    /// Whether `part` of `reference`'s co-partitioned group is currently
+    /// failed.
+    fn part_is_failed(&self, reference: &Self::Table, part: PartId) -> Result<bool, KvError>;
 }

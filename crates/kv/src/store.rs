@@ -1,6 +1,4 @@
-use crate::{
-    KvError, PairConsumer, PartConsumer, PartId, PartView, TableSpec, TaskHandle,
-};
+use crate::{KvError, PairConsumer, PartConsumer, PartId, PartView, TableSpec, TaskHandle};
 
 /// A key/value store that also places computation — Ripple's fundamental
 /// storage+compute layer (paper §III-A).
@@ -27,6 +25,25 @@ pub trait KvStore: Clone + Send + Sync + Sized + 'static {
     ///
     /// Fails with [`KvError::TableExists`] when the name is taken.
     fn create_table_like(&self, name: &str, like: &Self::Table) -> Result<Self::Table, KvError>;
+
+    /// Like [`KvStore::create_table_like`], but asks the store to also keep
+    /// a replica of every part so the table survives a part failure.
+    ///
+    /// Stores without replication may ignore the request — the default
+    /// implementation simply delegates to `create_table_like` — so callers
+    /// must treat replication as best-effort.  The synchronized engine uses
+    /// this for its transport tables when fast recovery is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::TableExists`] when the name is taken.
+    fn create_table_like_replicated(
+        &self,
+        name: &str,
+        like: &Self::Table,
+    ) -> Result<Self::Table, KvError> {
+        self.create_table_like(name, like)
+    }
 
     /// Looks up an existing table.
     ///

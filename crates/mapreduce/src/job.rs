@@ -11,8 +11,7 @@ use ripple_kv::KvStore;
 use crate::{MapReduce, MrKey, MrState};
 
 /// The output pairs of one couplet.
-pub type MrOutput<M> =
-    Vec<(<M as MapReduce>::MidKey, <M as MapReduce>::OutValue)>;
+pub type MrOutput<M> = Vec<(<M as MapReduce>::MidKey, <M as MapReduce>::OutValue)>;
 
 /// A [`MapReduce`] couplet expressed as a two-step K/V EBSP job.
 ///
@@ -145,10 +144,7 @@ where
 }
 
 /// Reads the reduce-side output pairs out of a couplet's table.
-pub(crate) fn collect_output<S, M>(
-    store: &S,
-    table: &str,
-) -> Result<MrOutput<M>, EbspError>
+pub(crate) fn collect_output<S, M>(store: &S, table: &str) -> Result<MrOutput<M>, EbspError>
 where
     S: KvStore,
     M: MapReduce,

@@ -77,7 +77,7 @@ mod job;
 mod key;
 
 pub use closure::ClosureMapReduce;
-pub use iterate::{IterationReport, IteratedMapReduce};
+pub use iterate::{IteratedMapReduce, IterationReport};
 pub use job::{run_map_reduce, MapReduceJob, MrOutput};
 pub use key::{MrKey, MrState};
 

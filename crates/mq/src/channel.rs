@@ -113,7 +113,8 @@ impl<S: KvStore> QueueSet for ChannelQueueSet<S> {
                 part: part.0,
                 parts: self.parts(),
             })?;
-        q.0.send(msg).map_err(|_| MqError::Store(KvError::StoreClosed))
+        q.0.send(msg)
+            .map_err(|_| MqError::Store(KvError::StoreClosed))
     }
 
     fn run_workers<R, F>(&self, worker: F) -> Result<Vec<R>, MqError>
@@ -129,7 +130,10 @@ impl<S: KvStore> QueueSet for ChannelQueueSet<S> {
                 self.inner
                     .store
                     .run_at(&self.inner.reference, PartId(p), move |view| {
-                        let mut receiver = ChannelReceiver { part: PartId(p), rx };
+                        let mut receiver = ChannelReceiver {
+                            part: PartId(p),
+                            rx,
+                        };
                         worker(view, &mut receiver)
                     })
             })

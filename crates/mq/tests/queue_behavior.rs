@@ -158,9 +158,7 @@ fn workers_are_collocated_with_reference_parts() {
             .unwrap();
     }
     let q = TableQueueSet::create(&store, &table, "colo").unwrap();
-    let counts = q
-        .run_workers(|view, _rx| view.len("ref").unwrap())
-        .unwrap();
+    let counts = q.run_workers(|view, _rx| view.len("ref").unwrap()).unwrap();
     assert_eq!(counts, vec![1, 1, 1]);
 }
 

@@ -39,12 +39,14 @@
 //! # }
 //! ```
 
+mod fault;
 mod partitioning;
 mod snapshot;
 mod store;
 mod table;
 mod view;
 
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRecord};
 pub use snapshot::PartCheckpoint;
 pub use store::{MemStore, MemStoreBuilder};
 pub use table::MemTable;

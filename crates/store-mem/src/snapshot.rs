@@ -119,11 +119,7 @@ impl MemStore {
     /// # Errors
     ///
     /// Fails with [`KvError::TableDropped`] if `reference` was dropped.
-    pub fn promote_replicas(
-        &self,
-        reference: &MemTable,
-        part: PartId,
-    ) -> Result<usize, KvError> {
+    pub fn promote_replicas(&self, reference: &MemTable, part: PartId) -> Result<usize, KvError> {
         reference.inner.check_live()?;
         let mut promoted = 0;
         for t in self.group_tables(reference) {
@@ -148,6 +144,41 @@ impl MemStore {
     /// use).
     pub fn restore_part(&self, cp: &PartCheckpoint) -> Result<(), KvError> {
         for (name, data) in &cp.tables {
+            if let Ok(t) = self.inner.table(name) {
+                if t.partitioning.id != cp.partitioning_id {
+                    return Err(KvError::NotCopartitioned {
+                        left: name.clone(),
+                        right: format!("checkpoint of partitioning {}", cp.partitioning_id),
+                    });
+                }
+                *t.parts[cp.part.index()].lock() = data.clone();
+                t.resync_backup(cp.part);
+                t.partitioning.set_failed(cp.part, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores only the named tables from a checkpoint and heals the part,
+    /// leaving the part's other co-partitioned tables untouched — the
+    /// substrate for the engine's fast single-part recovery, where state
+    /// tables rewind to the last barrier while transport tables are
+    /// recovered from replicas instead.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::NotCopartitioned`] on a partitioning mismatch
+    /// and [`KvError::NoSuchTable`] if a requested table is not in the
+    /// checkpoint.
+    pub fn restore_part_tables(
+        &self,
+        cp: &PartCheckpoint,
+        tables: &[String],
+    ) -> Result<(), KvError> {
+        for name in tables {
+            let Some((_, data)) = cp.tables.iter().find(|(n, _)| n == name) else {
+                return Err(KvError::NoSuchTable { name: name.clone() });
+            };
             if let Ok(t) = self.inner.table(name) {
                 if t.partitioning.id != cp.partitioning_id {
                     return Err(KvError::NotCopartitioned {
@@ -194,5 +225,24 @@ impl ripple_kv::RecoverableStore for MemStore {
 
     fn restore_part(&self, checkpoint: &PartCheckpoint) -> Result<(), KvError> {
         MemStore::restore_part(self, checkpoint)
+    }
+
+    fn restore_part_tables(
+        &self,
+        checkpoint: &PartCheckpoint,
+        tables: &[String],
+    ) -> Result<(), KvError> {
+        MemStore::restore_part_tables(self, checkpoint, tables)
+    }
+}
+
+impl ripple_kv::HealableStore for MemStore {
+    fn recover_part(&self, reference: &MemTable, part: PartId) -> Result<usize, KvError> {
+        self.promote_replicas(reference, part)
+    }
+
+    fn part_is_failed(&self, reference: &MemTable, part: PartId) -> Result<bool, KvError> {
+        reference.inner.check_live()?;
+        Ok(self.is_part_failed(reference, part))
     }
 }

@@ -5,10 +5,9 @@ use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 use parking_lot::RwLock;
-use ripple_kv::{
-    KvError, KvStore, PartId, PartView, StoreMetrics, Table, TableSpec, TaskHandle,
-};
+use ripple_kv::{KvError, KvStore, PartId, PartView, StoreMetrics, Table, TableSpec, TaskHandle};
 
+use crate::fault::{FaultAction, FaultInjector, FaultOp, FaultPlan, FaultRecord};
 use crate::table::{MemTable, TableInner};
 use crate::view::MemPartView;
 use crate::Partitioning;
@@ -58,6 +57,9 @@ pub(crate) struct StoreInner {
     pub(crate) counters: Counters,
     default_parts: u32,
     next_partitioning: AtomicU64,
+    /// Fault-decision engine, present when the store was built with a
+    /// [`FaultPlan`].
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl StoreInner {
@@ -69,6 +71,53 @@ impl StoreInner {
             .ok_or_else(|| KvError::NoSuchTable {
                 name: name.to_owned(),
             })
+    }
+
+    /// Crashes `part` of a partitioning group: clears every co-partitioned
+    /// primary (backups survive) and marks the part failed — the same
+    /// semantics as [`MemStore::fail_part`], but reachable from a part view.
+    fn crash_part(&self, partitioning_id: u64, part: PartId) {
+        let tables = self.tables.read();
+        let mut partitioning = None;
+        for t in tables.values() {
+            if !t.ubiquitous && t.partitioning.id == partitioning_id {
+                t.parts[part.index()].lock().clear();
+                partitioning.get_or_insert_with(|| Arc::clone(&t.partitioning));
+            }
+        }
+        if let Some(p) = partitioning {
+            p.set_failed(part, true);
+        }
+    }
+
+    /// Consults the fault plan (if any) about one part-view operation.
+    /// Returns the error to surface, or `Ok(())` to let the operation
+    /// proceed (possibly after an injected delay).
+    pub(crate) fn fault_check(
+        &self,
+        partitioning_id: u64,
+        part: PartId,
+        op: FaultOp,
+    ) -> Result<(), KvError> {
+        let Some(injector) = &self.injector else {
+            return Ok(());
+        };
+        match injector.decide(part.0, op) {
+            None => Ok(()),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultAction::Fail) => Err(KvError::Transient {
+                op: op.name(),
+                part: part.0,
+                detail: "injected transient fault".to_owned(),
+            }),
+            Some(FaultAction::Crash) => {
+                self.crash_part(partitioning_id, part);
+                Err(KvError::PartFailed { part: part.0 })
+            }
+        }
     }
 }
 
@@ -83,6 +132,7 @@ impl StoreInner {
 #[derive(Debug, Clone)]
 pub struct MemStoreBuilder {
     default_parts: u32,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl MemStoreBuilder {
@@ -94,6 +144,12 @@ impl MemStoreBuilder {
         self
     }
 
+    /// Arms the store with a seeded fault script; see [`FaultPlan`].
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the store.
     pub fn build(&self) -> MemStore {
         MemStore {
@@ -102,6 +158,10 @@ impl MemStoreBuilder {
                 counters: Counters::default(),
                 default_parts: self.default_parts,
                 next_partitioning: AtomicU64::new(1),
+                injector: self
+                    .fault_plan
+                    .clone()
+                    .map(|plan| Arc::new(FaultInjector::new(plan))),
             }),
         }
     }
@@ -109,7 +169,10 @@ impl MemStoreBuilder {
 
 impl Default for MemStoreBuilder {
     fn default() -> Self {
-        Self { default_parts: 4 }
+        Self {
+            default_parts: 4,
+            fault_plan: None,
+        }
     }
 }
 
@@ -134,6 +197,18 @@ impl MemStore {
     /// is not ubiquitous.
     pub fn default_parts(&self) -> u32 {
         self.inner.default_parts
+    }
+
+    /// The faults injected so far under the store's [`FaultPlan`], sorted
+    /// by `(part, op_index)`; empty when the store has no plan.  Two
+    /// stores built from the same plan and driven by the same per-part
+    /// operation sequences report identical traces.
+    pub fn fault_trace(&self) -> Vec<FaultRecord> {
+        self.inner
+            .injector
+            .as_ref()
+            .map(|i| i.trace())
+            .unwrap_or_default()
     }
 
     fn fresh_partitioning(&self, parts: u32) -> Arc<Partitioning> {
@@ -188,6 +263,20 @@ impl KvStore for MemStore {
             name.to_owned(),
             like.inner.ubiquitous,
             like.inner.backup.is_some(),
+            Arc::clone(&like.inner.partitioning),
+        ))
+    }
+
+    fn create_table_like_replicated(
+        &self,
+        name: &str,
+        like: &MemTable,
+    ) -> Result<MemTable, KvError> {
+        like.inner.check_live()?;
+        self.insert_table(TableInner::new(
+            name.to_owned(),
+            like.inner.ubiquitous,
+            true,
             Arc::clone(&like.inner.partitioning),
         ))
     }

@@ -36,8 +36,7 @@ impl TableInner {
             ubiquitous,
             partitioning,
             parts: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
-            backup: replicated
-                .then(|| (0..n).map(|_| Mutex::new(HashMap::new())).collect()),
+            backup: replicated.then(|| (0..n).map(|_| Mutex::new(HashMap::new())).collect()),
             dropped: AtomicBool::new(false),
         }
     }
@@ -45,7 +44,9 @@ impl TableInner {
     /// Mirrors a write into the part's backup replica, if any.
     pub(crate) fn mirror_insert(&self, part: PartId, key: &RoutedKey, value: &Bytes) {
         if let Some(backup) = &self.backup {
-            backup[part.index()].lock().insert(key.clone(), value.clone());
+            backup[part.index()]
+                .lock()
+                .insert(key.clone(), value.clone());
         }
     }
 

@@ -3,6 +3,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use ripple_kv::{KvError, PartId, PartView, RoutedKey, ScanControl};
 
+use crate::fault::FaultOp;
 use crate::store::StoreInner;
 use crate::TableInner;
 
@@ -51,6 +52,8 @@ impl PartView for MemPartView {
     }
 
     fn get(&self, table: &str, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        self.store
+            .fault_check(self.partitioning_id, self.part, FaultOp::Get)?;
         let (t, p) = self.resolve(table, false)?;
         self.store.counters.local_op();
         let out = t.parts[p.index()].lock().get(key).cloned();
@@ -58,6 +61,8 @@ impl PartView for MemPartView {
     }
 
     fn put(&self, table: &str, key: RoutedKey, value: Bytes) -> Result<Option<Bytes>, KvError> {
+        self.store
+            .fault_check(self.partitioning_id, self.part, FaultOp::Put)?;
         let (t, p) = self.resolve(table, true)?;
         self.store.counters.local_op();
         t.mirror_insert(p, &key, &value);
@@ -66,6 +71,8 @@ impl PartView for MemPartView {
     }
 
     fn delete(&self, table: &str, key: &RoutedKey) -> Result<bool, KvError> {
+        self.store
+            .fault_check(self.partitioning_id, self.part, FaultOp::Delete)?;
         let (t, p) = self.resolve(table, true)?;
         self.store.counters.local_op();
         t.mirror_remove(p, key);

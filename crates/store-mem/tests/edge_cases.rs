@@ -26,8 +26,11 @@ fn table_created_like_a_ubiquitous_table_is_ubiquitous() {
 fn whole_table_ops_fail_while_any_part_is_failed() {
     let store = MemStore::builder().default_parts(3).build();
     let t = store.create_table(&TableSpec::new("t")).unwrap();
-    t.put(RoutedKey::with_route(2, Bytes::from_static(b"k")), Bytes::from_static(b"v"))
-        .unwrap();
+    t.put(
+        RoutedKey::with_route(2, Bytes::from_static(b"k")),
+        Bytes::from_static(b"v"),
+    )
+    .unwrap();
     store.fail_part(&t, PartId(2)).unwrap();
     assert!(matches!(t.len(), Err(KvError::PartFailed { part: 2 })));
     assert!(matches!(t.clear(), Err(KvError::PartFailed { part: 2 })));
@@ -55,10 +58,16 @@ fn checkpoints_exclude_other_partitioning_groups() {
     let store = MemStore::builder().default_parts(2).build();
     let a = store.create_table(&TableSpec::new("a")).unwrap();
     let unrelated = store.create_table(&TableSpec::new("unrelated")).unwrap();
-    a.put(RoutedKey::with_route(0, Bytes::from_static(b"x")), Bytes::from_static(b"1"))
-        .unwrap();
+    a.put(
+        RoutedKey::with_route(0, Bytes::from_static(b"x")),
+        Bytes::from_static(b"1"),
+    )
+    .unwrap();
     unrelated
-        .put(RoutedKey::with_route(0, Bytes::from_static(b"y")), Bytes::from_static(b"2"))
+        .put(
+            RoutedKey::with_route(0, Bytes::from_static(b"y")),
+            Bytes::from_static(b"2"),
+        )
         .unwrap();
     let cp = store.checkpoint_part(&a, PartId(0)).unwrap();
     let names: Vec<&str> = cp.table_names().collect();
@@ -98,9 +107,7 @@ fn default_parts_used_when_spec_leaves_one() {
     assert_eq!(store.default_parts(), 7);
     let t = store.create_table(&TableSpec::new("t")).unwrap();
     assert_eq!(t.part_count(), 7);
-    let explicit = store
-        .create_table(TableSpec::new("t2").parts(3))
-        .unwrap();
+    let explicit = store.create_table(TableSpec::new("t2").parts(3)).unwrap();
     assert_eq!(explicit.part_count(), 3);
 }
 

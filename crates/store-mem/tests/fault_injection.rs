@@ -1,0 +1,140 @@
+//! End-to-end behavior of the seeded fault injector: faults surface on the
+//! part-view operation path, crashes fail the whole co-partitioned group,
+//! and the recorded trace is reproducible from the seed.
+
+use std::time::Duration;
+
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, Table, TableSpec};
+use ripple_store_mem::{FaultKind, FaultPlan, MemStore};
+
+fn key(n: u64) -> RoutedKey {
+    RoutedKey::with_route(n, n.to_be_bytes().to_vec().into())
+}
+
+#[test]
+fn certain_transient_faults_fail_view_ops_with_transient_error() {
+    let store = MemStore::builder()
+        .default_parts(2)
+        .fault_plan(FaultPlan::seeded(1).transient_puts(1.0))
+        .build();
+    let t = store.create_table(TableSpec::new("t").parts(2)).unwrap();
+    let err = store
+        .run_at(&t, PartId(0), |view| {
+            view.put("t", key(1), vec![1].into()).unwrap_err()
+        })
+        .join()
+        .unwrap();
+    assert!(err.is_transient(), "expected transient error, got {err:?}");
+    assert!(matches!(
+        err,
+        KvError::Transient {
+            op: "put",
+            part: 0,
+            ..
+        }
+    ));
+    // Gets were not armed, so reads still work.
+    store
+        .run_at(&t, PartId(0), |view| view.get("t", &key(1)).map(|_| ()))
+        .join()
+        .unwrap()
+        .unwrap();
+    let trace = store.fault_trace();
+    assert!(!trace.is_empty());
+    assert!(trace.iter().all(|r| r.kind == FaultKind::Transient));
+}
+
+#[test]
+fn scripted_crash_fails_the_part_and_replicas_recover_it() {
+    let store = MemStore::builder()
+        .default_parts(2)
+        // Third part-view op issued by part 0 crashes it.
+        .fault_plan(FaultPlan::seeded(2).crash_part(0, 3))
+        .build();
+    let t = store
+        .create_table(TableSpec::new("t").parts(2).replicated())
+        .unwrap();
+    // Handle-level writes are not injected; seed both parts.
+    for n in 0..8u64 {
+        t.put(key(n), vec![n as u8].into()).unwrap();
+    }
+    let before = t.len().unwrap();
+
+    let err = store
+        .run_at(&t, PartId(0), |view| {
+            for n in 100..110u64 {
+                view.put("t", key(n), vec![0].into())?;
+            }
+            Ok::<(), KvError>(())
+        })
+        .join()
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err, KvError::PartFailed { part: 0 });
+    assert!(store.is_part_failed(&t, PartId(0)));
+
+    // The backup replica survives the crash; promotion brings back both the
+    // pre-crash contents and the writes that landed before the crash op.
+    let promoted = store.promote_replicas(&t, PartId(0)).unwrap();
+    assert_eq!(promoted, 1);
+    assert!(!store.is_part_failed(&t, PartId(0)));
+    assert_eq!(t.len().unwrap(), before + 2);
+
+    let crashes: Vec<_> = store
+        .fault_trace()
+        .into_iter()
+        .filter(|r| r.kind == FaultKind::Crash)
+        .collect();
+    assert_eq!(crashes.len(), 1);
+    assert_eq!(crashes[0].part, 0);
+    assert_eq!(crashes[0].op_index, 3);
+}
+
+#[test]
+fn latency_injection_delays_but_does_not_fail() {
+    let store = MemStore::builder()
+        .default_parts(1)
+        .fault_plan(FaultPlan::seeded(3).latency(1.0, Duration::from_micros(50)))
+        .build();
+    let t = store.create_table(&TableSpec::new("t")).unwrap();
+    store
+        .run_at(&t, PartId(0), |view| {
+            view.put("t", key(1), vec![1].into()).map(|_| ())
+        })
+        .join()
+        .unwrap()
+        .unwrap();
+    assert_eq!(t.len().unwrap(), 1);
+    assert!(store
+        .fault_trace()
+        .iter()
+        .all(|r| r.kind == FaultKind::Latency));
+}
+
+#[test]
+fn same_plan_same_workload_same_trace() {
+    let run = || {
+        let store = MemStore::builder()
+            .default_parts(3)
+            .fault_plan(FaultPlan::seeded(77).transient_ops(0.15))
+            .build();
+        let t = store.create_table(TableSpec::new("t").parts(3)).unwrap();
+        for part in 0..3 {
+            store
+                .run_at(&t, PartId(part), move |view| {
+                    for n in 0..50u64 {
+                        let _ = view.put("t", key(n * 3 + u64::from(part)), vec![1].into());
+                        let _ = view.get("t", &key(n));
+                        let _ = view.delete("t", &key(n + 1000));
+                    }
+                })
+                .join()
+                .unwrap();
+        }
+        store.fault_trace()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}

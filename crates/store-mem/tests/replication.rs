@@ -74,7 +74,8 @@ fn replica_tracks_collocated_writes_and_drains() {
             view.put("r", k(0, "x"), v("1")).unwrap();
             view.put("r", k(0, "y"), v("2")).unwrap();
             // Drain consumes x and y...
-            view.drain("r", &mut |_k, _v| ScanControl::Continue).unwrap();
+            view.drain("r", &mut |_k, _v| ScanControl::Continue)
+                .unwrap();
             // ...then one more write.
             view.put("r", k(0, "z"), v("3")).unwrap();
         })

@@ -82,16 +82,11 @@ fn lookup_and_drop() {
 #[test]
 fn explicit_routes_control_placement() {
     let store = MemStore::new();
-    let t = store
-        .create_table(TableSpec::new("t").parts(4))
-        .unwrap();
+    let t = store.create_table(TableSpec::new("t").parts(4)).unwrap();
     // One key aimed at each part; every part then holds exactly one entry.
     for p in 0..4u64 {
-        t.put(
-            RoutedKey::with_route(p, bval(&format!("k{p}"))),
-            bval("v"),
-        )
-        .unwrap();
+        t.put(RoutedKey::with_route(p, bval(&format!("k{p}"))), bval("v"))
+            .unwrap();
     }
     for p in 0..4u32 {
         let n = store
@@ -213,7 +208,8 @@ fn enumerate_pairs_visits_everything_once() {
     let store = MemStore::builder().default_parts(5).build();
     let t = store.create_table(&TableSpec::new("t")).unwrap();
     for i in 0..250u32 {
-        t.put(bkey(&format!("k{i}")), bval(&format!("{i}"))).unwrap();
+        t.put(bkey(&format!("k{i}")), bval(&format!("{i}")))
+            .unwrap();
     }
     let consumer = FnPairConsumer::new(|k: &RoutedKey, _v: &[u8]| k.body().clone());
     let mut seen = store.enumerate_pairs(&t, consumer).unwrap();
@@ -280,7 +276,8 @@ fn drain_consumes_entries_and_stop_preserves_rest() {
     // A full drain empties the table.
     store
         .run_at(&t, PartId(0), |view| {
-            view.drain("t", &mut |_k, _v| ScanControl::Continue).unwrap();
+            view.drain("t", &mut |_k, _v| ScanControl::Continue)
+                .unwrap();
         })
         .join()
         .unwrap();
@@ -292,7 +289,13 @@ fn run_at_panics_are_contained() {
     let store = MemStore::new();
     let t = store.create_table(&TableSpec::new("t")).unwrap();
     let h = store.run_at(&t, PartId(0), |_view| panic!("mobile code bug"));
-    assert_eq!(h.join(), Err(KvError::TaskPanicked { part: 0 }));
+    assert_eq!(
+        h.join(),
+        Err(KvError::TaskPanicked {
+            part: 0,
+            message: "mobile code bug".to_owned(),
+        })
+    );
     // The lane survives and keeps serving.
     let ok = store.run_at(&t, PartId(0), |_view| 7u32).join().unwrap();
     assert_eq!(ok, 7);
@@ -302,9 +305,7 @@ fn run_at_panics_are_contained() {
 fn run_at_all_returns_results_in_part_order() {
     let store = MemStore::builder().default_parts(4).build();
     let t = store.create_table(&TableSpec::new("t")).unwrap();
-    let parts = store
-        .run_at_all(&t, |view| view.part().0)
-        .unwrap();
+    let parts = store.run_at_all(&t, |view| view.part().0).unwrap();
     assert_eq!(parts, vec![0, 1, 2, 3]);
 }
 

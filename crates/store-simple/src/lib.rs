@@ -235,7 +235,10 @@ impl PartView for SimplePartView {
         // return on early stop.
         let mine: Vec<RoutedKey> = {
             let data = t.data.lock();
-            data.keys().filter(|k| self.in_part(&t, k)).cloned().collect()
+            data.keys()
+                .filter(|k| self.in_part(&t, k))
+                .cloned()
+                .collect()
         };
         let mut iter = mine.into_iter();
         for key in iter.by_ref() {
@@ -333,8 +336,7 @@ impl KvStore for SimpleStore {
         std::thread::Builder::new()
             .name(format!("simple-store-{part}"))
             .spawn(move || {
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&view)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&view)));
                 let _ = tx.send(result);
             })
             .expect("spawn simple store task");
@@ -366,10 +368,7 @@ mod tests {
         let t = store.create_table(&TableSpec::new("t")).unwrap();
         assert_eq!(t.part_count(), 3);
         assert_eq!(t.put(key(0, "a"), Bytes::from_static(b"1")).unwrap(), None);
-        assert_eq!(
-            t.get(&key(0, "a")).unwrap(),
-            Some(Bytes::from_static(b"1"))
-        );
+        assert_eq!(t.get(&key(0, "a")).unwrap(), Some(Bytes::from_static(b"1")));
         assert!(t.delete(&key(0, "a")).unwrap());
         assert_eq!(t.len().unwrap(), 0);
     }

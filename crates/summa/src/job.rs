@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    CollectingExporter, ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobRunner,
-    JobProperties, LoadSink, RunOutcome,
+    CollectingExporter, ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job,
+    JobProperties, JobRunner, LoadSink, RunOutcome,
 };
 use ripple_kv::KvStore;
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -129,9 +129,7 @@ impl Job for SummaJob {
     }
 
     fn direct_output(&self) -> Option<Arc<dyn Exporter<u32, u32>>> {
-        self.trace
-            .clone()
-            .map(|t| t as Arc<dyn Exporter<u32, u32>>)
+        self.trace.clone().map(|t| t as Arc<dyn Exporter<u32, u32>>)
     }
 
     fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
@@ -199,8 +197,7 @@ impl Job for SummaJob {
             // Multiply-add: strictly in panel order.
             if mul_budget > 0 && state.next_mul < n {
                 let k = state.next_mul;
-                if peek_block(&state.a_have, k).is_some()
-                    && peek_block(&state.b_have, k).is_some()
+                if peek_block(&state.a_have, k).is_some() && peek_block(&state.b_have, k).is_some()
                 {
                     let a = peek_block(&state.a_have, k).expect("checked").clone();
                     let b = peek_block(&state.b_have, k).expect("checked").clone();

@@ -130,8 +130,12 @@ impl DenseMatrix {
     ///
     /// Panics unless both dimensions are divisible by `n`.
     pub fn split(&self, n: usize) -> Vec<Vec<DenseMatrix>> {
-        assert!(n > 0 && self.rows.is_multiple_of(n) && self.cols.is_multiple_of(n),
-            "dimensions {}x{} not divisible into a {n}x{n} grid", self.rows, self.cols);
+        assert!(
+            n > 0 && self.rows.is_multiple_of(n) && self.cols.is_multiple_of(n),
+            "dimensions {}x{} not divisible into a {n}x{n} grid",
+            self.rows,
+            self.cols
+        );
         let (br, bc) = (self.rows / n, self.cols / n);
         (0..n)
             .map(|bi| {
@@ -231,8 +235,9 @@ mod tests {
         let a = DenseMatrix::random(6, 6, 10);
         let b = DenseMatrix::random(6, 6, 11);
         let (ab, bb) = (a.split(3), b.split(3));
-        let mut blocks: Vec<Vec<DenseMatrix>> =
-            (0..3).map(|_| (0..3).map(|_| DenseMatrix::zeros(2, 2)).collect()).collect();
+        let mut blocks: Vec<Vec<DenseMatrix>> = (0..3)
+            .map(|_| (0..3).map(|_| DenseMatrix::zeros(2, 2)).collect())
+            .collect();
         for i in 0..3 {
             for j in 0..3 {
                 for k in 0..3 {

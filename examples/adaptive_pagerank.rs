@@ -25,7 +25,10 @@ fn main() -> Result<(), EbspError> {
         outcome.aborted,
         outcome.metrics.elapsed.as_secs_f64()
     );
-    assert!(outcome.aborted, "the aborter, not the step limit, stopped it");
+    assert!(
+        outcome.aborted,
+        "the aborter, not the step limit, stopped it"
+    );
 
     // Compare against a long fixed-iteration reference.
     let reference = reference_ranks(

@@ -63,12 +63,14 @@ fn main() -> Result<(), EbspError> {
         .checkpoint_interval(2)
         .run_recoverable(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Summer>| {
-                for k in 0..30u32 {
-                    sink.enable(k)?;
-                }
-                Ok(())
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Summer>| {
+                    for k in 0..30u32 {
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
         )?;
     println!(
         "checkpoint recovery: {} steps, {} recoveries, results exact:",
@@ -98,7 +100,9 @@ fn main() -> Result<(), EbspError> {
     }
     store.fail_part(&t, PartId(0)).map_err(EbspError::Kv)?;
     println!("\nreplica promotion: part 0 failed; promoting its backup...");
-    let promoted = store.promote_replicas(&t, PartId(0)).map_err(EbspError::Kv)?;
+    let promoted = store
+        .promote_replicas(&t, PartId(0))
+        .map_err(EbspError::Kv)?;
     assert_eq!(promoted, 1);
     for i in 0..100u64 {
         let raw = t

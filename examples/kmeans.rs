@@ -105,10 +105,7 @@ fn main() -> Result<(), EbspError> {
     for round in 1..=20 {
         for (c, (x, y)) in centroids.iter().enumerate() {
             centroids_table
-                .put(
-                    ripple::ebsp::key_to_routed(&(c as u32)),
-                    to_wire(&(*x, *y)),
-                )
+                .put(ripple::ebsp::key_to_routed(&(c as u32)), to_wire(&(*x, *y)))
                 .map_err(EbspError::Kv)?;
         }
         let job = Arc::new(AssignPoints);
@@ -132,8 +129,18 @@ fn main() -> Result<(), EbspError> {
                 .get(&format!("n{c}"))
                 .map_or(0.0, |v| v.as_f64());
             if n > 0.0 {
-                let nx = outcome.aggregates.get(&format!("sx{c}")).expect("fed").as_f64() / n;
-                let ny = outcome.aggregates.get(&format!("sy{c}")).expect("fed").as_f64() / n;
+                let nx = outcome
+                    .aggregates
+                    .get(&format!("sx{c}"))
+                    .expect("fed")
+                    .as_f64()
+                    / n;
+                let ny = outcome
+                    .aggregates
+                    .get(&format!("sy{c}"))
+                    .expect("fed")
+                    .as_f64()
+                    / n;
                 moved += (slot.0 - nx).abs() + (slot.1 - ny).abs();
                 *slot = (nx, ny);
             }

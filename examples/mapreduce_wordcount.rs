@@ -61,7 +61,10 @@ fn main() -> Result<(), EbspError> {
 
     // --- One couplet: word count -----------------------------------------
     let docs = vec![
-        (1u32, "the quick brown fox jumps over the lazy dog".to_owned()),
+        (
+            1u32,
+            "the quick brown fox jumps over the lazy dog".to_owned(),
+        ),
         (2, "The dog barks and the fox runs".to_owned()),
         (3, "quick quick slow".to_owned()),
     ];
@@ -85,9 +88,8 @@ fn main() -> Result<(), EbspError> {
         |k, v| (*k, *v),
         |_iter, out| {
             // Converged when paired buckets agree.
-            out.chunks(2).all(|pair| {
-                pair.len() < 2 || (pair[0].1 - pair[1].1).abs() < 1e-9
-            })
+            out.chunks(2)
+                .all(|pair| pair.len() < 2 || (pair[0].1 - pair[1].1).abs() < 1e-9)
         },
     )?;
     println!(

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and method surface the workspace benches use.
+//! Instead of statistical sampling it runs each benchmark a small fixed
+//! number of iterations and prints the mean wall-clock time — enough to
+//! eyeball relative cost and to keep `cargo bench` compiling without
+//! crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many measured iterations each bench runs (after one warm-up).
+const ITERATIONS: u32 = 10;
+
+/// Top-level handle passed to bench functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+/// Batch sizing hints; ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim always runs a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters > 0 {
+            bencher.total / bencher.iters
+        } else {
+            Duration::ZERO
+        };
+        println!("{}/{}: mean {:?} over {} iters", self.name, id.text, mean, bencher.iters);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure and accumulates timings.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up iteration, unmeasured.
+        let _ = routine();
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let _ = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("param", 32), |b| {
+            b.iter_batched(|| vec![0u8; 32], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

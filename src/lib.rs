@@ -44,7 +44,7 @@ pub mod prelude {
     pub use ripple_core::{
         export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter,
         ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner,
-        LoadSink, Loader, PairsLoader, QueueKind, RunOutcome,
+        LoadSink, Loader, PairsLoader, QueueKind, RetryPolicy, RunOutcome,
     };
     pub use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec};
     pub use ripple_store_mem::MemStore;

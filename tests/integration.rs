@@ -183,9 +183,9 @@ fn recovery_during_a_real_application() {
         .checkpoint_interval(1)
         .run_recoverable(
             job,
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<FaultyBfs>| {
-                sink.message(0, 0)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FaultyBfs>| sink.message(0, 0),
+            ))],
         )
         .unwrap();
     assert!(outcome.metrics.recoveries >= 1, "the failure must be seen");
@@ -242,9 +242,9 @@ fn graph_ebsp_runs_on_table_backed_queues_too() {
         .queue_kind(QueueKind::Table)
         .run_with_loaders(
             Arc::new(Gossip),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Gossip>| {
-                sink.message(7, 0)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Gossip>| sink.message(7, 0),
+            ))],
         )
         .unwrap();
     let table = store.lookup_table("gossip").unwrap();

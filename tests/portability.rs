@@ -102,9 +102,9 @@ fn table_queues_over_the_simple_store() {
         .queue_kind(QueueKind::Table)
         .run_with_loaders(
             Arc::new(Gossip),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Gossip>| {
-                sink.message(5, 0)
-            }))],
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<Gossip>| sink.message(5, 0),
+            ))],
         )
         .unwrap();
     let table = store.lookup_table("gossip_s").unwrap();
