@@ -31,7 +31,7 @@ fn bench_summa(c: &mut Criterion) {
                             &SummaOptions {
                                 grid: 3,
                                 mode,
-                                trace: false,
+                                ..SummaOptions::default()
                             },
                         )
                         .unwrap()

@@ -13,9 +13,15 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin sssp_incremental --
 //! [--scale 50] [--batches 10] [--batch-size 1000] [--trials 3]
-//! [--parts 6] [--skip-fullscan]`
+//! [--parts 6] [--skip-fullscan] [--profile steps.json]`
+//!
+//! `--profile <path>` additionally applies one extra profiled batch on the
+//! selective instance after the timed trials and writes its per-step
+//! engine profiles to `<path>` as JSON — the step-level view of a change
+//! wave's blast radius.
 
 use ripple_bench::{Args, Stats};
+use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::{random_change_batch, random_undirected};
 use ripple_graph::sssp::{bfs_oracle, FullScanInstance, SelectiveInstance};
 use ripple_store_mem::MemStore;
@@ -29,6 +35,7 @@ fn main() {
     let trials = args.get("trials", 3usize);
     let parts = args.get("parts", 6u32);
     let skip_fullscan = args.has("skip-fullscan");
+    let profile_path = args.get_opt::<String>("profile");
 
     let n = (100_000u64 / scale).max(500) as u32;
     let edges = 1_800_000u64 / scale;
@@ -112,6 +119,26 @@ fn main() {
         println!(
             "  speedup: {:.0}x (paper: 78 / 0.21 = ~370x)",
             fs.mean / sel.mean
+        );
+    }
+
+    if let Some(path) = profile_path {
+        let seed = 0xD15C0u64;
+        let graph = random_undirected(n, edges, 0.8, seed);
+        let store = MemStore::builder().default_parts(parts).build();
+        let (sel, _) = SelectiveInstance::initialize(&store, "sel_profiled", graph.graph(), 0)
+            .expect("selective init");
+        let batch = random_change_batch(n, batch_size, 0.8, seed * 7919);
+        let mut runner = JobRunner::new(store);
+        runner.profile(true);
+        let out = sel
+            .apply_batch_on(&runner, &batch)
+            .expect("profiled update");
+        let profiles = out.profiles.as_deref().unwrap_or(&[]);
+        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        println!(
+            "  wrote {} step profiles of one change wave to {path}",
+            profiles.len()
         );
     }
 }

@@ -9,10 +9,16 @@
 //! synchronization to be controlled by the programmer".
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin summa_sync --
-//! [--grid 3] [--block 64] [--trials 8] [--parts 3]`
+//! [--grid 3] [--block 64] [--trials 8] [--parts 3]
+//! [--profile profiles.json]`
+//!
+//! `--profile <path>` additionally runs one profiled multiply per mode and
+//! writes both profile shapes to `<path>` as JSON: per-step profiles of
+//! the synchronized run, per-worker busy/idle profiles of the
+//! unsynchronized run — the two sides of the §V-B comparison.
 
 use ripple_bench::{timed_trials, Args, Stats};
-use ripple_core::ExecMode;
+use ripple_core::{step_profiles_json, worker_profiles_json, ExecMode};
 use ripple_store_mem::MemStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
 
@@ -22,6 +28,7 @@ fn main() {
     let block = args.get("block", 64usize);
     let trials = args.get("trials", 8usize);
     let parts = args.get("parts", 3u32);
+    let profile_path = args.get_opt::<String>("profile");
     let dim = grid as usize * block;
 
     let a = DenseMatrix::random(dim, dim, 1);
@@ -40,6 +47,7 @@ fn main() {
                     grid,
                     mode,
                     trace: false,
+                    profile: false,
                 },
             )
             .expect("SUMMA multiply");
@@ -58,4 +66,32 @@ fn main() {
         "  speedup: {:.2}x (paper: 90/51 = 1.76x; upper bound 7/3 = 2.33x)",
         with_sync.mean / without.mean
     );
+
+    if let Some(path) = profile_path {
+        let profiled = |mode: ExecMode| {
+            let store = MemStore::builder().default_parts(parts).build();
+            let (_, report) = multiply(
+                &store,
+                &a,
+                &b,
+                &SummaOptions {
+                    grid,
+                    mode,
+                    trace: false,
+                    profile: true,
+                },
+            )
+            .expect("profiled SUMMA multiply");
+            report.outcome
+        };
+        let sync_out = profiled(ExecMode::Synchronized);
+        let nosync_out = profiled(ExecMode::Unsynchronized);
+        let json = format!(
+            "{{\"synchronized_steps\":{},\"unsynchronized_workers\":{}}}",
+            step_profiles_json(sync_out.profiles.as_deref().unwrap_or(&[])),
+            worker_profiles_json(nosync_out.worker_profiles.as_deref().unwrap_or(&[])),
+        );
+        std::fs::write(&path, json).expect("write profile JSON");
+        println!("  wrote step + worker profiles to {path}");
+    }
 }

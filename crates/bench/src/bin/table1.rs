@@ -19,11 +19,17 @@
 //! below).
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table1 --
-//! [--scale 100] [--trials 5] [--iterations 10] [--parts 6]`
+//! [--scale 100] [--trials 5] [--iterations 10] [--parts 6]
+//! [--profile steps.json]`
+//!
+//! `--profile <path>` additionally runs one profiled direct ranking of the
+//! first graph shape and writes its per-step profiles (per-part compute
+//! times, barrier skew, store deltas) to `<path>` as JSON.
 
 use ripple_bench::{row, timed_trials, Args, Stats};
+use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::power_law_graph;
-use ripple_graph::pagerank::{run_direct, run_mapreduce_variant, PageRankConfig};
+use ripple_graph::pagerank::{run_direct, run_direct_on, run_mapreduce_variant, PageRankConfig};
 use ripple_store_mem::MemStore;
 
 fn main() {
@@ -32,6 +38,7 @@ fn main() {
     let trials = args.get("trials", 5usize);
     let iterations = args.get("iterations", 10u32);
     let parts = args.get("parts", 6u32);
+    let profile_path = args.get_opt::<String>("profile");
     let config = PageRankConfig {
         damping: 0.85,
         iterations,
@@ -106,4 +113,21 @@ fn main() {
         "\npaper shape: direct 15-19% faster with 50% fewer I/O and \
          synchronization rounds"
     );
+
+    if let Some(path) = profile_path {
+        let (v_full, e_full) = shapes[0];
+        let vertices = (v_full / scale).max(100) as u32;
+        let edges = (e_full / scale).max(1000);
+        let graph = power_law_graph(vertices, edges, 0.8, 0xA11CE);
+        let store = MemStore::builder().default_parts(parts).build();
+        let mut runner = JobRunner::new(store);
+        runner.profile(true);
+        let out = run_direct_on(&runner, "pr_profiled", &graph, config).expect("profiled run");
+        let profiles = out.profiles.as_deref().unwrap_or(&[]);
+        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        println!(
+            "wrote {} step profiles of a direct ranking to {path}",
+            profiles.len()
+        );
+    }
 }

@@ -12,10 +12,13 @@
 //! synchronization slows this example by 7/3.
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table2 --
-//! [--grid 3] [--block 8]`
+//! [--grid 3] [--block 8] [--profile steps.json]`
+//!
+//! `--profile <path>` writes the run's per-step engine profiles (per-part
+//! compute times, barrier skew, store deltas) to `<path>` as JSON.
 
 use ripple_bench::Args;
-use ripple_core::ExecMode;
+use ripple_core::{step_profiles_json, ExecMode};
 use ripple_store_mem::MemStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
 
@@ -23,6 +26,7 @@ fn main() {
     let args = Args::capture();
     let grid = args.get("grid", 3u32);
     let block = args.get("block", 8usize);
+    let profile_path = args.get_opt::<String>("profile");
     let dim = grid as usize * block;
 
     let a = DenseMatrix::random(dim, dim, 0xBEEF);
@@ -36,6 +40,7 @@ fn main() {
             grid,
             mode: ExecMode::Synchronized,
             trace: true,
+            profile: profile_path.is_some(),
         },
     )
     .expect("SUMMA multiply");
@@ -65,5 +70,11 @@ fn main() {
     if grid == 3 {
         assert_eq!(trace, vec![1, 3, 6, 3, 6, 3, 5], "must reproduce Table II");
         println!("matches the paper's Table II exactly");
+    }
+
+    if let Some(path) = profile_path {
+        let profiles = report.outcome.profiles.as_deref().unwrap_or(&[]);
+        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        println!("wrote {} step profiles to {path}", profiles.len());
     }
 }

@@ -99,6 +99,26 @@ impl Args {
         }
     }
 
+    /// The value following `--name`, parsed, or `None` when the flag is
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value is missing or unparsable.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let flag = format!("--{name}");
+        self.raw.iter().position(|a| *a == flag).map(|i| {
+            let v = self
+                .raw
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"));
+            v.parse().unwrap_or_else(|e| panic!("{flag} {v}: {e}"))
+        })
+    }
+
     /// Whether the bare flag `--name` is present.
     pub fn has(&self, name: &str) -> bool {
         self.raw.iter().any(|a| a == &format!("--{name}"))
@@ -140,6 +160,16 @@ mod tests {
         assert_eq!(args.get("trials", 7u32), 7);
         assert!(args.has("verbose"));
         assert!(!args.has("quiet"));
+    }
+
+    #[test]
+    fn args_get_opt_distinguishes_absent_flags() {
+        let args = Args::from_vec(vec!["--profile".into(), "out.json".into()]);
+        assert_eq!(
+            args.get_opt::<String>("profile").as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(args.get_opt::<u32>("scale"), None);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! with the typed [`EbspError::Unrecoverable`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,7 +47,7 @@ use crate::metrics::PartCounters;
 use crate::retry::{kv_with_retry, FaultRetry};
 use crate::{
     AggregateSnapshot, EbspError, Envelope, ExecMode, Job, Loader, QueueKind, RetryPolicy,
-    RunMetrics, RunOutcome, WeightThrow,
+    RunMetrics, RunOutcome, WeightThrow, WorkerProfile,
 };
 
 /// Heals one failed part (e.g. by promoting surviving replicas); returns
@@ -70,6 +70,9 @@ pub(crate) struct NosyncOptions {
     pub(crate) observer: Option<Arc<dyn crate::RunObserver>>,
     /// Store-side part healing for worker self-recovery.
     pub(crate) heal: Option<Arc<HealFn>>,
+    /// Collect per-worker [`WorkerProfile`]s and emit them through the
+    /// observer as the run drains.
+    pub(crate) profile: bool,
 }
 
 impl Default for NosyncOptions {
@@ -81,6 +84,7 @@ impl Default for NosyncOptions {
             retry: RetryPolicy::default(),
             observer: None,
             heal: None,
+            profile: false,
         }
     }
 }
@@ -171,7 +175,6 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
     let parts = env.parts();
     let detector = Arc::new(WeightThrow::new());
     let failure: Arc<Mutex<Option<EbspError>>> = Arc::new(Mutex::new(None));
-    let stopping = Arc::new(AtomicBool::new(false));
     let retry = Arc::new(FaultRetry::new(opts.retry, opts.observer.clone()));
 
     // ----- Initial condition ------------------------------------------------
@@ -201,31 +204,29 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
     }
 
     // ----- Quiescence watcher -----------------------------------------------
-    let timed_out = Arc::new(AtomicBool::new(false));
+    // Event-driven: the watcher sleeps on the detector's condition
+    // variable — woken by the `give_back` that drains the outstanding
+    // weight, or by `notify()` when a worker records a failure — with the
+    // quiescence deadline as its only timed wait.  On timeout it reports
+    // how long it actually waited (measured from its own start, not the
+    // run's, which also covers loading and seeding).
     let watcher = {
         let detector = Arc::clone(&detector);
         let failure = Arc::clone(&failure);
-        let stopping = Arc::clone(&stopping);
-        let timed_out = Arc::clone(&timed_out);
         let qs = qs.clone();
-        let deadline = Instant::now() + opts.quiescence_timeout;
+        let timeout = opts.quiescence_timeout;
         std::thread::Builder::new()
             .name("ripple-nosync-watch".to_owned())
-            .spawn(move || loop {
-                let failed = failure.lock().is_some();
-                let quiescent = detector.quiescent();
-                let late = Instant::now() >= deadline;
-                if failed || quiescent || late {
-                    if late && !quiescent && !failed {
-                        timed_out.store(true, Ordering::Release);
-                    }
-                    stopping.store(true, Ordering::Release);
-                    for p in 0..qs.parts() {
-                        let _ = qs.put(PartId(p), to_wire(&NosyncMsg::<J>::Stop));
-                    }
-                    return;
+            .spawn(move || -> Option<Duration> {
+                let watch_started = Instant::now();
+                let deadline = watch_started + timeout;
+                let done = detector.wait_until(deadline, &|| {
+                    detector.quiescent() || failure.lock().is_some()
+                });
+                for p in 0..qs.parts() {
+                    let _ = qs.put(PartId(p), to_wire(&NosyncMsg::<J>::Stop));
                 }
-                std::thread::sleep(Duration::from_micros(300));
+                (!done).then(|| watch_started.elapsed())
             })
             .expect("spawn nosync watcher")
     };
@@ -247,25 +248,30 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         heal: opts.heal.clone(),
         recoveries: std::sync::atomic::AtomicU32::new(0),
     });
-    let counters = {
+    let results = {
         let worker_env = Arc::clone(&worker_env);
         let qs_inner = qs.clone();
         qs.run_workers(move |view, rx| worker_loop(&worker_env, &qs_inner, view, rx))?
     };
-    watcher.join().expect("nosync watcher never panics");
+    let waited = watcher.join().expect("nosync watcher never panics");
 
     if let Some(e) = failure.lock().take() {
         return Err(e);
     }
-    if timed_out.load(Ordering::Acquire) {
-        return Err(EbspError::QuiescenceTimeout {
-            waited: started.elapsed(),
-        });
+    if let Some(waited) = waited {
+        return Err(EbspError::QuiescenceTimeout { waited });
     }
 
     let mut metrics = RunMetrics::default();
-    for c in counters.into_iter().flatten() {
+    let mut worker_profiles: Vec<WorkerProfile> = Vec::new();
+    for (c, profile) in results.into_iter().flatten() {
         metrics.absorb(&c);
+        if opts.profile {
+            if let Some(observer) = &opts.observer {
+                observer.on_worker_profile(&profile);
+            }
+            worker_profiles.push(profile);
+        }
     }
     metrics.steps = 0;
     metrics.barriers = 0;
@@ -280,6 +286,8 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         aggregates: AggregateSnapshot::default(),
         metrics,
         mode: ExecMode::Unsynchronized,
+        profiles: None,
+        worker_profiles: opts.profile.then_some(worker_profiles),
     })
 }
 
@@ -317,18 +325,34 @@ fn worker_loop<J: Job, Q: QueueSet>(
     qs: &Q,
     view: &dyn PartView,
     rx: &mut dyn QueueReceiver,
-) -> Option<PartCounters> {
+) -> Option<(PartCounters, WorkerProfile)> {
     let own_part = view.part().0;
     let mut counters = PartCounters::default();
+    let mut profile = WorkerProfile {
+        part: own_part,
+        ..WorkerProfile::default()
+    };
     // The round in flight, outside the panic boundary so it survives a
-    // crash and can be redelivered.
+    // crash and can be redelivered.  The per-component invocation counter
+    // lives out here too: it feeds `ctx.step`, which must stay monotone
+    // for a component across heal-respawns, not reset to 1.
     let ledger: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
+    let mut invocation_seq: HashMap<J::Key, u32> = HashMap::new();
     let mut respawns = 0u32;
     loop {
         // Contain application panics so the watcher learns of the failure
         // immediately instead of waiting out the quiescence timeout.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            worker_inner(wenv, qs, view, rx, &ledger, &mut counters)
+            worker_inner(
+                wenv,
+                qs,
+                view,
+                rx,
+                &ledger,
+                &mut counters,
+                &mut invocation_seq,
+                &mut profile,
+            )
         }))
         .unwrap_or_else(|panic| {
             Err(EbspError::Kv(KvError::TaskPanicked {
@@ -337,7 +361,7 @@ fn worker_loop<J: Job, Q: QueueSet>(
             }))
         });
         let error = match result {
-            Ok(()) => return Some(counters),
+            Ok(()) => return Some((counters, profile)),
             Err(e) => e,
         };
 
@@ -360,19 +384,27 @@ fn worker_loop<J: Job, Q: QueueSet>(
             } else {
                 error
             };
-            let mut slot = wenv.failure.lock();
-            if slot.is_none() {
-                *slot = Some(fatal);
+            {
+                let mut slot = wenv.failure.lock();
+                if slot.is_none() {
+                    *slot = Some(fatal);
+                }
             }
+            // Wake the watcher so it broadcasts Stop without waiting out
+            // the quiescence deadline.
+            wenv.detector.notify();
             return None;
         }
         respawns += 1;
         wenv.recoveries.fetch_add(1, Ordering::Relaxed);
         if redeliver_ledger::<J, Q>(wenv, qs, &ledger).is_err() {
-            let mut slot = wenv.failure.lock();
-            if slot.is_none() {
-                *slot = Some(EbspError::Unrecoverable { part: own_part });
+            {
+                let mut slot = wenv.failure.lock();
+                if slot.is_none() {
+                    *slot = Some(EbspError::Unrecoverable { part: own_part });
+                }
             }
+            wenv.detector.notify();
             return None;
         }
     }
@@ -404,6 +436,7 @@ fn redeliver_ledger<J: Job, Q: QueueSet>(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_inner<J: Job, Q: QueueSet>(
     wenv: &WorkerEnv<J>,
     qs: &Q,
@@ -411,8 +444,9 @@ fn worker_inner<J: Job, Q: QueueSet>(
     rx: &mut dyn QueueReceiver,
     ledger: &Mutex<Vec<Bytes>>,
     counters: &mut PartCounters,
+    invocation_seq: &mut HashMap<J::Key, u32>,
+    profile: &mut WorkerProfile,
 ) -> Result<(), EbspError> {
-    let mut invocation_seq: HashMap<J::Key, u32> = HashMap::new();
     let ops = LocalStateOps {
         view,
         tables: &wenv.table_names,
@@ -422,9 +456,15 @@ fn worker_inner<J: Job, Q: QueueSet>(
     let part = view.part();
 
     'main: loop {
+        let wait_started = Instant::now();
         let Some(first) = rx.recv_timeout(wenv.idle)? else {
-            continue; // idle poll; all weight already returned
+            // Idle poll; all weight already returned.
+            profile.idle += wait_started.elapsed();
+            profile.empty_polls += 1;
+            continue;
         };
+        profile.idle += wait_started.elapsed();
+        let busy_started = Instant::now();
         let mut stop_after_batch = false;
         let mut batch: Vec<(u64, Envelope<J>)> = Vec::new();
         match from_wire::<NosyncMsg<J>>(&first)? {
@@ -451,6 +491,7 @@ fn worker_inner<J: Job, Q: QueueSet>(
         }
 
         // Group per component, preserving arrival order within each.
+        let batch_len = batch.len() as u64;
         let mut order: Vec<J::Key> = Vec::new();
         let mut grouped: HashMap<J::Key, (Vec<J::Message>, bool)> = HashMap::new();
         let mut hold = 0u64;
@@ -517,6 +558,10 @@ fn worker_inner<J: Job, Q: QueueSet>(
         // go home, and the round is off the books.
         wenv.detector.give_back(hold);
         ledger.lock().clear();
+        profile.busy += busy_started.elapsed();
+        profile.batches += 1;
+        profile.envelopes += batch_len;
+        profile.max_batch = profile.max_batch.max(batch_len);
         if stop_after_batch {
             break 'main;
         }

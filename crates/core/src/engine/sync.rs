@@ -34,15 +34,17 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use ripple_kv::{KvError, KvStore, PartId, RoutedKey, Table};
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, StoreMetrics, Table};
 
 use crate::engine::{
     build_inbox_at_part, compute_at_part, write_spills, EngineLoadSink, JobEnv, LoadBuffer,
     TableGuard,
 };
 use crate::metrics::PartCounters;
+use crate::profile::{PartStepProfile, StepCounters, StepProfile};
 use crate::retry::FaultRetry;
 use crate::{
     AggValue, AggregateSnapshot, EbspError, ExecMode, Job, Loader, RetryPolicy, RunMetrics,
@@ -64,6 +66,9 @@ pub(crate) struct SyncOptions {
     /// Replay a single failed part alone instead of rolling the whole
     /// group back, where the plan's determinism allows it.
     pub(crate) fast_recovery: bool,
+    /// Collect a [`StepProfile`] per step and emit it through the observer
+    /// as each barrier completes.
+    pub(crate) profile: bool,
 }
 
 /// A captured, type-erased shard checkpoint.
@@ -156,6 +161,25 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
 
     let mut metrics = RunMetrics::default();
 
+    // ----- Step profiling ---------------------------------------------------
+    // Per-step store deltas telescope: each emitted step's interval starts
+    // where the previous one ended (the first at the run's own baseline),
+    // so the emitted deltas sum to the run-level delta — checkpoint
+    // traffic between steps lands in the step that follows it, and a final
+    // checkpoint after the last step stays run-level only.
+    let profiling = opts.profile;
+    let mut profiles: Vec<StepProfile> = Vec::new();
+    // Snapshots at each emitted profile, so a rollback can rewind the
+    // telescoping baseline in lockstep with `profiles`.
+    let mut profile_snaps: Vec<(StoreMetrics, Vec<StoreMetrics>)> = Vec::new();
+    let initial_part_base: Vec<StoreMetrics> = if profiling {
+        env.store.part_metrics()
+    } else {
+        Vec::new()
+    };
+    let mut store_base = store_before;
+    let mut part_base = initial_part_base.clone();
+
     // ----- Initial condition ------------------------------------------------
     let mut buffer = LoadBuffer::new();
     {
@@ -189,7 +213,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
 
     // ----- Inbox for step 1 -------------------------------------------------
     // Nothing to recover to yet if this fails.
-    let (mut enabled, recorded) = run_inbox_phase(
+    let (mut enabled, _, recorded, _) = run_inbox_phase(
         env,
         &transport_name,
         &inbox_name,
@@ -229,6 +253,8 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
 
         // Compute phase: pinned to each component's part, or stealing
         // from a shared queue when the plan allows run-anywhere.
+        let compute_begin = Instant::now();
+        let mut compute_times: Vec<Option<(Instant, Instant)>> = Vec::new();
         let compute_result = if env.plan.run_anywhere {
             crate::engine::anywhere::run_compute_phase_anywhere(
                 env,
@@ -250,7 +276,8 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             let mut aggs = env.registry.identities();
             let mut counters = PartCounters::default();
             let mut failures: Vec<(u32, EbspError)> = Vec::new();
-            for (p, result) in per_part.into_iter().enumerate() {
+            for (p, (result, timing)) in per_part.into_iter().enumerate() {
+                compute_times.push(timing);
                 match result {
                     Ok((partial, c)) => {
                         env.registry.merge(&mut aggs, partial);
@@ -301,10 +328,11 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 }
             }
         };
-        let step_aggs = match compute_result {
+        let compute_wall = compute_begin.elapsed();
+        let (step_aggs, mut step_counters) = match compute_result {
             Ok((aggs, counters)) => {
                 metrics.absorb(&counters);
-                match &agg_tables {
+                let aggs = match &agg_tables {
                     None => aggs,
                     Some(((a1, _), (a2, t2))) => {
                         // The extra enumeration round of the large path.
@@ -323,6 +351,17 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                                     &mut agg_snapshot,
                                     &mut metrics,
                                 )?;
+                                if profiling {
+                                    rewind_profiles(
+                                        step,
+                                        &mut profiles,
+                                        &mut profile_snaps,
+                                        &mut store_base,
+                                        &mut part_base,
+                                        store_before,
+                                        &initial_part_base,
+                                    );
+                                }
                                 if let Some(observer) = &opts.observer {
                                     observer.on_recovery(step);
                                 }
@@ -330,7 +369,8 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                             }
                         }
                     }
-                }
+                };
+                (aggs, counters)
             }
             Err(e) => {
                 recover_or_fail(
@@ -344,6 +384,17 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     &mut agg_snapshot,
                     &mut metrics,
                 )?;
+                if profiling {
+                    rewind_profiles(
+                        step,
+                        &mut profiles,
+                        &mut profile_snaps,
+                        &mut store_base,
+                        &mut part_base,
+                        store_before,
+                        &initial_part_base,
+                    );
+                }
                 if let Some(observer) = &opts.observer {
                     observer.on_recovery(step);
                 }
@@ -357,6 +408,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         let next_snapshot = AggregateSnapshot::new(merged);
 
         // Inbox build phase.
+        let inbox_begin = Instant::now();
         match run_inbox_phase(
             env,
             &transport_name,
@@ -365,7 +417,8 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             &fault_retry,
             fast,
         ) {
-            Ok((n, recorded)) => {
+            Ok((n, inbox_counters, recorded, inbox_times)) => {
+                let inbox_wall = inbox_begin.elapsed();
                 enabled = n;
                 agg_snapshot = next_snapshot;
                 step = next_step;
@@ -375,6 +428,29 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 }
                 if let Some(observer) = &opts.observer {
                     observer.on_step(step, enabled, &agg_snapshot);
+                }
+                if profiling {
+                    step_counters.merge(&inbox_counters);
+                    let profile = build_step_profile(
+                        &env.store,
+                        started,
+                        step,
+                        enabled,
+                        compute_begin,
+                        compute_wall,
+                        inbox_wall,
+                        &compute_times,
+                        &inbox_times,
+                        &step_counters,
+                        !env.plan.run_anywhere,
+                        &mut store_base,
+                        &mut part_base,
+                    );
+                    profile_snaps.push((store_base, part_base.clone()));
+                    if let Some(observer) = &opts.observer {
+                        observer.on_step_profile(&profile);
+                    }
+                    profiles.push(profile);
                 }
             }
             Err(e) => {
@@ -389,6 +465,17 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     &mut agg_snapshot,
                     &mut metrics,
                 )?;
+                if profiling {
+                    rewind_profiles(
+                        step,
+                        &mut profiles,
+                        &mut profile_snaps,
+                        &mut store_base,
+                        &mut part_base,
+                        store_before,
+                        &initial_part_base,
+                    );
+                }
                 if let Some(observer) = &opts.observer {
                     observer.on_recovery(step);
                 }
@@ -423,12 +510,111 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         aggregates: agg_snapshot,
         metrics,
         mode: ExecMode::Synchronized,
+        profiles: profiling.then_some(profiles),
+        worker_profiles: None,
     })
 }
 
+/// Assembles one step's profile from the phase timings, charging each part
+/// its store delta since the previous emitted step, and advances the
+/// telescoping baselines.
+#[allow(clippy::too_many_arguments)]
+fn build_step_profile<S: KvStore>(
+    store: &S,
+    started: Instant,
+    step: u32,
+    enabled_next: u64,
+    compute_begin: Instant,
+    compute_wall: Duration,
+    inbox_wall: Duration,
+    compute_times: &[Option<(Instant, Instant)>],
+    inbox_times: &[Option<(Instant, Instant)>],
+    counters: &PartCounters,
+    per_part_homes: bool,
+    store_base: &mut StoreMetrics,
+    part_base: &mut Vec<StoreMetrics>,
+) -> StepProfile {
+    let store_now = store.metrics();
+    let part_now = store.part_metrics();
+    let finishes: Vec<Instant> = compute_times.iter().flatten().map(|&(_, f)| f).collect();
+    let barrier_skew = match (finishes.iter().min(), finishes.iter().max()) {
+        (Some(first), Some(last)) => last.duration_since(*first),
+        _ => Duration::ZERO,
+    };
+    let span = |timing: Option<(Instant, Instant)>| match timing {
+        Some((from, to)) => (from.duration_since(started), to.duration_since(from)),
+        None => (Duration::ZERO, Duration::ZERO),
+    };
+    let parts = if per_part_homes {
+        (0..compute_times.len().max(inbox_times.len()))
+            .map(|p| {
+                let (compute_start, compute) = span(compute_times.get(p).copied().flatten());
+                let (inbox_start, inbox_build) = span(inbox_times.get(p).copied().flatten());
+                let now = part_now.get(p).copied().unwrap_or_default();
+                let base = part_base.get(p).copied().unwrap_or_default();
+                PartStepProfile {
+                    part: p as u32,
+                    compute_start,
+                    compute,
+                    inbox_start,
+                    inbox_build,
+                    store: now - base,
+                }
+            })
+            .collect()
+    } else {
+        // Work-stealing compute has no per-part home to attribute to.
+        Vec::new()
+    };
+    let profile = StepProfile {
+        step,
+        start: compute_begin.duration_since(started),
+        compute_wall,
+        inbox_wall,
+        barrier_skew,
+        enabled_next,
+        parts,
+        counters: StepCounters::from_part_counters(counters),
+        store: store_now - *store_base,
+    };
+    *store_base = store_now;
+    *part_base = part_now;
+    profile
+}
+
+/// Discards profiles of steps a rollback undid and rewinds the telescoping
+/// store baseline to the last surviving emission, so the rolled-back
+/// work's store cost folds into the re-execution's deltas instead of
+/// vanishing from the per-step sum.
+fn rewind_profiles(
+    step: u32,
+    profiles: &mut Vec<StepProfile>,
+    snaps: &mut Vec<(StoreMetrics, Vec<StoreMetrics>)>,
+    store_base: &mut StoreMetrics,
+    part_base: &mut Vec<StoreMetrics>,
+    store_before: StoreMetrics,
+    initial_part_base: &[StoreMetrics],
+) {
+    while profiles.last().is_some_and(|p| p.step > step) {
+        profiles.pop();
+        snaps.pop();
+    }
+    match snaps.last() {
+        Some((whole, parts)) => {
+            *store_base = *whole;
+            *part_base = parts.clone();
+        }
+        None => {
+            *store_base = store_before;
+            *part_base = initial_part_base.to_vec();
+        }
+    }
+}
+
 /// Dispatches the compute task to every part and joins (the barrier);
-/// returns each part's result so the caller can recover a single failed
-/// part without discarding the survivors' work.
+/// returns each part's result — so the caller can recover a single failed
+/// part without discarding the survivors' work — alongside the part task's
+/// start/finish instants (absent when the dispatch itself failed).
 #[allow(clippy::type_complexity)]
 fn run_compute_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
@@ -438,7 +624,10 @@ fn run_compute_phase<S: KvStore, J: Job>(
     inbox_name: &str,
     agg_table: Option<&S::Table>,
     retry: &Arc<FaultRetry>,
-) -> Vec<Result<(HashMap<String, AggValue>, PartCounters), EbspError>> {
+) -> Vec<(
+    Result<(HashMap<String, AggValue>, PartCounters), EbspError>,
+    Option<(Instant, Instant)>,
+)> {
     let parts = env.parts();
     let agg_table = agg_table.cloned();
     let handles: Vec<_> = (0..parts)
@@ -455,7 +644,8 @@ fn run_compute_phase<S: KvStore, J: Job>(
             let agg_table = agg_table.clone();
             let retry = Arc::clone(retry);
             env.store.run_at(&env.reference, PartId(p), move |view| {
-                compute_at_part::<S::Table, J>(
+                let begun = Instant::now();
+                let result = compute_at_part::<S::Table, J>(
                     &job,
                     &plan,
                     view,
@@ -472,7 +662,8 @@ fn run_compute_phase<S: KvStore, J: Job>(
                     Some(&retry),
                     None,
                     false,
-                )
+                );
+                (begun, Instant::now(), result)
             })
         })
         .collect();
@@ -480,15 +671,17 @@ fn run_compute_phase<S: KvStore, J: Job>(
     handles
         .into_iter()
         .map(|handle| match handle.join() {
-            Ok(result) => result,
-            Err(e) => Err(EbspError::Kv(e)),
+            Ok((begun, finished, result)) => (result, Some((begun, finished))),
+            Err(e) => (Err(EbspError::Kv(e)), None),
         })
         .collect()
 }
 
 /// Dispatches the inbox-build task to every part and joins; returns the
-/// total enabled component count for the next step and — when `record` is
-/// set — every part's materialized inbox entries, indexed by part.
+/// total enabled component count for the next step, the phase's merged
+/// work counters (also absorbed into `metrics`), the per-part task
+/// timings, and — when `record` is set — every part's materialized inbox
+/// entries, indexed by part.
 #[allow(clippy::type_complexity)]
 fn run_inbox_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
@@ -497,7 +690,15 @@ fn run_inbox_phase<S: KvStore, J: Job>(
     metrics: &mut RunMetrics,
     retry: &Arc<FaultRetry>,
     record: bool,
-) -> Result<(u64, Vec<Vec<(RoutedKey, Bytes)>>), EbspError> {
+) -> Result<
+    (
+        u64,
+        PartCounters,
+        Vec<Vec<(RoutedKey, Bytes)>>,
+        Vec<Option<(Instant, Instant)>>,
+    ),
+    EbspError,
+> {
     let handles: Vec<_> = (0..env.parts())
         .map(|p| {
             let job = Arc::clone(&env.job);
@@ -507,7 +708,8 @@ fn run_inbox_phase<S: KvStore, J: Job>(
             let inbox = inbox_name.to_owned();
             let retry = Arc::clone(retry);
             env.store.run_at(&env.reference, PartId(p), move |view| {
-                build_inbox_at_part::<J>(
+                let begun = Instant::now();
+                let result = build_inbox_at_part::<J>(
                     &job,
                     &plan,
                     view,
@@ -516,33 +718,40 @@ fn run_inbox_phase<S: KvStore, J: Job>(
                     &table_names,
                     Some(&retry),
                     record,
-                )
+                );
+                (begun, Instant::now(), result)
             })
         })
         .collect();
 
     let mut enabled = 0u64;
+    let mut phase_counters = PartCounters::default();
     let mut recorded = Vec::with_capacity(handles.len());
+    let mut timings = Vec::with_capacity(handles.len());
     let mut first_err: Option<EbspError> = None;
     for handle in handles {
         match handle.join() {
-            Ok(Ok((n, counters, entries))) => {
+            Ok((begun, finished, Ok((n, counters, entries)))) => {
                 enabled += n;
-                metrics.absorb(&counters);
+                phase_counters.merge(&counters);
                 recorded.push(entries);
+                timings.push(Some((begun, finished)));
             }
-            Ok(Err(e)) => {
+            Ok((_, _, Err(e))) => {
                 recorded.push(Vec::new());
+                timings.push(None);
                 first_err = Some(first_err.unwrap_or(e));
             }
             Err(e) => {
                 recorded.push(Vec::new());
+                timings.push(None);
                 first_err = Some(first_err.unwrap_or(EbspError::Kv(e)));
             }
         }
     }
+    metrics.absorb(&phase_counters);
     match first_err {
-        None => Ok((enabled, recorded)),
+        None => Ok((enabled, phase_counters, recorded, timings)),
         Some(e) => Err(e),
     }
 }

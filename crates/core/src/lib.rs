@@ -53,11 +53,13 @@ mod job;
 mod loader;
 mod metrics;
 mod observer;
+mod profile;
 mod properties;
 mod retry;
 mod runner;
 mod simple;
 mod termination;
+mod trace;
 
 pub(crate) mod engine;
 
@@ -72,12 +74,14 @@ pub use export::{export_state_table, CollectingExporter, DiscardExporter, Export
 pub use job::{Job, StateExporters};
 pub use loader::{FnLoader, LoadSink, Loader, PairsLoader, TableLoader};
 pub use metrics::RunMetrics;
-pub use observer::{ObservedEvent, RecordingObserver, RunObserver};
+pub use observer::{FanoutObserver, ObservedEvent, RecordingObserver, RunObserver};
+pub use profile::{PartStepProfile, StepCounters, StepProfile, WorkerProfile};
 pub use properties::{ExecMode, ExecutionPlan, JobProperties};
 pub use retry::RetryPolicy;
 pub use runner::{JobRunner, QueueKind, RunOutcome};
 pub use simple::{SimpleJob, SimpleJobBuilder};
 pub use termination::WeightThrow;
+pub use trace::{step_profiles_json, worker_profiles_json, TraceRecorder};
 
 use ripple_kv::RoutedKey;
 use ripple_wire::{to_wire, Encode};

@@ -94,7 +94,8 @@ impl fmt::Display for RunMetrics {
         write!(
             f,
             "{} steps, {} barriers, {} invocations, {} msgs ({} combined), \
-             state r/w/d {}/{}/{}, {} spills, {} retries, {} recoveries \
+             state r/w/d {}/{}/{}, {} creates, {} direct outputs, {} spills, \
+             {} retries, {} recoveries \
              ({} part-steps replayed), {:.3}s [{}]",
             self.steps,
             self.barriers,
@@ -104,6 +105,8 @@ impl fmt::Display for RunMetrics {
             self.state_reads,
             self.state_writes,
             self.state_deletes,
+            self.creates,
+            self.direct_outputs,
             self.spill_batches,
             self.retries,
             self.recoveries,
@@ -151,5 +154,20 @@ mod tests {
         assert_eq!(m.invocations, 8);
         assert_eq!(m.direct_outputs, 2);
         assert!(!m.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_includes_every_documented_counter() {
+        let m = RunMetrics {
+            creates: 11,
+            direct_outputs: 13,
+            ..Default::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("11 creates"), "creates missing from {s:?}");
+        assert!(
+            s.contains("13 direct outputs"),
+            "direct_outputs missing from {s:?}"
+        );
     }
 }

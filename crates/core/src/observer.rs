@@ -3,6 +3,7 @@
 //! generalizes that to per-step visibility — progress reporting, tracing,
 //! and experiment instrumentation hook in here without touching jobs.
 
+use crate::profile::{StepProfile, WorkerProfile};
 use crate::AggregateSnapshot;
 
 /// Callbacks invoked by the synchronized engine at run boundaries.
@@ -46,6 +47,76 @@ pub trait RunObserver: Send + Sync + 'static {
     fn on_retry(&self, part: u32, attempt: u32) {
         let _ = (part, attempt);
     }
+
+    /// A synchronized step's profile, emitted right after the step's
+    /// barrier when profiling is enabled
+    /// ([`JobRunner::profile`](crate::JobRunner::profile)).
+    fn on_step_profile(&self, profile: &StepProfile) {
+        let _ = profile;
+    }
+
+    /// One unsynchronized worker's run-level profile, emitted as the run
+    /// drains when profiling is enabled.
+    fn on_worker_profile(&self, profile: &WorkerProfile) {
+        let _ = profile;
+    }
+}
+
+/// Forwards every callback to each of a list of observers, in order — how
+/// the runner composes a user observer with an internal
+/// [`TraceRecorder`](crate::TraceRecorder).
+pub struct FanoutObserver {
+    observers: Vec<std::sync::Arc<dyn RunObserver>>,
+}
+
+impl FanoutObserver {
+    /// Creates a fan-out over `observers`.
+    pub fn new(observers: Vec<std::sync::Arc<dyn RunObserver>>) -> Self {
+        Self { observers }
+    }
+}
+
+impl RunObserver for FanoutObserver {
+    fn on_step(&self, step: u32, enabled_next: u64, aggregates: &AggregateSnapshot) {
+        for o in &self.observers {
+            o.on_step(step, enabled_next, aggregates);
+        }
+    }
+    fn on_checkpoint(&self, step: u32) {
+        for o in &self.observers {
+            o.on_checkpoint(step);
+        }
+    }
+    fn on_recovery(&self, rewound_to_step: u32) {
+        for o in &self.observers {
+            o.on_recovery(rewound_to_step);
+        }
+    }
+    fn on_fast_recovery(&self, part: u32, replayed_steps: u32) {
+        for o in &self.observers {
+            o.on_fast_recovery(part, replayed_steps);
+        }
+    }
+    fn on_fault_injected(&self, part: u32, detail: &str) {
+        for o in &self.observers {
+            o.on_fault_injected(part, detail);
+        }
+    }
+    fn on_retry(&self, part: u32, attempt: u32) {
+        for o in &self.observers {
+            o.on_retry(part, attempt);
+        }
+    }
+    fn on_step_profile(&self, profile: &StepProfile) {
+        for o in &self.observers {
+            o.on_step_profile(profile);
+        }
+    }
+    fn on_worker_profile(&self, profile: &WorkerProfile) {
+        for o in &self.observers {
+            o.on_worker_profile(profile);
+        }
+    }
 }
 
 /// An observer that records every callback, for tests and diagnostics.
@@ -69,6 +140,10 @@ pub enum ObservedEvent {
     FaultInjected(u32, String),
     /// `on_retry(part, attempt)`.
     Retry(u32, u32),
+    /// `on_step_profile(profile)` — the step number.
+    StepProfile(u32),
+    /// `on_worker_profile(profile)` — the part.
+    WorkerProfile(u32),
 }
 
 impl RecordingObserver {
@@ -109,5 +184,15 @@ impl RunObserver for RecordingObserver {
     }
     fn on_retry(&self, part: u32, attempt: u32) {
         self.events.lock().push(ObservedEvent::Retry(part, attempt));
+    }
+    fn on_step_profile(&self, profile: &StepProfile) {
+        self.events
+            .lock()
+            .push(ObservedEvent::StepProfile(profile.step));
+    }
+    fn on_worker_profile(&self, profile: &WorkerProfile) {
+        self.events
+            .lock()
+            .push(ObservedEvent::WorkerProfile(profile.part));
     }
 }

@@ -34,6 +34,14 @@ pub struct RunOutcome {
     pub metrics: RunMetrics,
     /// Which engine ran the job.
     pub mode: ExecMode,
+    /// One [`StepProfile`](crate::StepProfile) per synchronized step, in
+    /// step order, when [`JobRunner::profile`] was enabled; `None` when
+    /// profiling was off or the run was unsynchronized.
+    pub profiles: Option<Vec<crate::StepProfile>>,
+    /// One [`WorkerProfile`](crate::WorkerProfile) per unsynchronized
+    /// worker that drained normally, when [`JobRunner::profile`] was
+    /// enabled; `None` when profiling was off or the run was synchronized.
+    pub worker_profiles: Option<Vec<crate::WorkerProfile>>,
 }
 
 /// Configures and runs K/V EBSP jobs against a store.
@@ -99,6 +107,8 @@ pub struct JobRunner<S: KvStore> {
     observer: Option<Arc<dyn crate::RunObserver>>,
     retry: RetryPolicy,
     fast_recovery: bool,
+    profile: bool,
+    trace_to: Option<std::path::PathBuf>,
 }
 
 impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
@@ -113,6 +123,8 @@ impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
             .field("observer", &self.observer.is_some())
             .field("retry", &self.retry)
             .field("fast_recovery", &self.fast_recovery)
+            .field("profile", &self.profile)
+            .field("trace_to", &self.trace_to)
             .finish_non_exhaustive()
     }
 }
@@ -131,7 +143,32 @@ impl<S: KvStore> JobRunner<S> {
             observer: None,
             retry: RetryPolicy::default(),
             fast_recovery: true,
+            profile: false,
+            trace_to: None,
         }
+    }
+
+    /// Collects step-level profiles: synchronized runs yield one
+    /// [`StepProfile`](crate::StepProfile) per step (per-part compute and
+    /// inbox-build wall times, barrier skew, per-step store deltas),
+    /// streamed through
+    /// [`RunObserver::on_step_profile`](crate::RunObserver::on_step_profile)
+    /// as each barrier completes and collected on
+    /// [`RunOutcome::profiles`]; unsynchronized runs yield one
+    /// [`WorkerProfile`](crate::WorkerProfile) per worker on
+    /// [`RunOutcome::worker_profiles`].  Off by default.
+    pub fn profile(&mut self, enabled: bool) -> &mut Self {
+        self.profile = enabled;
+        self
+    }
+
+    /// Writes a Chrome trace-event JSON file (loadable in
+    /// `chrome://tracing` or Perfetto) to `path` when a run finishes.
+    /// Implies [`JobRunner::profile`]; composes with any user
+    /// [`JobRunner::observer`].
+    pub fn trace_to(&mut self, path: impl Into<std::path::PathBuf>) -> &mut Self {
+        self.trace_to = Some(path.into());
+        self
     }
 
     /// Sets how the engines retry transient store faults
@@ -250,7 +287,8 @@ impl<S: KvStore> JobRunner<S> {
         let (env, mode) = self.prepare(job)?;
         let mut loaders = env.job.loaders();
         loaders.extend(extra_loaders);
-        let outcome = match mode {
+        let (profile, observer, recorder) = self.profiling_setup();
+        let result = match mode {
             ExecMode::Synchronized => run_sync(
                 &env,
                 loaders,
@@ -258,9 +296,10 @@ impl<S: KvStore> JobRunner<S> {
                     max_steps: self.max_steps,
                     checkpoint_interval: None,
                     agg_table_threshold: self.agg_table_threshold,
-                    observer: self.observer.clone(),
+                    observer,
                     retry: self.retry,
                     fast_recovery: self.fast_recovery,
+                    profile,
                 },
                 None,
             ),
@@ -270,15 +309,62 @@ impl<S: KvStore> JobRunner<S> {
                 &NosyncOptions {
                     quiescence_timeout: self.quiescence_timeout,
                     retry: self.retry,
-                    observer: self.observer.clone(),
+                    observer,
                     heal,
+                    profile,
                     ..NosyncOptions::default()
                 },
                 self.queue_kind,
             ),
-        }?;
+        };
+        // A trace of a failed run is still worth having, but the run's own
+        // error takes precedence over a trace-write error.
+        let trace_result = self.write_trace(recorder.as_deref());
+        let outcome = result?;
+        trace_result?;
         self.apply_state_exporters(&env)?;
         Ok(outcome)
+    }
+
+    /// Resolves the effective profiling flag and observer: `trace_to`
+    /// implies profiling and splices an internal [`crate::TraceRecorder`]
+    /// in front of any user observer via [`crate::FanoutObserver`].
+    #[allow(clippy::type_complexity)]
+    fn profiling_setup(
+        &self,
+    ) -> (
+        bool,
+        Option<Arc<dyn crate::RunObserver>>,
+        Option<Arc<crate::TraceRecorder>>,
+    ) {
+        let profile = self.profile || self.trace_to.is_some();
+        let recorder = self
+            .trace_to
+            .as_ref()
+            .map(|_| Arc::new(crate::TraceRecorder::new()));
+        let observer = match (&self.observer, &recorder) {
+            (Some(user), Some(rec)) => Some(Arc::new(crate::FanoutObserver::new(vec![
+                Arc::clone(user),
+                Arc::clone(rec) as Arc<dyn crate::RunObserver>,
+            ])) as Arc<dyn crate::RunObserver>),
+            (Some(user), None) => Some(Arc::clone(user)),
+            (None, Some(rec)) => Some(Arc::clone(rec) as Arc<dyn crate::RunObserver>),
+            (None, None) => None,
+        };
+        (profile, observer, recorder)
+    }
+
+    /// Writes the run's trace to the configured path, if both exist.
+    fn write_trace(&self, recorder: Option<&crate::TraceRecorder>) -> Result<(), EbspError> {
+        if let (Some(recorder), Some(path)) = (recorder, &self.trace_to) {
+            recorder
+                .write_to(path)
+                .map_err(|e| EbspError::ConfigUnsupported {
+                    option: "trace_to",
+                    reason: format!("cannot write trace to {}: {e}", path.display()),
+                })?;
+        }
+        Ok(())
     }
 
     /// Runs the job's `state_exporters` over the final table contents.
@@ -458,19 +544,24 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
             promote: Box::new(move |part| promote_store.recover_part(&promote_reference, part)),
         };
         let interval = self.checkpoint_interval.unwrap_or(1);
-        let outcome = run_sync(
+        let (profile, observer, recorder) = self.profiling_setup();
+        let result = run_sync(
             &env,
             loaders,
             &SyncOptions {
                 max_steps: self.max_steps,
                 checkpoint_interval: Some(interval),
                 agg_table_threshold: self.agg_table_threshold,
-                observer: self.observer.clone(),
+                observer,
                 retry: self.retry,
                 fast_recovery: self.fast_recovery,
+                profile,
             },
             Some(hooks),
-        )?;
+        );
+        let trace_result = self.write_trace(recorder.as_deref());
+        let outcome = result?;
+        trace_result?;
         self.apply_state_exporters(&env)?;
         Ok(outcome)
     }

@@ -23,14 +23,29 @@
 //! Under those rules, [`WeightThrow::quiescent`] never reports `true` while
 //! work remains (see the property test below), and always eventually
 //! reports `true` once the system drains.
+//!
+//! The detector also carries the wakeup channel for whoever watches it:
+//! [`WeightThrow::wait_until`] sleeps on a condition variable that
+//! [`WeightThrow::give_back`] signals when the outstanding weight drains
+//! (and that [`WeightThrow::notify`] signals for out-of-band events such
+//! as a recorded failure), so a watcher needs no polling loop — its only
+//! timed wait is the caller's deadline.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
 /// Huang-style weight-throwing termination detector with integer weights.
 #[derive(Debug, Default)]
 pub struct WeightThrow {
     total: AtomicU64,
     returned: AtomicU64,
+    /// Pairs with `wake`: waiters check their predicate while holding this
+    /// lock and notifiers acquire it before signalling, so a quiescence or
+    /// failure transition cannot slip between a predicate check and the
+    /// sleep that follows it.
+    gate: Mutex<()>,
+    wake: Condvar,
 }
 
 impl WeightThrow {
@@ -49,9 +64,48 @@ impl WeightThrow {
 
     /// Returns `n` consumed atoms to the controller.  Must be called only
     /// after all work caused by the carrying messages (including sends) is
-    /// complete.
+    /// complete.  Wakes any [`WeightThrow::wait_until`] sleeper when this
+    /// return drains the outstanding weight.
     pub fn give_back(&self, n: u64) {
         self.returned.fetch_add(n, Ordering::AcqRel);
+        if self.quiescent() {
+            self.notify();
+        }
+    }
+
+    /// Wakes every thread sleeping in [`WeightThrow::wait_until`] so it
+    /// re-checks its predicate — for conditions the detector cannot see
+    /// itself, such as a failure recorded elsewhere.
+    pub fn notify(&self) {
+        // Acquire-and-release the gate so a waiter that has checked its
+        // predicate but not yet slept cannot miss this signal.
+        drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+        self.wake.notify_all();
+    }
+
+    /// Blocks until `condition()` holds or `deadline` passes, waking on
+    /// [`WeightThrow::give_back`]-driven quiescence and on
+    /// [`WeightThrow::notify`]; returns whether the condition held.
+    ///
+    /// The predicate is evaluated under the detector's internal lock, so
+    /// any notification sent after a `false` evaluation is guaranteed to
+    /// wake the sleep that follows it.
+    pub fn wait_until(&self, deadline: Instant, condition: &dyn Fn() -> bool) -> bool {
+        let mut guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if condition() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return condition();
+            }
+            guard = self
+                .wake
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// Whether the system is globally quiescent: every minted atom has been
@@ -102,6 +156,55 @@ mod tests {
         d.give_back(2);
         assert!(d.quiescent());
         assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn wait_until_wakes_on_quiescence() {
+        let d = Arc::new(WeightThrow::new());
+        d.mint(1);
+        let waiter = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                let held = d.wait_until(deadline, &|| d.quiescent());
+                (held, std::time::Instant::now())
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        d.give_back(1);
+        let (held, _) = waiter.join().unwrap();
+        assert!(held, "waiter must observe the drained detector");
+    }
+
+    #[test]
+    fn wait_until_respects_deadline() {
+        let d = WeightThrow::new();
+        d.mint(1);
+        let started = std::time::Instant::now();
+        let held = d.wait_until(started + std::time::Duration::from_millis(30), &|| {
+            d.quiescent()
+        });
+        assert!(!held, "weight is still outstanding");
+        assert!(started.elapsed() >= std::time::Duration::from_millis(30));
+    }
+
+    #[test]
+    fn notify_wakes_a_foreign_condition() {
+        let d = Arc::new(WeightThrow::new());
+        d.mint(1); // never returned: only notify() can end the wait early
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waiter = {
+            let d = Arc::clone(&d);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                d.wait_until(deadline, &|| flag.load(Ordering::Acquire))
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        flag.store(true, Ordering::Release);
+        d.notify();
+        assert!(waiter.join().unwrap());
     }
 
     /// A randomized message storm across threads: workers forward messages

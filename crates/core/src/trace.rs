@@ -1,0 +1,412 @@
+//! Trace export: serializing the profile stream to Chrome trace-event
+//! JSON, loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! [`TraceRecorder`] is a [`RunObserver`]: attach it (or just call
+//! [`JobRunner::trace_to`](crate::JobRunner::trace_to)) and every
+//! [`StepProfile`] becomes a set of complete (`"ph": "X"`) duration events
+//! — one lane per part plus a controller lane — with counter tracks for
+//! enablement and marshalled bytes.  Unsynchronized workers contribute one
+//! aggregate busy span each from their [`WorkerProfile`].
+//!
+//! The emitted document is the JSON-object flavor of the trace-event
+//! format: `{"traceEvents": [...]}`, timestamps in microseconds.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::profile::{StepProfile, WorkerProfile};
+use crate::RunObserver;
+
+/// Lane (Chrome `tid`) used for controller-scope events; part `p` maps to
+/// lane `p + 1`.
+const CONTROLLER_LANE: u32 = 0;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An observer that serializes step and worker profiles into Chrome
+/// trace-event JSON.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ripple_core::TraceRecorder;
+///
+/// let recorder = Arc::new(TraceRecorder::new());
+/// // runner.observer(recorder.clone()); runner.profile(true); runner.run(...)
+/// let json = recorder.to_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// Pre-serialized JSON event objects, in arrival order.
+    events: Mutex<Vec<String>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of trace events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    fn push(&self, event: String) {
+        self.events.lock().push(event);
+    }
+
+    /// A complete-duration event (`"ph": "X"`).
+    fn push_span(&self, name: &str, lane: u32, ts: Duration, dur: Duration, args: &str) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"ripple\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+            escape(name),
+            micros(ts),
+            micros(dur),
+            lane,
+            args
+        ));
+    }
+
+    /// A counter event (`"ph": "C"`), one numeric series per call.
+    fn push_counter(&self, name: &str, ts: Duration, value: u64) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"ripple\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":0,\
+             \"tid\":{CONTROLLER_LANE},\"args\":{{\"value\":{value}}}}}",
+            escape(name),
+            micros(ts),
+        ));
+    }
+
+    /// Serializes everything recorded so far as a Chrome trace-event JSON
+    /// document (`{"traceEvents": [...]}`), including thread-name metadata
+    /// for the controller and part lanes.
+    pub fn to_json(&self) -> String {
+        let events = self.events.lock();
+        // Name the lanes that actually appear.
+        let mut lanes: Vec<u32> = Vec::new();
+        for e in events.iter() {
+            if let Some(rest) = e.split("\"tid\":").nth(1) {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                if let Ok(lane) = digits.parse::<u32>() {
+                    if !lanes.contains(&lane) {
+                        lanes.push(lane);
+                    }
+                }
+            }
+        }
+        lanes.sort_unstable();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for lane in lanes {
+            let name = if lane == CONTROLLER_LANE {
+                "controller".to_owned()
+            } else {
+                format!("part {}", lane - 1)
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{lane},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        }
+        for e in events.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(e);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Writes [`TraceRecorder::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl RunObserver for TraceRecorder {
+    fn on_step_profile(&self, profile: &StepProfile) {
+        let step = profile.step;
+        self.push_span(
+            &format!("step {step}"),
+            CONTROLLER_LANE,
+            profile.start,
+            profile.compute_wall + profile.inbox_wall,
+            &format!(
+                "\"step\":{step},\"enabled_next\":{},\"invocations\":{},\
+                 \"messages_sent\":{},\"barrier_skew_us\":{:.3}",
+                profile.enabled_next,
+                profile.counters.invocations,
+                profile.counters.messages_sent,
+                micros(profile.barrier_skew),
+            ),
+        );
+        for part in &profile.parts {
+            self.push_span(
+                &format!("compute s{step}"),
+                part.part + 1,
+                part.compute_start,
+                part.compute,
+                &format!("\"step\":{step},\"part\":{}", part.part),
+            );
+            self.push_span(
+                &format!("inbox s{step}"),
+                part.part + 1,
+                part.inbox_start,
+                part.inbox_build,
+                &format!("\"step\":{step},\"part\":{}", part.part),
+            );
+        }
+        let end = profile.start + profile.compute_wall + profile.inbox_wall;
+        self.push_counter("enabled components", end, profile.enabled_next);
+        self.push_counter("bytes marshalled", end, profile.store.bytes_marshalled);
+    }
+
+    fn on_worker_profile(&self, profile: &WorkerProfile) {
+        // Unsynchronized workers report run-level aggregates, not spans; a
+        // single busy-length span per worker lane summarizes the split.
+        self.push_span(
+            "busy (aggregate)",
+            profile.part + 1,
+            Duration::ZERO,
+            profile.busy,
+            &format!(
+                "\"part\":{},\"idle_us\":{:.3},\"utilization\":{:.4},\"batches\":{},\
+                 \"envelopes\":{},\"max_batch\":{},\"empty_polls\":{}",
+                profile.part,
+                micros(profile.idle),
+                profile.utilization(),
+                profile.batches,
+                profile.envelopes,
+                profile.max_batch,
+                profile.empty_polls,
+            ),
+        );
+    }
+}
+
+/// Serializes step profiles as a plain JSON array (one object per step),
+/// for harnesses that want the raw numbers rather than a trace timeline.
+pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"step\":{},\"start_us\":{:.3},\"compute_wall_us\":{:.3},\
+             \"inbox_wall_us\":{:.3},\"barrier_skew_us\":{:.3},\"enabled_next\":{},\
+             \"invocations\":{},\"messages_sent\":{},\"messages_combined\":{},\
+             \"state_reads\":{},\"state_writes\":{},\"state_deletes\":{},\"creates\":{},\
+             \"direct_outputs\":{},\"spill_batches\":{},\"local_ops\":{},\"remote_ops\":{},\
+             \"bytes_marshalled\":{},\"parts\":[",
+            p.step,
+            micros(p.start),
+            micros(p.compute_wall),
+            micros(p.inbox_wall),
+            micros(p.barrier_skew),
+            p.enabled_next,
+            p.counters.invocations,
+            p.counters.messages_sent,
+            p.counters.messages_combined,
+            p.counters.state_reads,
+            p.counters.state_writes,
+            p.counters.state_deletes,
+            p.counters.creates,
+            p.counters.direct_outputs,
+            p.counters.spill_batches,
+            p.store.local_ops,
+            p.store.remote_ops,
+            p.store.bytes_marshalled,
+        );
+        for (j, part) in p.parts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"part\":{},\"compute_us\":{:.3},\"inbox_us\":{:.3},\"local_ops\":{},\
+                 \"remote_ops\":{},\"bytes_marshalled\":{}}}",
+                part.part,
+                micros(part.compute),
+                micros(part.inbox_build),
+                part.store.local_ops,
+                part.store.remote_ops,
+                part.store.bytes_marshalled,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes worker profiles as a plain JSON array.
+pub fn worker_profiles_json(profiles: &[WorkerProfile]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"part\":{},\"busy_us\":{:.3},\"idle_us\":{:.3},\"utilization\":{:.4},\
+             \"batches\":{},\"envelopes\":{},\"max_batch\":{},\"empty_polls\":{}}}",
+            w.part,
+            micros(w.busy),
+            micros(w.idle),
+            w.utilization(),
+            w.batches,
+            w.envelopes,
+            w.max_batch,
+            w.empty_polls,
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{PartStepProfile, StepCounters};
+
+    /// A tiny structural validator: balanced braces/brackets outside
+    /// strings, no trailing garbage — enough to catch malformed emission.
+    pub(crate) fn json_is_balanced(s: &str) -> bool {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth == 0 && !in_str
+    }
+
+    fn sample_profile() -> StepProfile {
+        StepProfile {
+            step: 3,
+            start: Duration::from_micros(100),
+            compute_wall: Duration::from_micros(50),
+            inbox_wall: Duration::from_micros(25),
+            barrier_skew: Duration::from_micros(5),
+            enabled_next: 7,
+            parts: vec![PartStepProfile {
+                part: 0,
+                compute_start: Duration::from_micros(101),
+                compute: Duration::from_micros(40),
+                inbox_start: Duration::from_micros(151),
+                inbox_build: Duration::from_micros(20),
+                ..Default::default()
+            }],
+            counters: StepCounters {
+                invocations: 9,
+                ..Default::default()
+            },
+            store: Default::default(),
+        }
+    }
+
+    #[test]
+    fn recorder_emits_balanced_trace_json() {
+        let r = TraceRecorder::new();
+        r.on_step_profile(&sample_profile());
+        r.on_worker_profile(&WorkerProfile {
+            part: 1,
+            busy: Duration::from_micros(10),
+            ..Default::default()
+        });
+        let json = r.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("\"name\":\"controller\""));
+        assert!(json.contains("\"name\":\"part 0\""));
+    }
+
+    #[test]
+    fn empty_recorder_is_still_a_valid_document() {
+        let json = TraceRecorder::new().to_json();
+        assert!(json_is_balanced(&json));
+        assert!(TraceRecorder::new().is_empty());
+    }
+
+    #[test]
+    fn profile_arrays_are_balanced() {
+        let steps = step_profiles_json(&[sample_profile()]);
+        assert!(json_is_balanced(&steps), "unbalanced: {steps}");
+        assert!(steps.contains("\"step\":3"));
+        let workers = worker_profiles_json(&[WorkerProfile::default()]);
+        assert!(json_is_balanced(&workers));
+        assert_eq!(worker_profiles_json(&[]), "[]");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

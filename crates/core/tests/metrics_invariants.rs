@@ -1,0 +1,245 @@
+//! Metric invariants under failure: what [`RunMetrics`] reports about
+//! recoveries must agree with what the observer saw, and at-least-once
+//! redelivery in the healing engine must not inflate the work counters
+//! beyond the redelivered round.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ripple_core::{
+    ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink, ObservedEvent,
+    RecordingObserver, RunOutcome,
+};
+use ripple_kv::{KvStore, PartId, TableSpec};
+use ripple_store_mem::MemStore;
+
+const PARTS: u32 = 2;
+const KEYS: u32 = 8;
+
+/// A countdown that fails part 0 out from under step 2 exactly once.
+struct FaultyCountDown {
+    store: MemStore,
+    injected: AtomicBool,
+    table: String,
+    deterministic: bool,
+}
+
+impl Job for FaultyCountDown {
+    type Key = u32;
+    type State = u32;
+    type Message = ();
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec![self.table.clone()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            deterministic: self.deterministic,
+            ..Default::default()
+        }
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        if ctx.step() == 2 && !self.injected.swap(true, Ordering::SeqCst) {
+            let t = self.store.lookup_table(&self.table).unwrap();
+            self.store.fail_part(&t, PartId(0)).unwrap();
+        }
+        let left = ctx.read_state(0)?.unwrap_or(0);
+        ctx.write_state(0, &left.saturating_sub(1))?;
+        Ok(left > 1)
+    }
+}
+
+fn run_faulty(table: &str, deterministic: bool, fast: bool) -> (RunOutcome, Vec<ObservedEvent>) {
+    let observer = Arc::new(RecordingObserver::new());
+    let store = MemStore::builder().default_parts(PARTS).build();
+    let mut runner = JobRunner::new(store.clone());
+    runner
+        .checkpoint_interval(1)
+        .fast_recovery(fast)
+        .observer(observer.clone());
+    let outcome = runner
+        .run_recoverable(
+            Arc::new(FaultyCountDown {
+                store,
+                injected: AtomicBool::new(false),
+                table: table.to_owned(),
+                deterministic,
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                    for k in 0..KEYS {
+                        sink.state(0, k, 4)?;
+                        sink.enable(k)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )
+        .unwrap();
+    (outcome, observer.take())
+}
+
+#[test]
+fn fast_recovery_metrics_agree_with_observer_events() {
+    let (outcome, events) = run_faulty("fr_agree", true, true);
+    let m = &outcome.metrics;
+    let fast: Vec<(u32, u32)> = events
+        .iter()
+        .filter_map(|e| match e {
+            ObservedEvent::FastRecovery(part, replayed) => Some((*part, *replayed)),
+            _ => None,
+        })
+        .collect();
+    let whole = events
+        .iter()
+        .filter(|e| matches!(e, ObservedEvent::Recovery(_)))
+        .count();
+    assert!(!fast.is_empty(), "the injected failure must fast-recover");
+    assert_eq!(whole, 0, "determinism keeps recovery on the fast path");
+    assert_eq!(fast.len() as u32, m.recoveries, "{events:?}\n{m}");
+    assert_eq!(
+        fast.iter().map(|(_, r)| u64::from(*r)).sum::<u64>(),
+        m.replayed_part_steps,
+        "fast recovery replays only the failed part's steps"
+    );
+}
+
+#[test]
+fn whole_group_recovery_metrics_agree_with_observer_events() {
+    let (outcome, events) = run_faulty("wg_agree", false, false);
+    let m = &outcome.metrics;
+    let whole = events
+        .iter()
+        .filter(|e| matches!(e, ObservedEvent::Recovery(_)))
+        .count();
+    assert!(whole >= 1, "the injected failure must roll the group back");
+    assert_eq!(whole as u32, m.recoveries, "{events:?}\n{m}");
+    // Checkpointing every barrier means each rollback rewinds exactly one
+    // step, and the whole group replays it: parts × recoveries part-steps.
+    assert_eq!(
+        m.replayed_part_steps,
+        u64::from(PARTS) * u64::from(m.recoveries),
+        "{m}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ObservedEvent::FastRecovery(..))),
+        "{events:?}"
+    );
+}
+
+const CHAIN: &str = "chain_invariants";
+
+/// The healing engine's idempotent chain relaxation (see `healing.rs`):
+/// key k keeps the minimum it has heard and forwards `best + 1` once.
+struct ChainRelax {
+    store: MemStore,
+    injected: AtomicBool,
+    fail_on_key: u32,
+    n: u32,
+}
+
+impl Job for ChainRelax {
+    type Key = u32;
+    type State = u32;
+    type Message = u32;
+    type OutKey = ();
+    type OutValue = ();
+    fn state_tables(&self) -> Vec<String> {
+        vec![CHAIN.to_owned()]
+    }
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            incremental: true,
+            ..JobProperties::default()
+        }
+    }
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
+        let me = *ctx.key();
+        if me == self.fail_on_key && !self.injected.swap(true, Ordering::SeqCst) {
+            let t = self.store.lookup_table(CHAIN).unwrap();
+            self.store.fail_part(&t, ctx.part()).unwrap();
+        }
+        let mut best = ctx.read_state(0)?.unwrap_or(u32::MAX);
+        let mut improved = false;
+        for d in ctx.take_messages() {
+            if d < best {
+                best = d;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.write_state(0, &best)?;
+            if me + 1 < self.n {
+                ctx.send(me + 1, best + 1);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn run_chain(fail_on_key: Option<u32>, n: u32) -> RunOutcome {
+    let store = MemStore::builder().default_parts(PARTS).build();
+    store
+        .create_table(TableSpec::new(CHAIN).parts(PARTS).replicated())
+        .unwrap();
+    let mut runner = JobRunner::new(store.clone());
+    runner
+        .profile(true)
+        .quiescence_timeout(Duration::from_secs(30));
+    runner
+        .run_healable(
+            Arc::new(ChainRelax {
+                store,
+                injected: AtomicBool::new(fail_on_key.is_none()),
+                fail_on_key: fail_on_key.unwrap_or(0),
+                n,
+            }),
+            vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+            ))],
+        )
+        .unwrap()
+}
+
+#[test]
+fn at_least_once_redelivery_does_not_double_count() {
+    let n = 12u32;
+    let clean = run_chain(None, n);
+    let healed = run_chain(Some(n / 2), n);
+    assert_eq!(clean.metrics.recoveries, 0);
+    assert!(healed.metrics.recoveries >= 1, "{}", healed.metrics);
+
+    // The chain visits each key once in a clean run; healing may re-run
+    // only the ledgered round it redelivered — per recovery, at most the
+    // round in flight (one message here, invoked at most twice: the crashed
+    // attempt and its redelivery).
+    assert!(healed.metrics.invocations >= clean.metrics.invocations);
+    let slack = u64::from(healed.metrics.recoveries) * 2;
+    assert!(
+        healed.metrics.invocations <= clean.metrics.invocations + slack,
+        "redelivery must not double-count beyond the redelivered round: \
+         clean {} vs healed {}",
+        clean.metrics.invocations,
+        healed.metrics.invocations
+    );
+    assert!(
+        healed.metrics.messages_sent <= clean.metrics.messages_sent + slack,
+        "clean {} vs healed {}",
+        clean.metrics.messages_sent,
+        healed.metrics.messages_sent
+    );
+
+    // Worker profiles survive the heal-respawn: still one per part, with
+    // the redelivered envelopes folded into the same worker's counts.
+    let workers = healed.worker_profiles.as_deref().expect("profiling on");
+    assert_eq!(workers.len() as u32, PARTS);
+    let envelopes: u64 = workers.iter().map(|w| w.envelopes).sum();
+    assert!(
+        envelopes >= healed.metrics.invocations,
+        "every invocation was fed by a delivered envelope: {workers:?}"
+    );
+}

@@ -387,12 +387,27 @@ pub fn run_direct<S: KvStore>(
     graph: &Graph,
     config: PageRankConfig,
 ) -> Result<RunOutcome, EbspError> {
+    run_direct_on(&JobRunner::new(store.clone()), table, graph, config)
+}
+
+/// As [`run_direct`], but on a caller-configured [`JobRunner`] — the way
+/// to rank with profiling, tracing, observers, or retry policies attached.
+///
+/// # Errors
+///
+/// Propagates engine and store errors.
+pub fn run_direct_on<S: KvStore>(
+    runner: &JobRunner<S>,
+    table: &str,
+    graph: &Graph,
+    config: PageRankConfig,
+) -> Result<RunOutcome, EbspError> {
     let job = Arc::new(DirectPageRank {
         table: table.to_owned(),
         n: u64::from(graph.vertex_count()),
         config,
     });
-    JobRunner::new(store.clone()).run_with_loaders(job, vec![structure_loader(graph)])
+    runner.run_with_loaders(job, vec![structure_loader(graph)])
 }
 
 /// Runs the MapReduce variant over `graph`, leaving ranks in `table`.
@@ -406,12 +421,26 @@ pub fn run_mapreduce_variant<S: KvStore>(
     graph: &Graph,
     config: PageRankConfig,
 ) -> Result<RunOutcome, EbspError> {
+    run_mapreduce_variant_on(&JobRunner::new(store.clone()), table, graph, config)
+}
+
+/// As [`run_mapreduce_variant`], but on a caller-configured [`JobRunner`].
+///
+/// # Errors
+///
+/// Propagates engine and store errors.
+pub fn run_mapreduce_variant_on<S: KvStore>(
+    runner: &JobRunner<S>,
+    table: &str,
+    graph: &Graph,
+    config: PageRankConfig,
+) -> Result<RunOutcome, EbspError> {
     let job = Arc::new(MapReducePageRank {
         table: table.to_owned(),
         n: u64::from(graph.vertex_count()),
         config,
     });
-    JobRunner::new(store.clone()).run_with_loaders(job, vec![structure_loader(graph)])
+    runner.run_with_loaders(job, vec![structure_loader(graph)])
 }
 
 /// Reads the final ranks out of a PageRank table, sorted by vertex id.

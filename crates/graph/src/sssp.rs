@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner,
-    LoadSink, RunMetrics, SumI64,
+    LoadSink, RunMetrics, RunOutcome, SumI64,
 };
 use ripple_kv::{HealableStore, KvStore, RecoverableStore, Table};
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -247,8 +247,25 @@ impl<S: KvStore> SelectiveInstance<S> {
     ///
     /// Propagates engine and store errors.
     pub fn apply_batch(&self, changes: &[GraphChange]) -> Result<RunMetrics, EbspError> {
+        self.apply_batch_on(&JobRunner::new(self.store.clone()), changes)
+            .map(|outcome| outcome.metrics)
+    }
+
+    /// As [`SelectiveInstance::apply_batch`], but runs the update wave on a
+    /// caller-configured [`JobRunner`] and returns the full
+    /// [`RunOutcome`] — the way to profile or trace an incremental update.
+    /// The runner must wrap the same store this instance lives in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn apply_batch_on(
+        &self,
+        runner: &JobRunner<S>,
+        changes: &[GraphChange],
+    ) -> Result<RunOutcome, EbspError> {
         let seeds = self.seed_batch(changes)?;
-        let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
+        runner.run_with_loaders(
             self.job(),
             vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SelectiveSssp>| {
@@ -258,8 +275,7 @@ impl<S: KvStore> SelectiveInstance<S> {
                     Ok(())
                 },
             ))],
-        )?;
-        Ok(outcome.metrics)
+        )
     }
 
     /// Edits the endpoint states for one batch of primitive changes and

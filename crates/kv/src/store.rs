@@ -77,6 +77,19 @@ pub trait KvStore: Clone + Send + Sync + Sized + 'static {
     /// A snapshot of the store's operation/marshalling counters.
     fn metrics(&self) -> crate::StoreMetrics;
 
+    /// Per-part snapshots of the store's counters, indexed by part id —
+    /// the attribution layer step profiling uses to charge store traffic
+    /// to the part that served it.
+    ///
+    /// Stores that do not attribute operations to parts return an empty
+    /// vector (the default); callers must treat per-part attribution as
+    /// best-effort.  Where supported, the field-wise sum over parts is
+    /// bounded by [`KvStore::metrics`] (operations issued outside any part
+    /// scope are counted store-wide only).
+    fn part_metrics(&self) -> Vec<crate::StoreMetrics> {
+        Vec::new()
+    }
+
     /// Runs `task` near *every* part of `reference` in parallel and returns
     /// the part results in part order.
     ///

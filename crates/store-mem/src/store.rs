@@ -12,9 +12,9 @@ use crate::table::{MemTable, TableInner};
 use crate::view::MemPartView;
 use crate::Partitioning;
 
-/// Operation counters, updated lock-free.
+/// One part's slice of the operation counters.
 #[derive(Debug, Default)]
-pub(crate) struct Counters {
+struct PartCells {
     local_ops: AtomicU64,
     remote_ops: AtomicU64,
     bytes_marshalled: AtomicU64,
@@ -22,22 +22,84 @@ pub(crate) struct Counters {
     enumerations: AtomicU64,
 }
 
+impl PartCells {
+    fn snapshot(&self) -> StoreMetrics {
+        StoreMetrics {
+            local_ops: self.local_ops.load(Ordering::Relaxed),
+            remote_ops: self.remote_ops.load(Ordering::Relaxed),
+            bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
+            tasks_dispatched: self.tasks.load(Ordering::Relaxed),
+            enumerations: self.enumerations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Operation counters, updated lock-free, both store-wide and attributed
+/// to the part that served the operation (the per-part vector grows on
+/// first touch; whole-table operations such as `len`/`clear` count
+/// store-wide only).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    local_ops: AtomicU64,
+    remote_ops: AtomicU64,
+    bytes_marshalled: AtomicU64,
+    tasks: AtomicU64,
+    enumerations: AtomicU64,
+    per_part: RwLock<Vec<PartCells>>,
+}
+
 impl Counters {
-    pub(crate) fn local_op(&self) {
+    /// Bumps one part cell, growing the vector on first touch of a part.
+    fn at_part(&self, part: PartId, bump: impl Fn(&PartCells)) {
+        {
+            let cells = self.per_part.read();
+            if let Some(cell) = cells.get(part.index()) {
+                bump(cell);
+                return;
+            }
+        }
+        let mut cells = self.per_part.write();
+        while cells.len() <= part.index() {
+            cells.push(PartCells::default());
+        }
+        bump(&cells[part.index()]);
+    }
+
+    pub(crate) fn local_op(&self, part: PartId) {
+        self.local_ops.fetch_add(1, Ordering::Relaxed);
+        self.at_part(part, |c| {
+            c.local_ops.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    /// A local operation with no single serving part (whole-table scans).
+    pub(crate) fn local_op_unattributed(&self) {
         self.local_ops.fetch_add(1, Ordering::Relaxed);
     }
-    pub(crate) fn remote_op(&self, bytes: u64) {
+    pub(crate) fn remote_op(&self, part: PartId, bytes: u64) {
         self.remote_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+        self.at_part(part, |c| {
+            c.remote_ops.fetch_add(1, Ordering::Relaxed);
+            c.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
-    pub(crate) fn reply_bytes(&self, bytes: u64) {
+    pub(crate) fn reply_bytes(&self, part: PartId, bytes: u64) {
         self.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+        self.at_part(part, |c| {
+            c.bytes_marshalled.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
-    pub(crate) fn task(&self) {
+    pub(crate) fn task(&self, part: PartId) {
         self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.at_part(part, |c| {
+            c.tasks.fetch_add(1, Ordering::Relaxed);
+        });
     }
-    pub(crate) fn enumeration(&self) {
+    pub(crate) fn enumeration(&self, part: PartId) {
         self.enumerations.fetch_add(1, Ordering::Relaxed);
+        self.at_part(part, |c| {
+            c.enumerations.fetch_add(1, Ordering::Relaxed);
+        });
     }
     fn snapshot(&self) -> StoreMetrics {
         StoreMetrics {
@@ -47,6 +109,13 @@ impl Counters {
             tasks_dispatched: self.tasks.load(Ordering::Relaxed),
             enumerations: self.enumerations.load(Ordering::Relaxed),
         }
+    }
+    fn part_snapshots(&self) -> Vec<StoreMetrics> {
+        self.per_part
+            .read()
+            .iter()
+            .map(PartCells::snapshot)
+            .collect()
     }
 }
 
@@ -321,7 +390,7 @@ impl KvStore for MemStore {
             reference.name(),
             reference.part_count()
         );
-        self.inner.counters.task();
+        self.inner.counters.task(part);
         let (tx, rx) = bounded(1);
         let view = MemPartView {
             store: Arc::clone(&self.inner),
@@ -342,5 +411,9 @@ impl KvStore for MemStore {
 
     fn metrics(&self) -> StoreMetrics {
         self.inner.counters.snapshot()
+    }
+
+    fn part_metrics(&self) -> Vec<StoreMetrics> {
+        self.inner.counters.part_snapshots()
     }
 }

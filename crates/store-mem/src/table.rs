@@ -124,10 +124,10 @@ impl MemTable {
         self.inner.check_live()?;
         self.inner.check_part_healthy(part)?;
         if self.is_local(part) {
-            self.store.counters.local_op();
+            self.store.counters.local_op(part);
             return Ok(op(&self.inner, part));
         }
-        self.store.counters.remote_op(req_bytes as u64);
+        self.store.counters.remote_op(part, req_bytes as u64);
         let (tx, rx) = bounded(1);
         let inner = Arc::clone(&self.inner);
         self.inner
@@ -166,7 +166,7 @@ impl Table for MemTable {
             inner.parts[p.index()].lock().get(&k).cloned()
         })?;
         if let (Some(v), false) = (&value, self.is_local(part)) {
-            self.store.counters.reply_bytes(v.len() as u64);
+            self.store.counters.reply_bytes(part, v.len() as u64);
         }
         Ok(value)
     }
@@ -196,7 +196,7 @@ impl Table for MemTable {
             self.inner.check_part_healthy(PartId(i as u32))?;
             total += part.lock().len();
         }
-        self.store.counters.local_op();
+        self.store.counters.local_op_unattributed();
         Ok(total)
     }
 
@@ -207,7 +207,7 @@ impl Table for MemTable {
             part.lock().clear();
             self.inner.resync_backup(PartId(i as u32));
         }
-        self.store.counters.local_op();
+        self.store.counters.local_op_unattributed();
         Ok(())
     }
 }

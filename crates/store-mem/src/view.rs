@@ -55,7 +55,7 @@ impl PartView for MemPartView {
         self.store
             .fault_check(self.partitioning_id, self.part, FaultOp::Get)?;
         let (t, p) = self.resolve(table, false)?;
-        self.store.counters.local_op();
+        self.store.counters.local_op(self.part);
         let out = t.parts[p.index()].lock().get(key).cloned();
         Ok(out)
     }
@@ -64,7 +64,7 @@ impl PartView for MemPartView {
         self.store
             .fault_check(self.partitioning_id, self.part, FaultOp::Put)?;
         let (t, p) = self.resolve(table, true)?;
-        self.store.counters.local_op();
+        self.store.counters.local_op(self.part);
         t.mirror_insert(p, &key, &value);
         let out = t.parts[p.index()].lock().insert(key, value);
         Ok(out)
@@ -74,7 +74,7 @@ impl PartView for MemPartView {
         self.store
             .fault_check(self.partitioning_id, self.part, FaultOp::Delete)?;
         let (t, p) = self.resolve(table, true)?;
-        self.store.counters.local_op();
+        self.store.counters.local_op(self.part);
         t.mirror_remove(p, key);
         let out = t.parts[p.index()].lock().remove(key).is_some();
         Ok(out)
@@ -86,7 +86,7 @@ impl PartView for MemPartView {
         f: &mut dyn FnMut(&RoutedKey, &[u8]) -> ScanControl,
     ) -> Result<(), KvError> {
         let (t, p) = self.resolve(table, false)?;
-        self.store.counters.enumeration();
+        self.store.counters.enumeration(self.part);
         let map = t.parts[p.index()].lock();
         for (k, v) in map.iter() {
             if !f(k, v).should_continue() {
@@ -102,7 +102,7 @@ impl PartView for MemPartView {
         f: &mut dyn FnMut(RoutedKey, Bytes) -> ScanControl,
     ) -> Result<(), KvError> {
         let (t, p) = self.resolve(table, true)?;
-        self.store.counters.enumeration();
+        self.store.counters.enumeration(self.part);
         // Take the whole map; on early stop, unconsumed entries go back.
         let drained = std::mem::take(&mut *t.parts[p.index()].lock());
         let mut iter = drained.into_iter();

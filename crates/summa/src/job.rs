@@ -250,6 +250,10 @@ pub struct SummaOptions {
     pub mode: ExecMode,
     /// Capture per-step multiply counts (Table II); synchronized runs only.
     pub trace: bool,
+    /// Collect engine-level profiles on the outcome: per-step
+    /// [`StepProfile`](ripple_core::StepProfile)s when synchronized,
+    /// per-worker [`WorkerProfile`](ripple_core::WorkerProfile)s when not.
+    pub profile: bool,
 }
 
 impl Default for SummaOptions {
@@ -258,6 +262,7 @@ impl Default for SummaOptions {
             grid: 3,
             mode: ExecMode::Unsynchronized,
             trace: false,
+            profile: false,
         }
     }
 }
@@ -345,9 +350,9 @@ pub fn multiply<S: KvStore>(
         }))
     };
 
-    let outcome = JobRunner::new(store.clone())
-        .force_mode(options.mode)
-        .run_with_loaders(job, vec![loader])?;
+    let mut runner = JobRunner::new(store.clone());
+    runner.force_mode(options.mode).profile(options.profile);
+    let outcome = runner.run_with_loaders(job, vec![loader])?;
 
     // Gather and assemble the C blocks.
     let handle = store.lookup_table(&table).map_err(EbspError::Kv)?;

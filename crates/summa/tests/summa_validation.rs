@@ -13,7 +13,7 @@ fn opts(grid: u32, mode: ExecMode) -> SummaOptions {
     SummaOptions {
         grid,
         mode,
-        trace: false,
+        ..SummaOptions::default()
     }
 }
 
@@ -70,6 +70,7 @@ fn table2_schedule_trace_matches_paper() {
         grid: 3,
         mode: ExecMode::Synchronized,
         trace: true,
+        ..SummaOptions::default()
     };
     let (c, report) = multiply(&store(), &a, &b, &options).unwrap();
     assert!(c.approx_eq(&a.multiply(&b), 1e-9));

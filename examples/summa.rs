@@ -24,6 +24,7 @@ fn main() -> Result<(), EbspError> {
             grid: 3,
             mode: ExecMode::Synchronized,
             trace: true,
+            ..SummaOptions::default()
         },
     )?;
     assert!(c_sync.approx_eq(&reference, 1e-9));
@@ -48,6 +49,7 @@ fn main() -> Result<(), EbspError> {
             grid: 3,
             mode: ExecMode::Unsynchronized,
             trace: false,
+            ..SummaOptions::default()
         },
     )?;
     assert!(c_nosync.approx_eq(&reference, 1e-9));

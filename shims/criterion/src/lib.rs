@@ -91,8 +91,25 @@ impl BenchmarkGroup<'_> {
         } else {
             Duration::ZERO
         };
-        println!("{}/{}: mean {:?} over {} iters", self.name, id.text, mean, bencher.iters);
+        println!(
+            "{}/{}: mean {:?} over {} iters",
+            self.name, id.text, mean, bencher.iters
+        );
         self
+    }
+
+    /// `bench_function` with an explicit input borrowed by the routine.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| f(bencher, input))
     }
 
     pub fn finish(&mut self) {}

@@ -693,8 +693,8 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
     use crate::collection::vec;
+    use crate::prelude::*;
 
     fn helper(v: &[i64]) -> Result<(), TestCaseError> {
         prop_assert!(v.len() < 1000, "far too long: {}", v.len());

@@ -52,7 +52,7 @@ fn summa_is_store_independent_in_both_modes() {
         let opts = SummaOptions {
             grid: 3,
             mode,
-            trace: false,
+            ..SummaOptions::default()
         };
         let (c_mem, _) =
             multiply(&MemStore::builder().default_parts(3).build(), &a, &b, &opts).unwrap();

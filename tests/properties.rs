@@ -63,7 +63,7 @@ proptest! {
         let b = DenseMatrix::random(dim, dim, seed + 1);
         let mode = if sync { ExecMode::Synchronized } else { ExecMode::Unsynchronized };
         let s = store(grid.min(3));
-        let (c, _) = multiply(&s, &a, &b, &SummaOptions { grid, mode, trace: false }).unwrap();
+        let (c, _) = multiply(&s, &a, &b, &SummaOptions { grid, mode, ..SummaOptions::default() }).unwrap();
         prop_assert!(c.approx_eq(&a.multiply(&b), 1e-9));
     }
 
