@@ -13,27 +13,63 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin sssp_incremental --
 //! [--scale 50] [--batches 10] [--batch-size 1000] [--trials 3]
-//! [--parts 6] [--skip-fullscan] [--profile steps.json]`
+//! [--parts 6] [--skip-fullscan] [--store mem|simple|disk]
+//! [--data-dir path] [--profile steps.json]`
 //!
 //! `--profile <path>` additionally applies one extra profiled batch on the
 //! selective instance after the timed trials and writes its per-step
-//! engine profiles to `<path>` as JSON — the step-level view of a change
+//! engine profiles to `<path>` as JSON tagged with the backend
+//! (`{"store":"...","steps":[...]}`) — the step-level view of a change
 //! wave's blast radius.
 
-use ripple_bench::{Args, Stats};
+use ripple_bench::{disk_data_dir, reset_dir, Args, Stats, StoreChoice};
 use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::{random_change_batch, random_undirected};
 use ripple_graph::sssp::{bfs_oracle, FullScanInstance, SelectiveInstance};
+use ripple_kv::KvStore;
+use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
+use ripple_store_simple::SimpleStore;
 
 fn main() {
     let args = Args::capture();
+    let parts = args.get("parts", 6u32);
+    let choice = StoreChoice::from_args(&args);
+
+    match choice {
+        StoreChoice::Mem => run(&args, parts, choice, || {
+            MemStore::builder().default_parts(parts).build()
+        }),
+        StoreChoice::Simple => run(&args, parts, choice, || SimpleStore::new(parts)),
+        StoreChoice::Disk => {
+            let dir = disk_data_dir(&args, "sssp_incremental");
+            let mut instance = 0u64;
+            run(&args, parts, choice, move || {
+                // Every instance in a trial (selective, full-scan) needs
+                // its own directory: they are live concurrently.
+                instance += 1;
+                let dir = dir.join(format!("i{instance}"));
+                reset_dir(&dir);
+                DiskStore::builder()
+                    .default_parts(parts)
+                    .open(&dir)
+                    .expect("open disk store")
+            });
+        }
+    }
+}
+
+fn run<S: KvStore>(
+    args: &Args,
+    parts: u32,
+    choice: StoreChoice,
+    mut make_store: impl FnMut() -> S,
+) {
     let scale = args.get("scale", 50u64);
     let batches = args.get("batches", 10usize);
     let batch_size = args.get("batch-size", 1000usize) / scale.max(1) as usize;
     let batch_size = batch_size.max(10);
     let trials = args.get("trials", 3usize);
-    let parts = args.get("parts", 6u32);
     let skip_fullscan = args.has("skip-fullscan");
     let profile_path = args.get_opt::<String>("profile");
 
@@ -42,7 +78,7 @@ fn main() {
     println!(
         "incremental SSSP: {n} vertices, ~{edges} undirected edges, \
          {batches} batches of {batch_size} changes, {trials} trials, \
-         {parts} parts (paper scale /{scale})"
+         {parts} parts, {choice} store (paper scale /{scale})"
     );
 
     let mut selective_times = Vec::new();
@@ -55,13 +91,13 @@ fn main() {
         let mut graph = random_undirected(n, edges, 0.8, seed);
         let source = 0;
 
-        let sel_store = MemStore::builder().default_parts(parts).build();
+        let sel_store = make_store();
         let (sel, _) = SelectiveInstance::initialize(&sel_store, "sel", graph.graph(), source)
             .expect("selective init");
         let fs = if skip_fullscan {
             None
         } else {
-            let fs_store = MemStore::builder().default_parts(parts).build();
+            let fs_store = make_store();
             Some(
                 FullScanInstance::initialize(&fs_store, "fs", graph.graph(), source)
                     .expect("full-scan init")
@@ -125,7 +161,7 @@ fn main() {
     if let Some(path) = profile_path {
         let seed = 0xD15C0u64;
         let graph = random_undirected(n, edges, 0.8, seed);
-        let store = MemStore::builder().default_parts(parts).build();
+        let store = make_store();
         let (sel, _) = SelectiveInstance::initialize(&store, "sel_profiled", graph.graph(), 0)
             .expect("selective init");
         let batch = random_change_batch(n, batch_size, 0.8, seed * 7919);
@@ -135,7 +171,11 @@ fn main() {
             .apply_batch_on(&runner, &batch)
             .expect("profiled update");
         let profiles = out.profiles.as_deref().unwrap_or(&[]);
-        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        let json = format!(
+            "{{\"store\":\"{choice}\",\"steps\":{}}}",
+            step_profiles_json(profiles)
+        );
+        std::fs::write(&path, json).expect("write profile JSON");
         println!(
             "  wrote {} step profiles of one change wave to {path}",
             profiles.len()

@@ -10,24 +10,50 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin summa_sync --
 //! [--grid 3] [--block 64] [--trials 8] [--parts 3]
-//! [--profile profiles.json]`
+//! [--store mem|simple|disk] [--data-dir path] [--profile profiles.json]`
 //!
 //! `--profile <path>` additionally runs one profiled multiply per mode and
 //! writes both profile shapes to `<path>` as JSON: per-step profiles of
 //! the synchronized run, per-worker busy/idle profiles of the
-//! unsynchronized run — the two sides of the §V-B comparison.
+//! unsynchronized run — the two sides of the §V-B comparison — plus the
+//! backend name and the synchronized run's whole-store counter deltas
+//! (which for `--store disk` include WAL bytes and fsyncs).
 
-use ripple_bench::{timed_trials, Args, Stats};
+use ripple_bench::{disk_data_dir, reset_dir, timed_trials, Args, Stats, StoreChoice};
 use ripple_core::{step_profiles_json, worker_profiles_json, ExecMode};
+use ripple_kv::KvStore;
+use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
+use ripple_store_simple::SimpleStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
 
 fn main() {
     let args = Args::capture();
+    let parts = args.get("parts", 3u32);
+    let choice = StoreChoice::from_args(&args);
+
+    match choice {
+        StoreChoice::Mem => run(&args, choice, || {
+            MemStore::builder().default_parts(parts).build()
+        }),
+        StoreChoice::Simple => run(&args, choice, || SimpleStore::new(parts)),
+        StoreChoice::Disk => {
+            let dir = disk_data_dir(&args, "summa_sync");
+            run(&args, choice, move || {
+                reset_dir(&dir);
+                DiskStore::builder()
+                    .default_parts(parts)
+                    .open(&dir)
+                    .expect("open disk store")
+            });
+        }
+    }
+}
+
+fn run<S: KvStore>(args: &Args, choice: StoreChoice, make_store: impl Fn() -> S) {
     let grid = args.get("grid", 3u32);
     let block = args.get("block", 64usize);
     let trials = args.get("trials", 8usize);
-    let parts = args.get("parts", 3u32);
     let profile_path = args.get_opt::<String>("profile");
     let dim = grid as usize * block;
 
@@ -38,7 +64,7 @@ fn main() {
     let run = |mode: ExecMode| -> (Stats, u32) {
         let mut barriers = 0;
         let times = timed_trials(trials, |_| {
-            let store = MemStore::builder().default_parts(parts).build();
+            let store = make_store();
             let (c, report) = multiply(
                 &store,
                 &a,
@@ -57,7 +83,10 @@ fn main() {
         (Stats::of(&times), barriers)
     };
 
-    println!("SUMMA {dim}x{dim} (grid {grid}x{grid}, block {block}), {trials} trials");
+    println!(
+        "SUMMA {dim}x{dim} (grid {grid}x{grid}, block {block}), {trials} trials, \
+         {choice} store"
+    );
     let (with_sync, sync_barriers) = run(ExecMode::Synchronized);
     let (without, nosync_barriers) = run(ExecMode::Unsynchronized);
     println!("  with synchronization:    {with_sync} s  ({sync_barriers} barriers)");
@@ -69,7 +98,8 @@ fn main() {
 
     if let Some(path) = profile_path {
         let profiled = |mode: ExecMode| {
-            let store = MemStore::builder().default_parts(parts).build();
+            let store = make_store();
+            let before = store.metrics();
             let (_, report) = multiply(
                 &store,
                 &a,
@@ -82,12 +112,23 @@ fn main() {
                 },
             )
             .expect("profiled SUMMA multiply");
-            report.outcome
+            let delta = store.metrics() - before;
+            (report.outcome, delta)
         };
-        let sync_out = profiled(ExecMode::Synchronized);
-        let nosync_out = profiled(ExecMode::Unsynchronized);
+        let (sync_out, sync_store) = profiled(ExecMode::Synchronized);
+        let (nosync_out, _) = profiled(ExecMode::Unsynchronized);
         let json = format!(
-            "{{\"synchronized_steps\":{},\"unsynchronized_workers\":{}}}",
+            "{{\"store\":\"{choice}\",\
+             \"store_totals\":{{\"local_ops\":{},\"remote_ops\":{},\
+             \"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\
+             \"replayed_records\":{}}},\
+             \"synchronized_steps\":{},\"unsynchronized_workers\":{}}}",
+            sync_store.local_ops,
+            sync_store.remote_ops,
+            sync_store.bytes_marshalled,
+            sync_store.wal_bytes,
+            sync_store.fsyncs,
+            sync_store.replayed_records,
             step_profiles_json(sync_out.profiles.as_deref().unwrap_or(&[])),
             worker_profiles_json(nosync_out.worker_profiles.as_deref().unwrap_or(&[])),
         );

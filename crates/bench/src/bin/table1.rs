@@ -20,24 +20,49 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table1 --
 //! [--scale 100] [--trials 5] [--iterations 10] [--parts 6]
-//! [--profile steps.json]`
+//! [--store mem|simple|disk] [--data-dir path] [--profile steps.json]`
 //!
 //! `--profile <path>` additionally runs one profiled direct ranking of the
 //! first graph shape and writes its per-step profiles (per-part compute
-//! times, barrier skew, store deltas) to `<path>` as JSON.
+//! times, barrier skew, store deltas) to `<path>` as JSON, tagged with the
+//! backend: `{"store":"...","steps":[...]}`.
 
-use ripple_bench::{row, timed_trials, Args, Stats};
+use ripple_bench::{disk_data_dir, reset_dir, row, timed_trials, Args, Stats, StoreChoice};
 use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::power_law_graph;
 use ripple_graph::pagerank::{run_direct, run_direct_on, run_mapreduce_variant, PageRankConfig};
+use ripple_kv::KvStore;
+use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
+use ripple_store_simple::SimpleStore;
 
 fn main() {
     let args = Args::capture();
+    let parts = args.get("parts", 6u32);
+    let choice = StoreChoice::from_args(&args);
+
+    match choice {
+        StoreChoice::Mem => run(&args, parts, choice, || {
+            MemStore::builder().default_parts(parts).build()
+        }),
+        StoreChoice::Simple => run(&args, parts, choice, || SimpleStore::new(parts)),
+        StoreChoice::Disk => {
+            let dir = disk_data_dir(&args, "table1");
+            run(&args, parts, choice, move || {
+                reset_dir(&dir);
+                DiskStore::builder()
+                    .default_parts(parts)
+                    .open(&dir)
+                    .expect("open disk store")
+            });
+        }
+    }
+}
+
+fn run<S: KvStore>(args: &Args, parts: u32, choice: StoreChoice, make_store: impl Fn() -> S) {
     let scale = args.get("scale", 100u64);
     let trials = args.get("trials", 5usize);
     let iterations = args.get("iterations", 10u32);
-    let parts = args.get("parts", 6u32);
     let profile_path = args.get_opt::<String>("profile");
     let config = PageRankConfig {
         damping: 0.85,
@@ -53,7 +78,7 @@ fn main() {
 
     println!(
         "Table I: PageRank elapsed time (s), {iterations} iterations, \
-         {parts}-part debugging store, scale 1/{scale}, {trials} trials"
+         {parts}-part {choice} store, scale 1/{scale}, {trials} trials"
     );
     let widths = [9, 9, 16, 16, 8, 14, 14];
     row(
@@ -80,13 +105,13 @@ fn main() {
         let mut mr_io = 0;
 
         let direct_times = timed_trials(trials, |_| {
-            let store = MemStore::builder().default_parts(parts).build();
+            let store = make_store();
             let out = run_direct(&store, "pr", &graph, config).expect("direct variant");
             direct_barriers = out.metrics.barriers;
             direct_io = out.metrics.state_reads + out.metrics.state_writes;
         });
         let mr_times = timed_trials(trials, |_| {
-            let store = MemStore::builder().default_parts(parts).build();
+            let store = make_store();
             let out =
                 run_mapreduce_variant(&store, "pr", &graph, config).expect("MapReduce variant");
             mr_barriers = out.metrics.barriers;
@@ -119,12 +144,16 @@ fn main() {
         let vertices = (v_full / scale).max(100) as u32;
         let edges = (e_full / scale).max(1000);
         let graph = power_law_graph(vertices, edges, 0.8, 0xA11CE);
-        let store = MemStore::builder().default_parts(parts).build();
+        let store = make_store();
         let mut runner = JobRunner::new(store);
         runner.profile(true);
         let out = run_direct_on(&runner, "pr_profiled", &graph, config).expect("profiled run");
         let profiles = out.profiles.as_deref().unwrap_or(&[]);
-        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        let json = format!(
+            "{{\"store\":\"{choice}\",\"steps\":{}}}",
+            step_profiles_json(profiles)
+        );
+        std::fs::write(&path, json).expect("write profile JSON");
         println!(
             "wrote {} step profiles of a direct ranking to {path}",
             profiles.len()

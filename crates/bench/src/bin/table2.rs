@@ -12,26 +12,54 @@
 //! synchronization slows this example by 7/3.
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table2 --
-//! [--grid 3] [--block 8] [--profile steps.json]`
+//! [--grid 3] [--block 8] [--store mem|simple|disk] [--data-dir path]
+//! [--profile steps.json]`
 //!
 //! `--profile <path>` writes the run's per-step engine profiles (per-part
-//! compute times, barrier skew, store deltas) to `<path>` as JSON.
+//! compute times, barrier skew, store deltas) to `<path>` as JSON, tagged
+//! with the backend: `{"store":"...","steps":[...]}`.
 
-use ripple_bench::Args;
+use ripple_bench::{disk_data_dir, reset_dir, Args, StoreChoice};
 use ripple_core::{step_profiles_json, ExecMode};
+use ripple_kv::KvStore;
+use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
+use ripple_store_simple::SimpleStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
 
 fn main() {
     let args = Args::capture();
     let grid = args.get("grid", 3u32);
     let block = args.get("block", 8usize);
+    let choice = StoreChoice::from_args(&args);
+
+    match choice {
+        StoreChoice::Mem => run(
+            &args,
+            grid,
+            block,
+            choice,
+            MemStore::builder().default_parts(grid).build(),
+        ),
+        StoreChoice::Simple => run(&args, grid, block, choice, SimpleStore::new(grid)),
+        StoreChoice::Disk => {
+            let dir = disk_data_dir(&args, "table2");
+            reset_dir(&dir);
+            let store = DiskStore::builder()
+                .default_parts(grid)
+                .open(&dir)
+                .expect("open disk store");
+            run(&args, grid, block, choice, store);
+        }
+    }
+}
+
+fn run<S: KvStore>(args: &Args, grid: u32, block: usize, choice: StoreChoice, store: S) {
     let profile_path = args.get_opt::<String>("profile");
     let dim = grid as usize * block;
 
     let a = DenseMatrix::random(dim, dim, 0xBEEF);
     let b = DenseMatrix::random(dim, dim, 0xF00D);
-    let store = MemStore::builder().default_parts(grid).build();
     let (c, report) = multiply(
         &store,
         &a,
@@ -50,7 +78,7 @@ fn main() {
     );
 
     let trace = report.multiplies_per_step.expect("tracing was on");
-    println!("Table II: block multiplications in each step ({grid}x{grid} grid)");
+    println!("Table II: block multiplications in each step ({grid}x{grid} grid, {choice} store)");
     let header: Vec<String> = (1..=trace.len()).map(|s| format!("{s:>4}")).collect();
     println!("step {}", header.join(""));
     let counts: Vec<String> = trace.iter().map(|c| format!("{c:>4}")).collect();
@@ -74,7 +102,11 @@ fn main() {
 
     if let Some(path) = profile_path {
         let profiles = report.outcome.profiles.as_deref().unwrap_or(&[]);
-        std::fs::write(&path, step_profiles_json(profiles)).expect("write profile JSON");
+        let json = format!(
+            "{{\"store\":\"{choice}\",\"steps\":{}}}",
+            step_profiles_json(profiles)
+        );
+        std::fs::write(&path, json).expect("write profile JSON");
         println!("wrote {} step profiles to {path}", profiles.len());
     }
 }

@@ -125,6 +125,74 @@ impl Args {
     }
 }
 
+/// Which K/V backend a bench binary runs against (`--store mem|simple|disk`).
+///
+/// Every experiment binary accepts the flag; `mem` (the default) and
+/// `simple` are in-memory, `disk` is the WAL-backed durable store and
+/// additionally honours `--data-dir <path>` for where its files live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreChoice {
+    /// `ripple-store-mem`: sharded, replicated, production-shaped.
+    Mem,
+    /// `ripple-store-simple`: the paper's single-lock debugging store.
+    Simple,
+    /// `ripple-store-disk`: durable, WAL-backed, resumable.
+    Disk,
+}
+
+impl StoreChoice {
+    /// Parses `--store` (defaulting to `mem`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown backend name.
+    pub fn from_args(args: &Args) -> StoreChoice {
+        match args.get_opt::<String>("store").as_deref() {
+            None | Some("mem") => StoreChoice::Mem,
+            Some("simple") => StoreChoice::Simple,
+            Some("disk") => StoreChoice::Disk,
+            Some(other) => panic!("--store {other}: expected mem, simple, or disk"),
+        }
+    }
+
+    /// The backend name as spelled on the command line (and recorded in
+    /// profile JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreChoice::Mem => "mem",
+            StoreChoice::Simple => "simple",
+            StoreChoice::Disk => "disk",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The directory a `--store disk` run keeps its files in: `--data-dir`
+/// if given, otherwise a per-process directory under the system temp dir.
+pub fn disk_data_dir(args: &Args, bin: &str) -> std::path::PathBuf {
+    match args.get_opt::<String>("data-dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("ripple-bench-{bin}-{}", std::process::id())),
+    }
+}
+
+/// Clears and recreates `dir` so a trial starts from an empty store.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be recreated.
+pub fn reset_dir(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("create data dir {}: {e}", dir.display()));
+}
+
 /// Prints an aligned table row.
 pub fn row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

@@ -94,6 +94,44 @@ pub(crate) struct RecoveryHooks {
     pub(crate) promote: Box<PromoteFn>,
 }
 
+/// The journalled consistent cut a durable run resumes from: the barrier
+/// at `step`, with the inbox for `step + 1` already built and durable.
+pub(crate) struct ResumePoint {
+    pub(crate) step: u32,
+    pub(crate) enabled: u64,
+    pub(crate) agg: AggregateSnapshot,
+}
+
+/// A barrier-epoch durability callback (`commit` / `compact`).
+pub(crate) type EpochFn = Box<dyn Fn(u64) -> Result<(), EbspError> + Send + Sync>;
+/// Persists the cut descriptor `(step, enabled, aggregates)` durably.
+pub(crate) type JournalFn =
+    Box<dyn Fn(u32, u64, &AggregateSnapshot) -> Result<(), EbspError> + Send + Sync>;
+/// Removes the journal at a successful finish.
+pub(crate) type ClearFn = Box<dyn Fn() -> Result<(), EbspError> + Send + Sync>;
+
+/// Store-specific durability callbacks plus resume state, type-erased so
+/// the engine does not carry a `DurableStore` bound.
+///
+/// At every checkpoint barrier the engine runs the commit protocol in
+/// order: `commit` (barrier markers into every group shard log, made
+/// stable), `journal` (persist the cut descriptor durably), `compact`
+/// (fold committed log prefixes into snapshots — safe only now that the
+/// journal points at the epoch).  `clear` removes the journal at a
+/// successful finish, *before* the temporary tables are dropped, so a
+/// crash between the two yields a fresh start rather than a resume into
+/// missing tables.
+pub(crate) struct DurableOpts {
+    pub(crate) commit: EpochFn,
+    pub(crate) journal: JournalFn,
+    pub(crate) compact: EpochFn,
+    pub(crate) clear: ClearFn,
+    pub(crate) resume: Option<ResumePoint>,
+    /// Restart-stable token for temporary table names: a resumed run must
+    /// find the same transport/inbox tables the interrupted run wrote.
+    pub(crate) nonce: String,
+}
+
 /// A consistent cut the run can rewind to.
 struct CheckRecord {
     step: u32,
@@ -111,6 +149,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
     loaders: Vec<Box<dyn Loader<J>>>,
     opts: &SyncOptions,
     recovery: Option<RecoveryHooks>,
+    durable: Option<DurableOpts>,
 ) -> Result<RunOutcome, EbspError> {
     let started = std::time::Instant::now();
     let store_before = env.store.metrics();
@@ -123,8 +162,20 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         && recovery.is_some()
         && opts.checkpoint_interval.is_some()
         && !env.plan.run_anywhere;
-    let nonce = run_nonce();
+    let nonce = match &durable {
+        Some(d) => d.nonce.clone(),
+        None => run_nonce().to_string(),
+    };
+    let resuming = durable.as_ref().is_some_and(|d| d.resume.is_some());
     let make_table = |name: &str| {
+        if resuming {
+            // The interrupted run's durable temporaries carry the messages
+            // the resume continues from; rewind has already cut them to
+            // the journalled barrier.
+            if let Ok(t) = env.store.lookup_table(name) {
+                return Ok(t);
+            }
+        }
         if fast {
             // Replicated, so a crashed part's transport/inbox slices can
             // be promoted back to their crash-instant contents.
@@ -154,9 +205,16 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         guard_names.push(a1.clone());
         guard_names.push(a2.clone());
     }
-    let _guard = TableGuard {
-        store: env.store.clone(),
-        names: guard_names,
+    // Durable runs keep their temporaries on failure — they *are* the
+    // resume state — and clean up manually at a successful finish.
+    let temp_names = guard_names.clone();
+    let _guard = if durable.is_some() {
+        None
+    } else {
+        Some(TableGuard {
+            store: env.store.clone(),
+            names: guard_names,
+        })
     };
 
     let mut metrics = RunMetrics::default();
@@ -180,59 +238,81 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
     let mut store_base = store_before;
     let mut part_base = initial_part_base.clone();
 
-    // ----- Initial condition ------------------------------------------------
-    let mut buffer = LoadBuffer::new();
-    {
-        let mut sink = EngineLoadSink::<S, J> {
-            tables: &env.tables,
-            registry: &env.registry,
-            buffer: &mut buffer,
-        };
-        for loader in loaders {
-            loader.load(&mut sink)?;
-        }
-    }
-    let mut initial_counters = PartCounters::default();
-    write_spills(
-        &transport,
-        parts,
-        0,
-        u32::MAX, // the controller as a pseudo-source
-        buffer.envelopes,
-        &mut initial_counters,
-        Some(&fault_retry),
-    )?;
-    metrics.absorb(&initial_counters);
-
-    let mut agg_values = env.registry.identities();
-    env.registry.merge(&mut agg_values, buffer.agg);
-    for (name, value) in env.job.initial_aggregates() {
-        env.registry.fold(&mut agg_values, &name, value)?;
-    }
-    let mut agg_snapshot = AggregateSnapshot::new(agg_values);
-
-    // ----- Inbox for step 1 -------------------------------------------------
-    // Nothing to recover to yet if this fails.
-    let (mut enabled, _, recorded, _) = run_inbox_phase(
-        env,
-        &transport_name,
-        &inbox_name,
-        &mut metrics,
-        &fault_retry,
-        fast,
-    )?;
     let mut replay_log: ReplayLog = HashMap::new();
     let mut agg_history: HashMap<u32, AggregateSnapshot> = HashMap::new();
-    if fast {
-        replay_log.insert(1, recorded);
-        agg_history.insert(1, agg_snapshot.clone());
+    let mut enabled: u64;
+    let mut agg_snapshot: AggregateSnapshot;
+    let mut step: u32;
+    if let Some(rp) = durable.as_ref().and_then(|d| d.resume.as_ref()) {
+        // ----- Resume from a journalled barrier -----------------------------
+        // The store was rewound to the barrier at `rp.step`: state tables
+        // hold that step's committed contents and the inbox for the next
+        // step is already built and durable.  Loaders must not run again —
+        // their effects are part of the rewound state.
+        enabled = rp.enabled;
+        agg_snapshot = rp.agg.clone();
+        step = rp.step;
+    } else {
+        // ----- Initial condition --------------------------------------------
+        let mut buffer = LoadBuffer::new();
+        {
+            let mut sink = EngineLoadSink::<S, J> {
+                tables: &env.tables,
+                registry: &env.registry,
+                buffer: &mut buffer,
+            };
+            for loader in loaders {
+                loader.load(&mut sink)?;
+            }
+        }
+        let mut initial_counters = PartCounters::default();
+        write_spills(
+            &transport,
+            parts,
+            0,
+            u32::MAX, // the controller as a pseudo-source
+            buffer.envelopes,
+            &mut initial_counters,
+            Some(&fault_retry),
+        )?;
+        metrics.absorb(&initial_counters);
+
+        let mut agg_values = env.registry.identities();
+        env.registry.merge(&mut agg_values, buffer.agg);
+        for (name, value) in env.job.initial_aggregates() {
+            env.registry.fold(&mut agg_values, &name, value)?;
+        }
+        agg_snapshot = AggregateSnapshot::new(agg_values);
+
+        // ----- Inbox for step 1 ---------------------------------------------
+        // Nothing to recover to yet if this fails.
+        let (n, _, recorded, _) = run_inbox_phase(
+            env,
+            &transport_name,
+            &inbox_name,
+            &mut metrics,
+            &fault_retry,
+            fast,
+        )?;
+        enabled = n;
+        if fast {
+            replay_log.insert(1, recorded);
+            agg_history.insert(1, agg_snapshot.clone());
+        }
+        step = 0;
     }
 
-    let mut step: u32 = 0;
     let mut aborted = false;
     let mut checkpoint: Option<CheckRecord> = None;
     if let (Some(hooks), Some(_)) = (&recovery, opts.checkpoint_interval) {
         checkpoint = Some(take_checkpoint(hooks, parts, step, enabled, &agg_snapshot)?);
+    }
+    if let Some(d) = &durable {
+        if d.resume.is_none() {
+            // The step-0 commit gives the very first in-flight step a
+            // barrier to rewind to; a resume already has one.
+            commit_durable(d, step, enabled, &agg_snapshot, &mut metrics)?;
+        }
     }
 
     // ----- Step loop ----------------------------------------------------
@@ -492,10 +572,23 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     replay_log.retain(|s, _| *s > step);
                     agg_history.retain(|s, _| *s > step);
                 }
+                if let Some(d) = &durable {
+                    commit_durable(d, step, enabled, &agg_snapshot, &mut metrics)?;
+                }
                 if let Some(observer) = &opts.observer {
                     observer.on_checkpoint(step);
                 }
             }
+        }
+    }
+
+    if let Some(d) = &durable {
+        // Clear the journal *before* dropping the temporaries: a crash in
+        // between leaves a fresh start (stale temporaries are swept by the
+        // next durable run), never a resume pointing at missing tables.
+        (d.clear)()?;
+        for name in &temp_names {
+            let _ = env.store.drop_table(name);
         }
     }
 
@@ -780,6 +873,24 @@ fn run_agg_merge_phase<S: KvStore, J: Job>(
         }
     }
     Ok(merged)
+}
+
+/// Runs the durable commit protocol for the barrier at `step`: markers,
+/// journal, compaction — in that order, which is what makes the journalled
+/// epoch always rewindable.
+fn commit_durable(
+    d: &DurableOpts,
+    step: u32,
+    enabled: u64,
+    agg: &AggregateSnapshot,
+    metrics: &mut RunMetrics,
+) -> Result<(), EbspError> {
+    let epoch = u64::from(step);
+    (d.commit)(epoch)?;
+    (d.journal)(step, enabled, agg)?;
+    (d.compact)(epoch)?;
+    metrics.durable_barriers += 1;
+    Ok(())
 }
 
 fn take_checkpoint(

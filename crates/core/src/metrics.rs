@@ -69,6 +69,10 @@ pub struct RunMetrics {
     /// every part for every rewound step, fast recovery counts only the
     /// failed part's replayed steps.
     pub replayed_part_steps: u64,
+    /// Durable barrier commits performed by a `run_durable` run: barrier
+    /// markers logged, resume journal flushed, logs optionally compacted.
+    /// Zero for every other entry point.
+    pub durable_barriers: u64,
     /// The store's operation/marshalling counters, as a delta over the run.
     pub store: StoreMetrics,
     /// Wall-clock duration of the run.
@@ -96,7 +100,7 @@ impl fmt::Display for RunMetrics {
             "{} steps, {} barriers, {} invocations, {} msgs ({} combined), \
              state r/w/d {}/{}/{}, {} creates, {} direct outputs, {} spills, \
              {} retries, {} recoveries \
-             ({} part-steps replayed), {:.3}s [{}]",
+             ({} part-steps replayed), {} durable barriers, {:.3}s [{}]",
             self.steps,
             self.barriers,
             self.invocations,
@@ -111,6 +115,7 @@ impl fmt::Display for RunMetrics {
             self.retries,
             self.recoveries,
             self.replayed_part_steps,
+            self.durable_barriers,
             self.elapsed.as_secs_f64(),
             self.store,
         )

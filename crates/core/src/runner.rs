@@ -1,14 +1,18 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ripple_kv::{HealableStore, KvStore, RecoverableStore, Table, TableSpec};
+use bytes::Bytes;
+use ripple_kv::{
+    DurableStore, HealableStore, KvStore, RecoverableStore, RoutedKey, Table, TableSpec,
+};
+use ripple_wire::{from_wire, to_wire};
 
 use crate::engine::nosync::{run_nosync, HealFn, NosyncOptions};
-use crate::engine::sync::{run_sync, RecoveryHooks, SyncOptions};
+use crate::engine::sync::{run_sync, DurableOpts, RecoveryHooks, ResumePoint, SyncOptions};
 use crate::engine::JobEnv;
 use crate::{
-    AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job, Loader,
-    RetryPolicy, RunMetrics,
+    AggValue, AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job,
+    Loader, RetryPolicy, RunMetrics,
 };
 
 /// Which message-queuing implementation unsynchronized runs use.
@@ -302,6 +306,7 @@ impl<S: KvStore> JobRunner<S> {
                     profile,
                 },
                 None,
+                None,
             ),
             ExecMode::Unsynchronized => run_nosync(
                 &env,
@@ -495,6 +500,38 @@ impl<S: HealableStore> JobRunner<S> {
 }
 
 impl<S: RecoverableStore + HealableStore> JobRunner<S> {
+    /// Builds the type-erased checkpoint/restore/promote callbacks the
+    /// synchronized engine drives, anchored at `reference`'s partitioning
+    /// group.
+    fn recovery_hooks(&self, reference: &S::Table) -> RecoveryHooks {
+        let store = self.store.clone();
+        let reference = reference.clone();
+        let restore_store = store.clone();
+        let tables_store = store.clone();
+        let promote_store = store.clone();
+        let promote_reference = reference.clone();
+        RecoveryHooks {
+            checkpoint: Box::new(move |part| {
+                store
+                    .checkpoint_part(&reference, part)
+                    .map(|cp| Box::new(cp) as Box<dyn std::any::Any + Send>)
+            }),
+            restore: Box::new(move |any| {
+                let cp = any
+                    .downcast_ref::<S::Checkpoint>()
+                    .expect("checkpoint type is fixed per store");
+                restore_store.restore_part(cp)
+            }),
+            restore_tables: Box::new(move |any, tables| {
+                let cp = any
+                    .downcast_ref::<S::Checkpoint>()
+                    .expect("checkpoint type is fixed per store");
+                tables_store.restore_part_tables(cp, tables)
+            }),
+            promote: Box::new(move |part| promote_store.recover_part(&promote_reference, part)),
+        }
+    }
+
     /// Runs `job` with barrier checkpointing and automatic recovery from
     /// part failures: whole-group rollback-replay by default, or — when
     /// the job's determinism allows it and [`JobRunner::fast_recovery`] is
@@ -517,32 +554,7 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
         let (env, _) = self.prepare(job)?;
         let mut loaders = env.job.loaders();
         loaders.extend(extra_loaders);
-        let store = self.store.clone();
-        let reference = env.reference.clone();
-        let restore_store = store.clone();
-        let tables_store = store.clone();
-        let promote_store = store.clone();
-        let promote_reference = env.reference.clone();
-        let hooks = RecoveryHooks {
-            checkpoint: Box::new(move |part| {
-                store
-                    .checkpoint_part(&reference, part)
-                    .map(|cp| Box::new(cp) as Box<dyn std::any::Any + Send>)
-            }),
-            restore: Box::new(move |any| {
-                let cp = any
-                    .downcast_ref::<S::Checkpoint>()
-                    .expect("checkpoint type is fixed per store");
-                restore_store.restore_part(cp)
-            }),
-            restore_tables: Box::new(move |any, tables| {
-                let cp = any
-                    .downcast_ref::<S::Checkpoint>()
-                    .expect("checkpoint type is fixed per store");
-                tables_store.restore_part_tables(cp, tables)
-            }),
-            promote: Box::new(move |part| promote_store.recover_part(&promote_reference, part)),
-        };
+        let hooks = self.recovery_hooks(&env.reference);
         let interval = self.checkpoint_interval.unwrap_or(1);
         let (profile, observer, recorder) = self.profiling_setup();
         let result = run_sync(
@@ -558,6 +570,143 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
                 profile,
             },
             Some(hooks),
+            None,
+        );
+        let trace_result = self.write_trace(recorder.as_deref());
+        let outcome = result?;
+        trace_result?;
+        self.apply_state_exporters(&env)?;
+        Ok(outcome)
+    }
+}
+
+impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
+    /// Runs `job` with durable barrier commits and cross-restart resume.
+    ///
+    /// On top of everything [`JobRunner::run_recoverable`] does, every
+    /// checkpoint barrier also runs the durable commit protocol: barrier
+    /// markers into the store's logs
+    /// ([`DurableStore::commit_barrier`]), a resume *journal* describing
+    /// the cut (step, enabled count, aggregate snapshot) written and
+    /// flushed, then log compaction ([`DurableStore::compact_group`]).
+    /// If the process dies mid-run — crash, kill, step-limit abort — a
+    /// later `run_durable` of the same job against a reopened store finds
+    /// the journal, rewinds the store to the journalled barrier
+    /// ([`DurableStore::rewind_group`]), skips the loaders, and continues
+    /// from the step after it.  For deterministic jobs the resumed run's
+    /// output is byte-identical to an uninterrupted one.
+    ///
+    /// The journal lives in an ordinary table named
+    /// `__durable_journal_<reference>`, deliberately *not* co-partitioned
+    /// with the reference table so rewinds never touch it.  A successful
+    /// finish clears the journal and drops the run's temporary tables.
+    ///
+    /// # Errors
+    ///
+    /// As for [`JobRunner::run_recoverable`]; additionally fails if the
+    /// store cannot honour a journalled rewind (e.g. a memory store that
+    /// lost the logged bytes with the process).
+    pub fn run_durable<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        let (env, _) = self.prepare(job)?;
+        let mut loaders = env.job.loaders();
+        loaders.extend(extra_loaders);
+        let reference_name = env.reference.name().to_owned();
+        let nonce = format!("dur_{reference_name}");
+
+        let journal_name = format!("__durable_journal_{reference_name}");
+        let journal = match self.store.lookup_table(&journal_name) {
+            Ok(t) => t,
+            Err(_) => self.store.create_table(&TableSpec::new(&journal_name))?,
+        };
+        let journal_key = RoutedKey::with_route(0, Bytes::from_static(b"__durable_journal"));
+
+        let resume = match journal.get(&journal_key)? {
+            None => None,
+            Some(bytes) => {
+                let (step, enabled, entries): (u32, u64, Vec<(String, AggValue)>) =
+                    from_wire(&bytes)?;
+                Some(ResumePoint {
+                    step,
+                    enabled,
+                    agg: AggregateSnapshot::new(entries.into_iter().collect()),
+                })
+            }
+        };
+        match &resume {
+            Some(rp) => {
+                // Re-establish the journalled cut: discard every log byte
+                // after the barrier markers for the journalled step.
+                self.store
+                    .rewind_group(&env.reference, u64::from(rp.step))?;
+            }
+            None => {
+                // Fresh start: sweep temporaries a cleared-but-interrupted
+                // earlier run may have left behind.
+                for kind in ["xport", "inbox", "agg1", "agg2"] {
+                    let _ = self.store.drop_table(&format!("__ebsp_{kind}_{nonce}"));
+                }
+            }
+        }
+
+        let hooks = self.recovery_hooks(&env.reference);
+        let commit_store = self.store.clone();
+        let commit_reference = env.reference.clone();
+        let compact_store = self.store.clone();
+        let compact_reference = env.reference.clone();
+        let journal_table = journal.clone();
+        let journal_store = self.store.clone();
+        let jkey = journal_key.clone();
+        let clear_table = journal;
+        let clear_store = self.store.clone();
+        let clear_key = journal_key;
+        let durable = DurableOpts {
+            commit: Box::new(move |epoch| {
+                commit_store
+                    .commit_barrier(&commit_reference, epoch)
+                    .map_err(EbspError::from)
+            }),
+            journal: Box::new(move |step, enabled, agg| {
+                let mut entries: Vec<(String, AggValue)> =
+                    agg.iter().map(|(n, v)| (n.to_owned(), v)).collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                journal_table.put(jkey.clone(), to_wire(&(step, enabled, entries)))?;
+                journal_store.flush()?;
+                Ok(())
+            }),
+            compact: Box::new(move |epoch| {
+                compact_store
+                    .compact_group(&compact_reference, epoch)
+                    .map_err(EbspError::from)
+            }),
+            clear: Box::new(move || {
+                clear_table.delete(&clear_key)?;
+                clear_store.flush()?;
+                Ok(())
+            }),
+            resume,
+            nonce,
+        };
+
+        let interval = self.checkpoint_interval.unwrap_or(1);
+        let (profile, observer, recorder) = self.profiling_setup();
+        let result = run_sync(
+            &env,
+            loaders,
+            &SyncOptions {
+                max_steps: self.max_steps,
+                checkpoint_interval: Some(interval),
+                agg_table_threshold: self.agg_table_threshold,
+                observer,
+                retry: self.retry,
+                fast_recovery: self.fast_recovery,
+                profile,
+            },
+            Some(hooks),
+            Some(durable),
         );
         let trace_result = self.write_trace(recorder.as_deref());
         let outcome = result?;

@@ -241,7 +241,8 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
              \"invocations\":{},\"messages_sent\":{},\"messages_combined\":{},\
              \"state_reads\":{},\"state_writes\":{},\"state_deletes\":{},\"creates\":{},\
              \"direct_outputs\":{},\"spill_batches\":{},\"local_ops\":{},\"remote_ops\":{},\
-             \"bytes_marshalled\":{},\"parts\":[",
+             \"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\"replayed_records\":{},\
+             \"parts\":[",
             p.step,
             micros(p.start),
             micros(p.compute_wall),
@@ -260,6 +261,9 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             p.store.local_ops,
             p.store.remote_ops,
             p.store.bytes_marshalled,
+            p.store.wal_bytes,
+            p.store.fsyncs,
+            p.store.replayed_records,
         );
         for (j, part) in p.parts.iter().enumerate() {
             if j > 0 {
@@ -268,13 +272,15 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             let _ = write!(
                 out,
                 "{{\"part\":{},\"compute_us\":{:.3},\"inbox_us\":{:.3},\"local_ops\":{},\
-                 \"remote_ops\":{},\"bytes_marshalled\":{}}}",
+                 \"remote_ops\":{},\"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{}}}",
                 part.part,
                 micros(part.compute),
                 micros(part.inbox_build),
                 part.store.local_ops,
                 part.store.remote_ops,
                 part.store.bytes_marshalled,
+                part.store.wal_bytes,
+                part.store.fsyncs,
             );
         }
         out.push_str("]}");

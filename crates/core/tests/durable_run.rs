@@ -1,0 +1,85 @@
+//! `run_durable` semantics that do not need a disk: the protocol runs on
+//! any `DurableStore` (memory stores implement it with no-op defaults),
+//! the journal is cleared on success, temporaries are dropped, and an
+//! in-memory store that cannot rewind reports the limitation instead of
+//! resuming incorrectly.
+
+use std::sync::Arc;
+
+use ripple_core::{EbspError, FnLoader, JobRunner, LoadSink, SimpleJob};
+use ripple_kv::{KvStore, RoutedKey, Table};
+use ripple_store_mem::MemStore;
+
+fn hop_job(name: &str) -> SimpleJob<u32, u32, u32> {
+    // A chain: vertex v waits for a message, stores it, pokes v+1.
+    SimpleJob::<u32, u32, u32>::builder(name)
+        .compute(|ctx| {
+            if let Some(&hops) = ctx.messages().first() {
+                ctx.write_state(0, &hops)?;
+                if hops > 0 {
+                    ctx.send(ctx.key() + 1, hops - 1);
+                }
+            }
+            Ok(false)
+        })
+        .build()
+}
+
+fn seed_loader(hops: u32) -> Box<dyn ripple_core::Loader<SimpleJob<u32, u32, u32>>> {
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<_>| {
+        for v in 0..=hops {
+            sink.state(0, v, 0)?;
+        }
+        sink.message(0, hops)
+    }))
+}
+
+#[test]
+fn durable_run_on_a_memory_store_completes_and_cleans_up() {
+    let store = MemStore::builder().default_parts(3).build();
+    let outcome = JobRunner::new(store.clone())
+        .run_durable(Arc::new(hop_job("hops")), vec![seed_loader(6)])
+        .unwrap();
+    assert!(outcome.metrics.steps >= 6, "the chain takes a step per hop");
+    assert!(
+        outcome.metrics.durable_barriers > 0,
+        "every checkpoint is a durable barrier"
+    );
+
+    // The journal exists but was cleared on success, and no engine
+    // temporaries survive.
+    let journal = store.lookup_table("__durable_journal_hops").unwrap();
+    let key = RoutedKey::with_route(0, bytes::Bytes::from_static(b"__durable_journal"));
+    assert_eq!(journal.get(&key).unwrap(), None, "journal must be cleared");
+    for name in store.table_names() {
+        assert!(
+            !name.starts_with("__ebsp_"),
+            "temporary {name} survived the run"
+        );
+    }
+}
+
+#[test]
+fn interrupted_memory_run_reports_it_cannot_rewind() {
+    let store = MemStore::builder().default_parts(2).build();
+    let runner = JobRunner::new(store.clone());
+    let mut limited = JobRunner::new(store.clone());
+    limited.max_steps(3);
+    let err = match limited.run_durable(Arc::new(hop_job("hops")), vec![seed_loader(10)]) {
+        Err(e) => e,
+        Ok(_) => panic!("3 steps cannot finish 10 hops"),
+    };
+    assert!(matches!(err, EbspError::StepLimitExceeded { limit: 3 }));
+
+    // The journal survived the abort, but a memory store kept no log to
+    // rewind — the retry must fail loudly rather than resume from a state
+    // that never matched the journalled barrier.
+    let resume = runner.run_durable(Arc::new(hop_job("hops")), vec![seed_loader(10)]);
+    assert!(
+        matches!(
+            resume,
+            Err(EbspError::Kv(ripple_kv::KvError::Backend { .. }))
+        ),
+        "expected a rewind refusal, got {resume:?}"
+    );
+}

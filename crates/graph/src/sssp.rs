@@ -31,7 +31,7 @@ use ripple_core::{
     AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner,
     LoadSink, RunMetrics, RunOutcome, SumI64,
 };
-use ripple_kv::{HealableStore, KvStore, RecoverableStore, Table};
+use ripple_kv::{DurableStore, HealableStore, KvStore, RecoverableStore, Table};
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
 
 use crate::generate::{Graph, GraphChange, MutableGraph};
@@ -434,6 +434,71 @@ impl<S: RecoverableStore + HealableStore> SelectiveInstance<S> {
                 ))],
             )?;
         Ok(outcome.metrics)
+    }
+}
+
+impl<S: RecoverableStore + HealableStore + DurableStore> SelectiveInstance<S> {
+    /// Like [`SelectiveInstance::initialize_recoverable`], but every
+    /// barrier is also a *durable* commit, and the run survives the
+    /// process: if a previous `initialize_durable` of the same table was
+    /// interrupted — crash, kill, or a `max_steps` limit — calling this
+    /// again against a reopened store resumes from the last durable
+    /// barrier instead of starting over (the loader is skipped on
+    /// resume).  Deterministic, so a resumed solve ends in exactly the
+    /// state an uninterrupted one would.
+    ///
+    /// `max_steps` bounds the solve, returning
+    /// [`EbspError::StepLimitExceeded`] when exceeded — useful for
+    /// staging work across restarts (and for testing the resume path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn initialize_durable(
+        store: &S,
+        table: &str,
+        graph: &Graph,
+        source: VertexId,
+        checkpoint_interval: u32,
+        max_steps: Option<u32>,
+    ) -> Result<(Self, RunMetrics), EbspError> {
+        let n = graph.vertex_count();
+        let instance = Self {
+            store: store.clone(),
+            table: table.to_owned(),
+            source,
+            n,
+        };
+        let entries: Vec<(VertexId, Vec<VertexId>)> =
+            graph.iter().map(|(v, adj)| (v, adj.to_vec())).collect();
+        let job = instance.job();
+        let mut runner = JobRunner::new(store.clone());
+        runner.checkpoint_interval(checkpoint_interval);
+        if let Some(limit) = max_steps {
+            runner.max_steps(limit);
+        }
+        let outcome = runner.run_durable(
+            job,
+            vec![Box::new(FnLoader::new(
+                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                    for (v, neighbors) in entries {
+                        let dists = vec![INF; neighbors.len()];
+                        sink.state(
+                            0,
+                            v,
+                            SelState {
+                                neighbors,
+                                neighbor_dists: dists,
+                                dist: INF,
+                            },
+                        )?;
+                        sink.enable(v)?;
+                    }
+                    Ok(())
+                },
+            ))],
+        )?;
+        Ok((instance, outcome.metrics))
     }
 }
 

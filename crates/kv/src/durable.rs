@@ -1,0 +1,105 @@
+use crate::{KvError, KvStore};
+
+/// When a durable store forces buffered log bytes to stable storage.
+///
+/// The policy trades write latency against the failure window: `Always`
+/// loses nothing a mutation ever acknowledged, `EveryN` bounds the loss
+/// to the last batch, and `Never` relies entirely on barrier commits (and
+/// the operating system) for durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every appended record.
+    Always,
+    /// `fsync` after every `n` appended records (group commit).
+    EveryN(u32),
+    /// Never `fsync` on the mutation path; bytes reach the file (and the
+    /// disk) only at explicit flushes and barrier commits.
+    #[default]
+    Never,
+}
+
+/// A store whose contents survive process restarts.
+///
+/// Every method has a default that makes a memory-only store a trivially
+/// correct (if amnesiac) implementor: flushing nothing is durable enough
+/// for data that never outlives the process.  The synchronized engine's
+/// `run_durable` entry point drives the barrier-commit protocol through
+/// this trait:
+///
+/// 1. [`DurableStore::commit_barrier`] — mark and persist every shard of
+///    the reference table's co-partitioned group at a barrier `epoch`;
+/// 2. persist the run's resume journal (an ordinary table write followed
+///    by [`DurableStore::flush`]);
+/// 3. [`DurableStore::compact_group`] — fold committed log prefixes into
+///    snapshots, now that the journal points at the epoch.
+///
+/// On restart, [`DurableStore::rewind_group`] discards everything after
+/// the journalled epoch's barrier markers, re-establishing the exact
+/// consistent cut the journal describes.
+pub trait DurableStore: KvStore {
+    /// The store's configured flush policy for ordinary mutations.
+    fn sync_policy(&self) -> SyncPolicy {
+        SyncPolicy::Never
+    }
+
+    /// Forces every buffered write in the store to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backing medium rejects the writes.
+    fn flush(&self) -> Result<(), KvError> {
+        Ok(())
+    }
+
+    /// Appends a barrier marker for `epoch` to every shard log of the
+    /// tables co-partitioned with `reference` and makes everything up to
+    /// the markers durable.  Epochs must strictly increase per group.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference was dropped or the medium rejects the
+    /// writes.
+    fn commit_barrier(&self, _reference: &Self::Table, _epoch: u64) -> Result<(), KvError> {
+        Ok(())
+    }
+
+    /// Folds the committed log prefix of `reference`'s group into
+    /// snapshots where the logs have grown past the store's threshold,
+    /// truncating the folded logs.  Must only be called for an `epoch`
+    /// that a resume journal already points at: a snapshot destroys the
+    /// ability to rewind *past* it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference was dropped or the medium rejects the
+    /// writes.
+    fn compact_group(&self, _reference: &Self::Table, _epoch: u64) -> Result<(), KvError> {
+        Ok(())
+    }
+
+    /// Rebuilds every shard of `reference`'s co-partitioned group to its
+    /// exact state at the barrier marker for `epoch`, discarding all
+    /// later (possibly mid-step) writes.  Ubiquitous tables are outside
+    /// the group and keep their contents, mirroring shard checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// The default fails with [`KvError::Backend`]: a store that keeps no
+    /// log has nothing to rewind to, so a journalled resume cannot be
+    /// honored.
+    fn rewind_group(&self, _reference: &Self::Table, _epoch: u64) -> Result<(), KvError> {
+        Err(KvError::Backend {
+            detail: "store keeps no durable log; cannot rewind to a barrier".to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_never() {
+        assert_eq!(SyncPolicy::default(), SyncPolicy::Never);
+    }
+}

@@ -70,6 +70,21 @@ pub enum KvError {
         /// Human-readable description.
         detail: String,
     },
+    /// A write-ahead log ended in a torn or corrupt record; replay
+    /// recovered everything up to the last valid record and discarded the
+    /// rest.  This is the normal aftermath of a crash mid-append, so a
+    /// durable store reports it as a recovery note rather than failing to
+    /// open.
+    WalTailDiscarded {
+        /// The table whose log had the damaged tail.
+        table: String,
+        /// The part whose log had the damaged tail.
+        part: u32,
+        /// Records that survived and were replayed.
+        valid_records: u64,
+        /// Bytes truncated off the end of the log.
+        discarded_bytes: u64,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -96,6 +111,18 @@ impl fmt::Display for KvError {
                 write!(f, "operation does not apply to ubiquitous table {name:?}")
             }
             KvError::Backend { detail } => write!(f, "store backend error: {detail}"),
+            KvError::WalTailDiscarded {
+                table,
+                part,
+                valid_records,
+                discarded_bytes,
+            } => {
+                write!(
+                    f,
+                    "table {table:?} part {part}: WAL tail discarded \
+                     ({valid_records} records replayed, {discarded_bytes} B dropped)"
+                )
+            }
         }
     }
 }

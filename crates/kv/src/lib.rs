@@ -29,6 +29,7 @@
 //!   placed data skip marshalling while remote operations pay it.
 
 mod consumer;
+mod durable;
 mod error;
 mod handle;
 mod key;
@@ -39,6 +40,7 @@ mod store;
 mod table;
 
 pub use consumer::{FnPairConsumer, PairConsumer, PartConsumer, ScanControl};
+pub use durable::{DurableStore, SyncPolicy};
 pub use error::{panic_message, KvError};
 pub use handle::TaskHandle;
 pub use key::{fnv64, PartId, RoutedKey};

@@ -22,6 +22,14 @@ pub struct StoreMetrics {
     pub tasks_dispatched: u64,
     /// Long-running enumerations served by the long-operation lanes.
     pub enumerations: u64,
+    /// Bytes appended to write-ahead logs.  Zero on memory-only backends.
+    pub wal_bytes: u64,
+    /// `fsync`-class flushes issued to make log or snapshot bytes durable.
+    /// Zero on memory-only backends.
+    pub fsyncs: u64,
+    /// Log records replayed while rebuilding memtables on open or rewind.
+    /// Zero on memory-only backends.
+    pub replayed_records: u64,
 }
 
 impl StoreMetrics {
@@ -41,6 +49,9 @@ impl Sub for StoreMetrics {
             bytes_marshalled: self.bytes_marshalled.saturating_sub(rhs.bytes_marshalled),
             tasks_dispatched: self.tasks_dispatched.saturating_sub(rhs.tasks_dispatched),
             enumerations: self.enumerations.saturating_sub(rhs.enumerations),
+            wal_bytes: self.wal_bytes.saturating_sub(rhs.wal_bytes),
+            fsyncs: self.fsyncs.saturating_sub(rhs.fsyncs),
+            replayed_records: self.replayed_records.saturating_sub(rhs.replayed_records),
         }
     }
 }
@@ -55,7 +66,17 @@ impl fmt::Display for StoreMetrics {
             self.bytes_marshalled,
             self.tasks_dispatched,
             self.enumerations
-        )
+        )?;
+        // Durability counters only appear where a durable backend is in
+        // play; memory-only stores leave them at zero and print compactly.
+        if self.wal_bytes != 0 || self.fsyncs != 0 || self.replayed_records != 0 {
+            write!(
+                f,
+                ", {} B WAL, {} fsyncs, {} replayed",
+                self.wal_bytes, self.fsyncs, self.replayed_records
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -71,6 +92,9 @@ mod tests {
             bytes_marshalled: 100,
             tasks_dispatched: 3,
             enumerations: 2,
+            wal_bytes: 900,
+            fsyncs: 9,
+            replayed_records: 7,
         };
         let b = StoreMetrics {
             local_ops: 4,
@@ -78,6 +102,9 @@ mod tests {
             bytes_marshalled: 40,
             tasks_dispatched: 1,
             enumerations: 2,
+            wal_bytes: 300,
+            fsyncs: 4,
+            replayed_records: 7,
         };
         let d = a - b;
         assert_eq!(d.local_ops, 6);
@@ -86,10 +113,29 @@ mod tests {
         assert_eq!(d.tasks_dispatched, 2);
         assert_eq!(d.enumerations, 0);
         assert_eq!(d.total_ops(), 10);
+        assert_eq!(d.wal_bytes, 600);
+        assert_eq!(d.fsyncs, 5);
+        assert_eq!(d.replayed_records, 0);
     }
 
     #[test]
     fn display_not_empty() {
         assert!(!StoreMetrics::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_durability_only_when_nonzero() {
+        let zeroed = StoreMetrics::default().to_string();
+        assert!(!zeroed.contains("WAL"));
+        let durable = StoreMetrics {
+            wal_bytes: 1024,
+            fsyncs: 3,
+            replayed_records: 12,
+            ..StoreMetrics::default()
+        }
+        .to_string();
+        assert!(durable.contains("1024 B WAL"));
+        assert!(durable.contains("3 fsyncs"));
+        assert!(durable.contains("12 replayed"));
     }
 }

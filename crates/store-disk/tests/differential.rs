@@ -1,0 +1,108 @@
+//! Differential property test: `DiskStore` behaves exactly like
+//! `SimpleStore` under arbitrary op sequences — including a mid-sequence
+//! flush, drop, and reopen, after which the replayed state must still
+//! agree with the oracle that never went away.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ripple_kv::{DurableStore, KvStore, RoutedKey, SyncPolicy, Table, TableSpec};
+use ripple_store_disk::{testutil::TempDir, DiskStore};
+use ripple_store_simple::SimpleStore;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>, Vec<u8>),
+    Get(u64, Vec<u8>),
+    Delete(u64, Vec<u8>),
+    Len,
+    Clear,
+    /// Flush, drop the disk store, and reopen it from its files.
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = prop::collection::vec(any::<u8>(), 0..8);
+    let val = prop::collection::vec(any::<u8>(), 0..16);
+    prop_oneof![
+        (any::<u64>(), key.clone(), val.clone()).prop_map(|(r, k, v)| Op::Put(r % 8, k, v)),
+        (any::<u64>(), key.clone(), val).prop_map(|(r, k, v)| Op::Put(r % 8, k, v)),
+        (any::<u64>(), key.clone()).prop_map(|(r, k)| Op::Get(r % 8, k)),
+        (any::<u64>(), key).prop_map(|(r, k)| Op::Delete(r % 8, k)),
+        Just(Op::Len),
+        Just(Op::Clear),
+        Just(Op::Reopen),
+    ]
+}
+
+fn open(dir: &std::path::Path, parts: u32) -> DiskStore {
+    DiskStore::builder()
+        .default_parts(parts)
+        .sync_policy(SyncPolicy::EveryN(3))
+        .open(dir)
+        .expect("open disk store")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn disk_store_matches_simple_store_across_reopens(
+        parts in 1u32..7,
+        ops in prop::collection::vec(op_strategy(), 1..100),
+    ) {
+        let tmp = TempDir::new("differential");
+        let mut disk = open(tmp.path(), parts);
+        let mut table = disk.create_table(&TableSpec::new("t")).unwrap();
+        let oracle_store = SimpleStore::new(parts);
+        let oracle = oracle_store.create_table(&TableSpec::new("t")).unwrap();
+
+        for op in ops {
+            match op {
+                Op::Put(route, k, v) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    let value = Bytes::from(v);
+                    let got = table.put(key.clone(), value.clone()).unwrap();
+                    let expect = oracle.put(key, value).unwrap();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Get(route, k) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    prop_assert_eq!(table.get(&key).unwrap(), oracle.get(&key).unwrap());
+                }
+                Op::Delete(route, k) => {
+                    let key = RoutedKey::with_route(route, Bytes::from(k));
+                    prop_assert_eq!(table.delete(&key).unwrap(), oracle.delete(&key).unwrap());
+                }
+                Op::Len => {
+                    prop_assert_eq!(table.len().unwrap(), oracle.len().unwrap());
+                }
+                Op::Clear => {
+                    table.clear().unwrap();
+                    oracle.clear().unwrap();
+                }
+                Op::Reopen => {
+                    disk.flush().unwrap();
+                    drop(table);
+                    drop(disk);
+                    disk = open(tmp.path(), parts);
+                    prop_assert!(disk.recovery_report().is_empty());
+                    table = disk.lookup_table("t").unwrap();
+                }
+            }
+        }
+
+        // Final state matches exactly, via enumeration on both sides.
+        let consumer = ripple_kv::FnPairConsumer::new(
+            |k: &RoutedKey, v: &[u8]| (k.clone(), Bytes::copy_from_slice(v)),
+        );
+        let disk_pairs: HashMap<RoutedKey, Bytes> =
+            disk.enumerate_pairs(&table, consumer).unwrap().into_iter().collect();
+        let consumer = ripple_kv::FnPairConsumer::new(
+            |k: &RoutedKey, v: &[u8]| (k.clone(), Bytes::copy_from_slice(v)),
+        );
+        let oracle_pairs: HashMap<RoutedKey, Bytes> =
+            oracle_store.enumerate_pairs(&oracle, consumer).unwrap().into_iter().collect();
+        prop_assert_eq!(disk_pairs, oracle_pairs);
+    }
+}

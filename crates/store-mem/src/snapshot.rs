@@ -246,3 +246,8 @@ impl ripple_kv::HealableStore for MemStore {
         Ok(self.is_part_failed(reference, part))
     }
 }
+
+/// Memory-only durability: flushes are no-ops and nothing survives the
+/// process, but the defaults let `run_durable` drive the same barrier
+/// protocol it uses against a disk store (minus the resume).
+impl ripple_kv::DurableStore for MemStore {}

@@ -30,6 +30,8 @@ impl PartCells {
             bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
             tasks_dispatched: self.tasks.load(Ordering::Relaxed),
             enumerations: self.enumerations.load(Ordering::Relaxed),
+            // Memory-only: no log, no fsync, no replay.
+            ..StoreMetrics::default()
         }
     }
 }
@@ -108,6 +110,8 @@ impl Counters {
             bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
             tasks_dispatched: self.tasks.load(Ordering::Relaxed),
             enumerations: self.enumerations.load(Ordering::Relaxed),
+            // Memory-only: no log, no fsync, no replay.
+            ..StoreMetrics::default()
         }
     }
     fn part_snapshots(&self) -> Vec<StoreMetrics> {

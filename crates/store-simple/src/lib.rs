@@ -350,9 +350,14 @@ impl KvStore for SimpleStore {
             bytes_marshalled: 0,
             tasks_dispatched: self.inner.tasks.load(Ordering::Relaxed),
             enumerations: self.inner.enumerations.load(Ordering::Relaxed),
+            // Memory-only: no log, no fsync, no replay.
+            ..StoreMetrics::default()
         }
     }
 }
+
+/// Memory-only durability: every method keeps its no-op default.
+impl ripple_kv::DurableStore for SimpleStore {}
 
 #[cfg(test)]
 mod tests {

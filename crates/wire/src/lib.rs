@@ -8,9 +8,13 @@
 //! marshalling: a small, deterministic, self-contained binary format built
 //! from LEB128 varints and explicit [`Encode`]/[`Decode`] implementations.
 //!
-//! The format makes no attempt at cross-version schema evolution; it is a
-//! marshalling format for data in flight inside one job, not a persistence
-//! format.
+//! The format makes no attempt at cross-version schema evolution.  Bare
+//! wire values are for data in flight inside one job; when bytes *do*
+//! rest on disk — the durable store's write-ahead logs and snapshots —
+//! they are wrapped in the [`frame`-module](read_frame) record format,
+//! which adds a length prefix and a CRC-32 checksum so that torn tails
+//! from interrupted appends and corrupted records are detected on replay
+//! instead of being decoded as garbage.
 //!
 //! # Examples
 //!
@@ -27,6 +31,7 @@
 //! ```
 
 mod error;
+mod frame;
 mod impls;
 mod macros;
 mod reader;
@@ -34,6 +39,7 @@ mod varint;
 mod writer;
 
 pub use error::WireError;
+pub use frame::{crc32, frame_len, read_frame, write_frame, FrameRead};
 pub use reader::ByteReader;
 pub use writer::ByteWriter;
 

@@ -21,6 +21,7 @@
 //! | [`kv`] | `ripple-kv` | key/value store + compute-placement SPI |
 //! | [`store`] | `ripple-store-mem` | the in-process partitioned "debugging store" |
 //! | [`store_simple`] | `ripple-store-simple` | a minimal single-map reference store |
+//! | [`store_disk`] | `ripple-store-disk` | the durable WAL-backed store (cross-restart resume) |
 //! | [`mq`] | `ripple-mq` | queue sets (table-backed and channel-backed) |
 //! | [`ebsp`] | `ripple-core` | the K/V EBSP programming model and engines |
 //! | [`mapreduce`] | `ripple-mapreduce` | (iterated) MapReduce atop K/V EBSP |
@@ -34,6 +35,7 @@ pub use ripple_graph as graph;
 pub use ripple_kv as kv;
 pub use ripple_mapreduce as mapreduce;
 pub use ripple_mq as mq;
+pub use ripple_store_disk as store_disk;
 pub use ripple_store_mem as store;
 pub use ripple_store_simple as store_simple;
 pub use ripple_summa as summa;
