@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ripple_core::{ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, QueueKind};
+use ripple_core::{
+    ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, QueueKind, RunOptions,
+};
 use ripple_store_mem::MemStore;
 
 /// A fan-in job: `senders` components each send `per` messages to one sink.
@@ -54,14 +56,16 @@ fn bench_combiner(c: &mut Criterion) {
                     let store = MemStore::builder().default_parts(4).build();
                     let job = Arc::new(FanIn { per: 32, combine });
                     JobRunner::new(store)
-                        .run_with_loaders(
+                        .launch(
                             job,
-                            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<FanIn>| {
-                                for k in 0..64u32 {
-                                    sink.enable(k)?;
-                                }
-                                Ok(())
-                            }))],
+                            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                                |sink: &mut dyn LoadSink<FanIn>| {
+                                    for k in 0..64u32 {
+                                        sink.enable(k)?;
+                                    }
+                                    Ok(())
+                                },
+                            ))]),
                         )
                         .unwrap()
                 });
@@ -120,11 +124,11 @@ fn bench_queue_kinds(c: &mut Criterion) {
                 });
                 JobRunner::new(store)
                     .queue_kind(kind)
-                    .run_with_loaders(
+                    .launch(
                         job,
-                        vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Relay>| {
-                            sink.message(0, 0)
-                        }))],
+                        RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                            |sink: &mut dyn LoadSink<Relay>| sink.message(0, 0),
+                        ))]),
                     )
                     .unwrap()
             });

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use ripple_bench::{timed_trials, Args, Stats};
 use ripple_core::{
     CollectingExporter, ComputeContext, EbspError, Exporter, FnLoader, Job, JobProperties,
-    JobRunner, LoadSink,
+    JobRunner, LoadSink, RunOptions,
 };
 use ripple_kv::PartId;
 use ripple_store_mem::MemStore;
@@ -94,16 +94,16 @@ fn main() {
             });
             let keys = keys_in_part(parts, 0, components);
             JobRunner::new(store)
-                .run_with_loaders(
+                .launch(
                     job,
-                    vec![Box::new(FnLoader::new(
+                    RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                         move |sink: &mut dyn LoadSink<SkewedWork>| {
                             for k in keys {
                                 sink.message(k, 1)?;
                             }
                             Ok(())
                         },
-                    ))],
+                    ))]),
                 )
                 .expect("ablation run");
             distribution = vec![0u64; parts as usize];

@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin sssp_incremental --
 //! [--scale 50] [--batches 10] [--batch-size 1000] [--trials 3]
-//! [--parts 6] [--skip-fullscan] [--store mem|simple|disk]
+//! [--parts 6] [--skip-fullscan] [--store mem|simple|disk|net]
 //! [--data-dir path] [--profile steps.json]`
 //!
 //! `--profile <path>` additionally applies one extra profiled batch on the
@@ -22,41 +22,31 @@
 //! (`{"store":"...","steps":[...]}`) — the step-level view of a change
 //! wave's blast radius.
 
-use ripple_bench::{disk_data_dir, reset_dir, Args, Stats, StoreChoice};
+use ripple_bench::{dispatch, Args, Stats, StoreBench, StoreChoice};
 use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::{random_change_batch, random_undirected};
 use ripple_graph::sssp::{bfs_oracle, FullScanInstance, SelectiveInstance};
 use ripple_kv::KvStore;
-use ripple_store_disk::DiskStore;
-use ripple_store_mem::MemStore;
-use ripple_store_simple::SimpleStore;
+
+struct Sssp {
+    args: Args,
+    parts: u32,
+}
+
+impl StoreBench for Sssp {
+    fn run<S: KvStore>(self, choice: StoreChoice, make_store: impl FnMut() -> S) {
+        run(&self.args, self.parts, choice, make_store);
+    }
+}
 
 fn main() {
     let args = Args::capture();
     let parts = args.get("parts", 6u32);
-    let choice = StoreChoice::from_args(&args);
-
-    match choice {
-        StoreChoice::Mem => run(&args, parts, choice, || {
-            MemStore::builder().default_parts(parts).build()
-        }),
-        StoreChoice::Simple => run(&args, parts, choice, || SimpleStore::new(parts)),
-        StoreChoice::Disk => {
-            let dir = disk_data_dir(&args, "sssp_incremental");
-            let mut instance = 0u64;
-            run(&args, parts, choice, move || {
-                // Every instance in a trial (selective, full-scan) needs
-                // its own directory: they are live concurrently.
-                instance += 1;
-                let dir = dir.join(format!("i{instance}"));
-                reset_dir(&dir);
-                DiskStore::builder()
-                    .default_parts(parts)
-                    .open(&dir)
-                    .expect("open disk store")
-            });
-        }
-    }
+    let bench = Sssp {
+        args: args.clone(),
+        parts,
+    };
+    dispatch(&args, "sssp_incremental", parts, bench);
 }
 
 fn run<S: KvStore>(

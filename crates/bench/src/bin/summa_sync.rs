@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin summa_sync --
 //! [--grid 3] [--block 64] [--trials 8] [--parts 3]
-//! [--store mem|simple|disk] [--data-dir path] [--profile profiles.json]`
+//! [--store mem|simple|disk|net] [--data-dir path] [--profile profiles.json]`
 //!
 //! `--profile <path>` additionally runs one profiled multiply per mode and
 //! writes both profile shapes to `<path>` as JSON: per-step profiles of
@@ -19,38 +19,29 @@
 //! backend name and the synchronized run's whole-store counter deltas
 //! (which for `--store disk` include WAL bytes and fsyncs).
 
-use ripple_bench::{disk_data_dir, reset_dir, timed_trials, Args, Stats, StoreChoice};
+use ripple_bench::{dispatch, timed_trials, Args, Stats, StoreBench, StoreChoice};
 use ripple_core::{step_profiles_json, worker_profiles_json, ExecMode};
 use ripple_kv::KvStore;
-use ripple_store_disk::DiskStore;
-use ripple_store_mem::MemStore;
-use ripple_store_simple::SimpleStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
+
+struct SummaSync {
+    args: Args,
+}
+
+impl StoreBench for SummaSync {
+    fn run<S: KvStore>(self, choice: StoreChoice, make_store: impl FnMut() -> S) {
+        run(&self.args, choice, make_store);
+    }
+}
 
 fn main() {
     let args = Args::capture();
     let parts = args.get("parts", 3u32);
-    let choice = StoreChoice::from_args(&args);
-
-    match choice {
-        StoreChoice::Mem => run(&args, choice, || {
-            MemStore::builder().default_parts(parts).build()
-        }),
-        StoreChoice::Simple => run(&args, choice, || SimpleStore::new(parts)),
-        StoreChoice::Disk => {
-            let dir = disk_data_dir(&args, "summa_sync");
-            run(&args, choice, move || {
-                reset_dir(&dir);
-                DiskStore::builder()
-                    .default_parts(parts)
-                    .open(&dir)
-                    .expect("open disk store")
-            });
-        }
-    }
+    let bench = SummaSync { args: args.clone() };
+    dispatch(&args, "summa_sync", parts, bench);
 }
 
-fn run<S: KvStore>(args: &Args, choice: StoreChoice, make_store: impl Fn() -> S) {
+fn run<S: KvStore>(args: &Args, choice: StoreChoice, mut make_store: impl FnMut() -> S) {
     let grid = args.get("grid", 3u32);
     let block = args.get("block", 64usize);
     let trials = args.get("trials", 8usize);
@@ -61,7 +52,7 @@ fn run<S: KvStore>(args: &Args, choice: StoreChoice, make_store: impl Fn() -> S)
     let b = DenseMatrix::random(dim, dim, 2);
     let reference = a.multiply(&b);
 
-    let run = |mode: ExecMode| -> (Stats, u32) {
+    let mut run = |mode: ExecMode| -> (Stats, u32) {
         let mut barriers = 0;
         let times = timed_trials(trials, |_| {
             let store = make_store();
@@ -97,7 +88,7 @@ fn run<S: KvStore>(args: &Args, choice: StoreChoice, make_store: impl Fn() -> S)
     );
 
     if let Some(path) = profile_path {
-        let profiled = |mode: ExecMode| {
+        let mut profiled = |mode: ExecMode| {
             let store = make_store();
             let before = store.metrics();
             let (_, report) = multiply(

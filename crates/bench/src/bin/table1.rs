@@ -20,46 +20,46 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table1 --
 //! [--scale 100] [--trials 5] [--iterations 10] [--parts 6]
-//! [--store mem|simple|disk] [--data-dir path] [--profile steps.json]`
+//! [--store mem|simple|disk|net] [--data-dir path] [--profile steps.json]`
 //!
 //! `--profile <path>` additionally runs one profiled direct ranking of the
 //! first graph shape and writes its per-step profiles (per-part compute
 //! times, barrier skew, store deltas) to `<path>` as JSON, tagged with the
 //! backend: `{"store":"...","steps":[...]}`.
 
-use ripple_bench::{disk_data_dir, reset_dir, row, timed_trials, Args, Stats, StoreChoice};
+use ripple_bench::{dispatch, row, timed_trials, Args, Stats, StoreBench, StoreChoice};
 use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::power_law_graph;
 use ripple_graph::pagerank::{run_direct, run_direct_on, run_mapreduce_variant, PageRankConfig};
 use ripple_kv::KvStore;
-use ripple_store_disk::DiskStore;
-use ripple_store_mem::MemStore;
-use ripple_store_simple::SimpleStore;
+
+struct Table1 {
+    args: Args,
+    parts: u32,
+}
+
+impl StoreBench for Table1 {
+    fn run<S: KvStore>(self, choice: StoreChoice, make_store: impl FnMut() -> S) {
+        run(&self.args, self.parts, choice, make_store);
+    }
+}
 
 fn main() {
     let args = Args::capture();
     let parts = args.get("parts", 6u32);
-    let choice = StoreChoice::from_args(&args);
-
-    match choice {
-        StoreChoice::Mem => run(&args, parts, choice, || {
-            MemStore::builder().default_parts(parts).build()
-        }),
-        StoreChoice::Simple => run(&args, parts, choice, || SimpleStore::new(parts)),
-        StoreChoice::Disk => {
-            let dir = disk_data_dir(&args, "table1");
-            run(&args, parts, choice, move || {
-                reset_dir(&dir);
-                DiskStore::builder()
-                    .default_parts(parts)
-                    .open(&dir)
-                    .expect("open disk store")
-            });
-        }
-    }
+    let bench = Table1 {
+        args: args.clone(),
+        parts,
+    };
+    dispatch(&args, "table1", parts, bench);
 }
 
-fn run<S: KvStore>(args: &Args, parts: u32, choice: StoreChoice, make_store: impl Fn() -> S) {
+fn run<S: KvStore>(
+    args: &Args,
+    parts: u32,
+    choice: StoreChoice,
+    mut make_store: impl FnMut() -> S,
+) {
     let scale = args.get("scale", 100u64);
     let trials = args.get("trials", 5usize);
     let iterations = args.get("iterations", 10u32);

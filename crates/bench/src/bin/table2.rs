@@ -12,46 +12,40 @@
 //! synchronization slows this example by 7/3.
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table2 --
-//! [--grid 3] [--block 8] [--store mem|simple|disk] [--data-dir path]
+//! [--grid 3] [--block 8] [--store mem|simple|disk|net] [--data-dir path]
 //! [--profile steps.json]`
 //!
 //! `--profile <path>` writes the run's per-step engine profiles (per-part
 //! compute times, barrier skew, store deltas) to `<path>` as JSON, tagged
 //! with the backend: `{"store":"...","steps":[...]}`.
 
-use ripple_bench::{disk_data_dir, reset_dir, Args, StoreChoice};
+use ripple_bench::{dispatch, Args, StoreBench, StoreChoice};
 use ripple_core::{step_profiles_json, ExecMode};
 use ripple_kv::KvStore;
-use ripple_store_disk::DiskStore;
-use ripple_store_mem::MemStore;
-use ripple_store_simple::SimpleStore;
 use ripple_summa::{multiply, DenseMatrix, SummaOptions};
+
+struct Table2 {
+    args: Args,
+    grid: u32,
+    block: usize,
+}
+
+impl StoreBench for Table2 {
+    fn run<S: KvStore>(self, choice: StoreChoice, mut make_store: impl FnMut() -> S) {
+        run(&self.args, self.grid, self.block, choice, make_store());
+    }
+}
 
 fn main() {
     let args = Args::capture();
     let grid = args.get("grid", 3u32);
     let block = args.get("block", 8usize);
-    let choice = StoreChoice::from_args(&args);
-
-    match choice {
-        StoreChoice::Mem => run(
-            &args,
-            grid,
-            block,
-            choice,
-            MemStore::builder().default_parts(grid).build(),
-        ),
-        StoreChoice::Simple => run(&args, grid, block, choice, SimpleStore::new(grid)),
-        StoreChoice::Disk => {
-            let dir = disk_data_dir(&args, "table2");
-            reset_dir(&dir);
-            let store = DiskStore::builder()
-                .default_parts(grid)
-                .open(&dir)
-                .expect("open disk store");
-            run(&args, grid, block, choice, store);
-        }
-    }
+    let bench = Table2 {
+        args: args.clone(),
+        grid,
+        block,
+    };
+    dispatch(&args, "table2", grid, bench);
 }
 
 fn run<S: KvStore>(args: &Args, grid: u32, block: usize, choice: StoreChoice, store: S) {

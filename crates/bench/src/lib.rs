@@ -9,6 +9,12 @@
 
 use std::time::{Duration, Instant};
 
+use ripple_kv::KvStore;
+use ripple_store_disk::DiskStore;
+use ripple_store_mem::MemStore;
+use ripple_store_net::LoopbackCluster;
+use ripple_store_simple::SimpleStore;
+
 /// Mean and (sample) standard deviation of a set of measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
@@ -125,11 +131,14 @@ impl Args {
     }
 }
 
-/// Which K/V backend a bench binary runs against (`--store mem|simple|disk`).
+/// Which K/V backend a bench binary runs against
+/// (`--store mem|simple|disk|net`).
 ///
 /// Every experiment binary accepts the flag; `mem` (the default) and
 /// `simple` are in-memory, `disk` is the WAL-backed durable store and
-/// additionally honours `--data-dir <path>` for where its files live.
+/// additionally honours `--data-dir <path>` for where its files live, and
+/// `net` runs against a loopback cluster of TCP part servers (one server
+/// per part), so every store operation crosses a real socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreChoice {
     /// `ripple-store-mem`: sharded, replicated, production-shaped.
@@ -138,6 +147,8 @@ pub enum StoreChoice {
     Simple,
     /// `ripple-store-disk`: durable, WAL-backed, resumable.
     Disk,
+    /// `ripple-store-net`: networked client over loopback part servers.
+    Net,
 }
 
 impl StoreChoice {
@@ -151,7 +162,8 @@ impl StoreChoice {
             None | Some("mem") => StoreChoice::Mem,
             Some("simple") => StoreChoice::Simple,
             Some("disk") => StoreChoice::Disk,
-            Some(other) => panic!("--store {other}: expected mem, simple, or disk"),
+            Some("net") => StoreChoice::Net,
+            Some(other) => panic!("--store {other}: expected mem, simple, disk, or net"),
         }
     }
 
@@ -163,6 +175,56 @@ impl StoreChoice {
             StoreChoice::Mem => "mem",
             StoreChoice::Simple => "simple",
             StoreChoice::Disk => "disk",
+            StoreChoice::Net => "net",
+        }
+    }
+}
+
+/// A bench body that is generic over the backing store, for [`dispatch`].
+///
+/// Rust closures cannot be generic over types, so the `--store` dispatch
+/// hands the chosen backend to an object implementing this trait instead
+/// of a callback.
+pub trait StoreBench {
+    /// Runs the experiment.  `make_store` yields a fresh, empty store of
+    /// the chosen backend on every call — one per trial instance.
+    fn run<S: KvStore>(self, choice: StoreChoice, make_store: impl FnMut() -> S);
+}
+
+/// Parses `--store` / `--data-dir` and invokes `bench` with a factory for
+/// the chosen backend — the dispatch every experiment bin used to
+/// duplicate.
+///
+/// `disk` factories give each instance its own subdirectory of
+/// [`disk_data_dir`] (experiments may keep two stores live at once);
+/// `net` factories spawn a fresh loopback cluster with one part server
+/// per part, kept alive until the bench body returns.
+pub fn dispatch<B: StoreBench>(args: &Args, bin: &str, parts: u32, bench: B) {
+    let choice = StoreChoice::from_args(args);
+    match choice {
+        StoreChoice::Mem => bench.run(choice, || MemStore::builder().default_parts(parts).build()),
+        StoreChoice::Simple => bench.run(choice, || SimpleStore::new(parts)),
+        StoreChoice::Disk => {
+            let dir = disk_data_dir(args, bin);
+            let mut instance = 0u64;
+            bench.run(choice, move || {
+                instance += 1;
+                let dir = dir.join(format!("i{instance}"));
+                reset_dir(&dir);
+                DiskStore::builder()
+                    .default_parts(parts)
+                    .open(&dir)
+                    .expect("open disk store")
+            });
+        }
+        StoreChoice::Net => {
+            let mut clusters = Vec::new();
+            bench.run(choice, move || {
+                let cluster = LoopbackCluster::spawn(parts as usize, parts);
+                let store = cluster.store.clone();
+                clusters.push(cluster);
+                store
+            });
         }
     }
 }
@@ -219,6 +281,44 @@ mod tests {
     fn single_sample_has_zero_stddev() {
         let s = Stats::of(&[3.5]);
         assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn store_choice_parses_all_backends() {
+        for (flag, want) in [
+            ("mem", StoreChoice::Mem),
+            ("simple", StoreChoice::Simple),
+            ("disk", StoreChoice::Disk),
+            ("net", StoreChoice::Net),
+        ] {
+            let args = Args::from_vec(vec!["--store".into(), flag.into()]);
+            let choice = StoreChoice::from_args(&args);
+            assert_eq!(choice, want);
+            assert_eq!(choice.name(), flag);
+        }
+        assert_eq!(
+            StoreChoice::from_args(&Args::from_vec(vec![])),
+            StoreChoice::Mem
+        );
+    }
+
+    #[test]
+    fn dispatch_spawns_fresh_stores_per_call() {
+        struct Body;
+        impl StoreBench for Body {
+            fn run<S: KvStore>(self, choice: StoreChoice, mut make_store: impl FnMut() -> S) {
+                assert_eq!(choice, StoreChoice::Net);
+                for _ in 0..2 {
+                    let store = make_store();
+                    // A fresh store must accept the same table name again.
+                    store
+                        .create_table(ripple_kv::TableSpec::new("t").parts(2))
+                        .expect("fresh store");
+                }
+            }
+        }
+        let args = Args::from_vec(vec!["--store".into(), "net".into()]);
+        dispatch(&args, "bench-test", 2, Body);
     }
 
     #[test]

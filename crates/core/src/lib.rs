@@ -53,6 +53,7 @@ mod job;
 mod loader;
 mod metrics;
 mod observer;
+mod options;
 mod profile;
 mod properties;
 mod retry;
@@ -75,6 +76,7 @@ pub use job::{Job, StateExporters};
 pub use loader::{FnLoader, LoadSink, Loader, PairsLoader, TableLoader};
 pub use metrics::RunMetrics;
 pub use observer::{FanoutObserver, ObservedEvent, RecordingObserver, RunObserver};
+pub use options::{Basic, Durable, Heal, LaunchMode, Recover, RunOptions};
 pub use profile::{PartStepProfile, StepCounters, StepProfile, WorkerProfile};
 pub use properties::{ExecMode, ExecutionPlan, JobProperties};
 pub use retry::RetryPolicy;

@@ -10,6 +10,7 @@ use ripple_wire::{from_wire, to_wire};
 use crate::engine::nosync::{run_nosync, HealFn, NosyncOptions};
 use crate::engine::sync::{run_sync, DurableOpts, RecoveryHooks, ResumePoint, SyncOptions};
 use crate::engine::JobEnv;
+use crate::options::{Basic, Durable, Heal, LaunchMode, Recover, RunOptions};
 use crate::{
     AggValue, AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job,
     Loader, RetryPolicy, RunMetrics,
@@ -51,7 +52,10 @@ pub struct RunOutcome {
 /// Configures and runs K/V EBSP jobs against a store.
 ///
 /// `JobRunner` is a non-consuming builder: configure it, then call
-/// [`JobRunner::run`] any number of times.
+/// [`JobRunner::launch`] any number of times.  The launch takes a
+/// [`RunOptions`] selecting extra loaders and the run mode — healing,
+/// recovery, durability — checked against the store's capabilities at
+/// compile time.
 ///
 /// # Examples
 ///
@@ -84,16 +88,19 @@ pub struct RunOutcome {
 /// }
 ///
 /// # fn main() -> Result<(), EbspError> {
+/// use ripple_core::RunOptions;
+///
 /// let store = MemStore::builder().default_parts(4).build();
-/// let outcome = JobRunner::new(store).run_with_loaders(
+/// let loader = FnLoader::new(|sink: &mut dyn LoadSink<Halver>| {
+///     for k in 0..10u32 {
+///         sink.state(0, k, 1 << k)?;
+///         sink.enable(k)?;
+///     }
+///     Ok(())
+/// });
+/// let outcome = JobRunner::new(store).launch(
 ///     Arc::new(Halver),
-///     vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<Halver>| {
-///         for k in 0..10u32 {
-///             sink.state(0, k, 1 << k)?;
-///             sink.enable(k)?;
-///         }
-///         Ok(())
-///     }))],
+///     RunOptions::new().loader(Box::new(loader)),
 /// )?;
 /// assert_eq!(outcome.steps, 10); // 1 << 9 reaches zero after 10 halvings
 /// # Ok(())
@@ -247,31 +254,58 @@ impl<S: KvStore> JobRunner<S> {
         self
     }
 
-    /// Runs `job` using only the loaders the job itself declares.
+    /// Runs `job` as configured by `options` — the one entry point for
+    /// every run mode.
     ///
-    /// # Errors
-    ///
-    /// Any [`EbspError`]; see [`JobRunner::run_with_loaders`].
-    pub fn run<J: Job>(&self, job: Arc<J>) -> Result<RunOutcome, EbspError> {
-        self.run_with_loaders(job, Vec::new())
-    }
-
-    /// Runs `job` with extra loaders appended after the job's own.
+    /// `options` carries extra loaders and the mode: [`RunOptions::new`]
+    /// for a plain run, upgraded with [`RunOptions::healing`],
+    /// [`RunOptions::recovery`] or [`RunOptions::durable`].  Each mode
+    /// compiles only against a store with the matching capability traits,
+    /// so an impossible combination (say, durability on a memory-only
+    /// store) is rejected by the type checker rather than at runtime.
     ///
     /// # Errors
     ///
     /// Fails with [`EbspError::InvalidJob`] for inconsistent job
     /// definitions, [`EbspError::PlanViolation`] for impossible forced
     /// modes, [`EbspError::ConfigUnsupported`] when a
-    /// [`JobRunner::checkpoint_interval`] is set (this entry point cannot
-    /// checkpoint — it would be silently ignored), and engine/store errors
-    /// from the run itself.
+    /// [`JobRunner::checkpoint_interval`] is set on a mode that takes no
+    /// checkpoints (it would be silently ignored), and engine/store errors
+    /// from the run itself.  Recovery modes add
+    /// [`EbspError::Unrecoverable`] when a part cannot be brought back.
+    pub fn launch<J: Job, M: LaunchMode<S>>(
+        &self,
+        job: Arc<J>,
+        options: RunOptions<J, M>,
+    ) -> Result<RunOutcome, EbspError> {
+        M::launch_on(self, job, options.into_loaders())
+    }
+
+    /// Runs `job` using only the loaders the job itself declares.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EbspError`]; see [`JobRunner::launch`].
+    #[deprecated(since = "0.1.0", note = "use `launch(job, RunOptions::new())`")]
+    pub fn run<J: Job>(&self, job: Arc<J>) -> Result<RunOutcome, EbspError> {
+        self.launch(job, RunOptions::new())
+    }
+
+    /// Runs `job` with extra loaders appended after the job's own.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRunner::launch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `launch(job, RunOptions::new().loaders(extra_loaders))`"
+    )]
     pub fn run_with_loaders<J: Job>(
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
     ) -> Result<RunOutcome, EbspError> {
-        self.run_inner(job, extra_loaders, None)
+        self.launch(job, RunOptions::new().loaders(extra_loaders))
     }
 
     fn run_inner<J: Job>(
@@ -472,30 +506,54 @@ impl<S: KvStore> JobRunner<S> {
 }
 
 impl<S: HealableStore> JobRunner<S> {
-    /// Runs `job` with store-side part *healing* enabled: an
-    /// unsynchronized worker whose part fails underneath it (or whose
-    /// compute panics) promotes the part's surviving replicas, re-mints
-    /// termination-detector weight for its in-flight round, redelivers it,
-    /// and carries on.  Redelivery is at-least-once, so the job must be
-    /// idempotent — which the incremental jobs this engine serves are.
+    /// Runs `job` with store-side part healing enabled.
     ///
     /// # Errors
     ///
-    /// As for [`JobRunner::run_with_loaders`], plus
-    /// [`EbspError::Unrecoverable`] when the store cannot restore the part
-    /// or the respawn budget is exhausted.
+    /// See [`JobRunner::launch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).healing())`"
+    )]
     pub fn run_healable<J: Job>(
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
     ) -> Result<RunOutcome, EbspError> {
-        let store = self.store.clone();
+        self.launch(job, RunOptions::new().loaders(extra_loaders).healing())
+    }
+}
+
+impl<S: KvStore> LaunchMode<S> for Basic {
+    fn launch_on<J: Job>(
+        runner: &JobRunner<S>,
+        job: Arc<J>,
+        loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        runner.run_inner(job, loaders, None)
+    }
+}
+
+/// Store-side part *healing*: an unsynchronized worker whose part fails
+/// underneath it (or whose compute panics) promotes the part's surviving
+/// replicas, re-mints termination-detector weight for its in-flight round,
+/// redelivers it, and carries on.  Redelivery is at-least-once, so the job
+/// must be idempotent — which the incremental jobs this engine serves are.
+/// Adds [`EbspError::Unrecoverable`] when the store cannot restore the
+/// part or the respawn budget is exhausted.
+impl<S: HealableStore> LaunchMode<S> for Heal {
+    fn launch_on<J: Job>(
+        runner: &JobRunner<S>,
+        job: Arc<J>,
+        loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        let store = runner.store.clone();
         let reference_name = job.reference_table();
         let heal: Arc<HealFn> = Arc::new(move |part| {
             let reference = store.lookup_table(&reference_name)?;
             store.recover_part(&reference, part)
         });
-        self.run_inner(job, extra_loaders, Some(heal))
+        runner.run_inner(job, loaders, Some(heal))
     }
 }
 
@@ -532,21 +590,34 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
         }
     }
 
-    /// Runs `job` with barrier checkpointing and automatic recovery from
-    /// part failures: whole-group rollback-replay by default, or — when
-    /// the job's determinism allows it and [`JobRunner::fast_recovery`] is
-    /// left enabled — restore-and-replay of the failed part *alone* while
-    /// surviving parts keep their state.  Requires a store with shard
-    /// checkpoints and a configured [`JobRunner::checkpoint_interval`]
-    /// (defaulting to every barrier if unset).  Only synchronized
-    /// execution supports recovery; the mode is forced.
+    /// Runs `job` with barrier checkpointing and automatic recovery.
     ///
     /// # Errors
     ///
-    /// As for [`JobRunner::run_with_loaders`], plus
-    /// [`EbspError::Unrecoverable`] if a part fails with no checkpoint to
-    /// rewind to.
+    /// See [`JobRunner::launch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).recovery())`"
+    )]
     pub fn run_recoverable<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        self.launch(job, RunOptions::new().loaders(extra_loaders).recovery())
+    }
+
+    /// Barrier checkpointing and automatic recovery from part failures:
+    /// whole-group rollback-replay by default, or — when the job's
+    /// determinism allows it and [`JobRunner::fast_recovery`] is left
+    /// enabled — restore-and-replay of the failed part *alone* while
+    /// surviving parts keep their state.  Requires a store with shard
+    /// checkpoints; the cadence comes from
+    /// [`JobRunner::checkpoint_interval`] (defaulting to every barrier if
+    /// unset).  Only synchronized execution supports recovery; the mode is
+    /// forced.  Adds [`EbspError::Unrecoverable`] if a part fails with no
+    /// checkpoint to rewind to.
+    fn launch_recoverable<J: Job>(
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
@@ -580,10 +651,20 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
     }
 }
 
+impl<S: RecoverableStore + HealableStore> LaunchMode<S> for Recover {
+    fn launch_on<J: Job>(
+        runner: &JobRunner<S>,
+        job: Arc<J>,
+        loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        runner.launch_recoverable(job, loaders)
+    }
+}
+
 impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
-    /// Runs `job` with durable barrier commits and cross-restart resume.
+    /// Durable barrier commits and cross-restart resume.
     ///
-    /// On top of everything [`JobRunner::run_recoverable`] does, every
+    /// On top of everything the recovery mode does, every
     /// checkpoint barrier also runs the durable commit protocol: barrier
     /// markers into the store's logs
     /// ([`DurableStore::commit_barrier`]), a resume *journal* describing
@@ -601,12 +682,9 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
     /// with the reference table so rewinds never touch it.  A successful
     /// finish clears the journal and drops the run's temporary tables.
     ///
-    /// # Errors
-    ///
-    /// As for [`JobRunner::run_recoverable`]; additionally fails if the
-    /// store cannot honour a journalled rewind (e.g. a memory store that
-    /// lost the logged bytes with the process).
-    pub fn run_durable<J: Job>(
+    /// Additionally fails if the store cannot honour a journalled rewind
+    /// (e.g. a memory store that lost the logged bytes with the process).
+    fn launch_durable<J: Job>(
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
@@ -713,5 +791,38 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
         trace_result?;
         self.apply_state_exporters(&env)?;
         Ok(outcome)
+    }
+
+    /// Runs `job` with durable barrier commits and cross-restart resume.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRunner::launch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).recovery().durable())`"
+    )]
+    pub fn run_durable<J: Job>(
+        &self,
+        job: Arc<J>,
+        extra_loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        self.launch(
+            job,
+            RunOptions::new()
+                .loaders(extra_loaders)
+                .recovery()
+                .durable(),
+        )
+    }
+}
+
+impl<S: RecoverableStore + HealableStore + DurableStore> LaunchMode<S> for Durable {
+    fn launch_on<J: Job>(
+        runner: &JobRunner<S>,
+        job: Arc<J>,
+        loaders: Vec<Box<dyn Loader<J>>>,
+    ) -> Result<RunOutcome, EbspError> {
+        runner.launch_durable(job, loaders)
     }
 }

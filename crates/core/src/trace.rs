@@ -201,6 +201,15 @@ impl RunObserver for TraceRecorder {
         let end = profile.start + profile.compute_wall + profile.inbox_wall;
         self.push_counter("enabled components", end, profile.enabled_next);
         self.push_counter("bytes marshalled", end, profile.store.bytes_marshalled);
+        // Network tracks only appear when a networked store is in play.
+        if profile.store.rpcs != 0 {
+            self.push_counter("rpcs", end, profile.store.rpcs);
+            self.push_counter(
+                "net bytes",
+                end,
+                profile.store.net_bytes_in + profile.store.net_bytes_out,
+            );
+        }
     }
 
     fn on_worker_profile(&self, profile: &WorkerProfile) {
@@ -242,7 +251,8 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
              \"state_reads\":{},\"state_writes\":{},\"state_deletes\":{},\"creates\":{},\
              \"direct_outputs\":{},\"spill_batches\":{},\"local_ops\":{},\"remote_ops\":{},\
              \"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\"replayed_records\":{},\
-             \"parts\":[",
+             \"rpcs\":{},\"net_bytes_in\":{},\"net_bytes_out\":{},\"rpc_p50_us\":{},\
+             \"rpc_p99_us\":{},\"parts\":[",
             p.step,
             micros(p.start),
             micros(p.compute_wall),
@@ -264,6 +274,11 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             p.store.wal_bytes,
             p.store.fsyncs,
             p.store.replayed_records,
+            p.store.rpcs,
+            p.store.net_bytes_in,
+            p.store.net_bytes_out,
+            p.store.rpc_latency.quantile_upper_us(0.50),
+            p.store.rpc_latency.quantile_upper_us(0.99),
         );
         for (j, part) in p.parts.iter().enumerate() {
             if j > 0 {
@@ -272,7 +287,8 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             let _ = write!(
                 out,
                 "{{\"part\":{},\"compute_us\":{:.3},\"inbox_us\":{:.3},\"local_ops\":{},\
-                 \"remote_ops\":{},\"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{}}}",
+                 \"remote_ops\":{},\"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\
+                 \"rpcs\":{},\"net_bytes_in\":{},\"net_bytes_out\":{}}}",
                 part.part,
                 micros(part.compute),
                 micros(part.inbox_build),
@@ -281,6 +297,9 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
                 part.store.bytes_marshalled,
                 part.store.wal_bytes,
                 part.store.fsyncs,
+                part.store.rpcs,
+                part.store.net_bytes_in,
+                part.store.net_bytes_out,
             );
         }
         out.push_str("]}");

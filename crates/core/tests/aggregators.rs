@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, MaxI64,
-    SumI64,
+    RunOptions, SumI64,
 };
 use ripple_kv::KvStore;
 use ripple_store_mem::MemStore;
@@ -51,16 +51,16 @@ fn run_with_threshold(threshold: usize) -> ripple_core::RunOutcome {
     let store = MemStore::builder().default_parts(4).build();
     JobRunner::new(store)
         .aggregator_table_threshold(threshold)
-        .run_with_loaders(
+        .launch(
             Arc::new(ManyAggregators),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<ManyAggregators>| {
                     for k in 0..60u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap()
 }
@@ -132,16 +132,16 @@ fn aux_tables_are_cleaned_up() {
     let store = MemStore::builder().default_parts(4).build();
     JobRunner::new(store.clone())
         .aggregator_table_threshold(1)
-        .run_with_loaders(
+        .launch(
             Arc::new(ManyAggregators),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<ManyAggregators>| {
                     for k in 0..10u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     for name in store.table_names() {
@@ -184,16 +184,16 @@ fn table_path_results_visible_next_step() {
     let store = MemStore::builder().default_parts(3).build();
     let outcome = JobRunner::new(store)
         .aggregator_table_threshold(1)
-        .run_with_loaders(
+        .launch(
             Arc::new(ReadBack),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<ReadBack>| {
                     for k in 0..5u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.aggregates.get("a0"), Some(AggValue::I64(10)));

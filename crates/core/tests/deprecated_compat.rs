@@ -1,0 +1,111 @@
+//! The five legacy `run_*` entry points are deprecated one-line wrappers
+//! over `JobRunner::launch`; this is the one place that still calls them,
+//! pinning the compatibility contract: each wrapper must behave exactly
+//! like the `RunOptions` mode it forwards to.  Everything else in the
+//! repository builds with deprecation warnings denied.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use ripple_core::{FnLoader, JobRunner, LoadSink, RunOptions, SimpleJob};
+use ripple_store_mem::MemStore;
+
+type CountDown = SimpleJob<u32, u32, u32>;
+
+fn countdown(name: &str) -> CountDown {
+    SimpleJob::<u32, u32, u32>::builder(name)
+        .compute(|ctx| {
+            let v = ctx.read_state(0)?.unwrap_or(0);
+            ctx.write_state(0, &v.saturating_sub(1))?;
+            Ok(v > 1)
+        })
+        .build()
+}
+
+fn seed(n: u32) -> Box<dyn ripple_core::Loader<CountDown>> {
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<CountDown>| {
+        for k in 0..4u32 {
+            sink.state(0, k, n)?;
+            sink.enable(k)?;
+        }
+        Ok(())
+    }))
+}
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(4).build()
+}
+
+#[test]
+fn run_matches_basic_launch() {
+    let legacy = JobRunner::new(store())
+        .run(Arc::new(countdown("a")))
+        .unwrap();
+    let current = JobRunner::new(store())
+        .launch(Arc::new(countdown("a")), RunOptions::new())
+        .unwrap();
+    assert_eq!(legacy.steps, current.steps);
+}
+
+#[test]
+fn run_with_loaders_matches_loaders_launch() {
+    let legacy = JobRunner::new(store())
+        .run_with_loaders(Arc::new(countdown("b")), vec![seed(5)])
+        .unwrap();
+    let current = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("b")),
+            RunOptions::new().loaders(vec![seed(5)]),
+        )
+        .unwrap();
+    assert_eq!(legacy.steps, 5);
+    assert_eq!(legacy.steps, current.steps);
+    assert_eq!(legacy.metrics.invocations, current.metrics.invocations);
+}
+
+#[test]
+fn run_healable_matches_healing_launch() {
+    let legacy = JobRunner::new(store())
+        .run_healable(Arc::new(countdown("c")), vec![seed(3)])
+        .unwrap();
+    let current = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("c")),
+            RunOptions::new().loaders(vec![seed(3)]).healing(),
+        )
+        .unwrap();
+    assert_eq!(legacy.steps, current.steps);
+}
+
+#[test]
+fn run_recoverable_matches_recovery_launch() {
+    let legacy = JobRunner::new(store())
+        .run_recoverable(Arc::new(countdown("d")), vec![seed(4)])
+        .unwrap();
+    let current = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("d")),
+            RunOptions::new().loaders(vec![seed(4)]).recovery(),
+        )
+        .unwrap();
+    assert_eq!(legacy.steps, 4);
+    assert_eq!(legacy.steps, current.steps);
+}
+
+#[test]
+fn run_durable_matches_durable_launch() {
+    let legacy = JobRunner::new(store())
+        .run_durable(Arc::new(countdown("e")), vec![seed(4)])
+        .unwrap();
+    let current = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("e")),
+            RunOptions::new()
+                .loaders(vec![seed(4)])
+                .recovery()
+                .durable(),
+        )
+        .unwrap();
+    assert_eq!(legacy.steps, current.steps);
+    assert_eq!(legacy.aborted, current.aborted);
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job,
-    JobProperties, JobRunner, LoadSink,
+    JobProperties, JobRunner, LoadSink, RunOptions,
 };
 use ripple_kv::KvStore;
 use ripple_store_mem::MemStore;
@@ -61,19 +61,19 @@ impl Job for TraceMessages {
 fn run_trace(parts: u32) -> Vec<(u32, Vec<u32>)> {
     let store = MemStore::builder().default_parts(parts).build();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(TraceMessages {
                 senders: 12,
                 steps: 4,
             }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<TraceMessages>| {
                     for k in 0..12u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let table = store.lookup_table("trace_msgs").unwrap();

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use ripple_core::{EbspError, FnLoader, JobRunner, LoadSink, SimpleJob};
+use ripple_core::{EbspError, FnLoader, JobRunner, LoadSink, RunOptions, SimpleJob};
 use ripple_kv::{KvStore, RoutedKey, Table};
 use ripple_store_mem::MemStore;
 
@@ -38,7 +38,13 @@ fn seed_loader(hops: u32) -> Box<dyn ripple_core::Loader<SimpleJob<u32, u32, u32
 fn durable_run_on_a_memory_store_completes_and_cleans_up() {
     let store = MemStore::builder().default_parts(3).build();
     let outcome = JobRunner::new(store.clone())
-        .run_durable(Arc::new(hop_job("hops")), vec![seed_loader(6)])
+        .launch(
+            Arc::new(hop_job("hops")),
+            RunOptions::new()
+                .loaders(vec![seed_loader(6)])
+                .recovery()
+                .durable(),
+        )
         .unwrap();
     assert!(outcome.metrics.steps >= 6, "the chain takes a step per hop");
     assert!(
@@ -65,7 +71,13 @@ fn interrupted_memory_run_reports_it_cannot_rewind() {
     let runner = JobRunner::new(store.clone());
     let mut limited = JobRunner::new(store.clone());
     limited.max_steps(3);
-    let err = match limited.run_durable(Arc::new(hop_job("hops")), vec![seed_loader(10)]) {
+    let err = match limited.launch(
+        Arc::new(hop_job("hops")),
+        RunOptions::new()
+            .loaders(vec![seed_loader(10)])
+            .recovery()
+            .durable(),
+    ) {
         Err(e) => e,
         Ok(_) => panic!("3 steps cannot finish 10 hops"),
     };
@@ -74,7 +86,13 @@ fn interrupted_memory_run_reports_it_cannot_rewind() {
     // The journal survived the abort, but a memory store kept no log to
     // rewind — the retry must fail loudly rather than resume from a state
     // that never matched the journalled barrier.
-    let resume = runner.run_durable(Arc::new(hop_job("hops")), vec![seed_loader(10)]);
+    let resume = runner.launch(
+        Arc::new(hop_job("hops")),
+        RunOptions::new()
+            .loaders(vec![seed_loader(10)])
+            .recovery()
+            .durable(),
+    );
     assert!(
         matches!(
             resume,

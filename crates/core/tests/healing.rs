@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job,
-    JobProperties, JobRunner, LoadSink,
+    JobProperties, JobRunner, LoadSink, RunOptions,
 };
 use ripple_kv::{KvStore, TableSpec};
 use ripple_store_mem::MemStore;
@@ -92,7 +92,7 @@ fn healable_run_survives_an_injected_part_failure() {
     let store = replicated_store();
     let outcome = JobRunner::new(store.clone())
         .quiescence_timeout(Duration::from_secs(30))
-        .run_healable(
+        .launch(
             Arc::new(ChainRelax {
                 store: store.clone(),
                 injected: AtomicBool::new(false),
@@ -100,9 +100,11 @@ fn healable_run_survives_an_injected_part_failure() {
                 n,
                 always_fail: false,
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+                ))])
+                .healing(),
         )
         .unwrap();
     assert!(
@@ -125,7 +127,7 @@ fn without_healing_the_part_failure_surfaces() {
     let store = replicated_store();
     let err = JobRunner::new(store.clone())
         .quiescence_timeout(Duration::from_secs(30))
-        .run_with_loaders(
+        .launch(
             Arc::new(ChainRelax {
                 store: store.clone(),
                 injected: AtomicBool::new(false),
@@ -133,9 +135,9 @@ fn without_healing_the_part_failure_surfaces() {
                 n,
                 always_fail: false,
             }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(
@@ -150,7 +152,7 @@ fn exhausted_respawn_budget_is_typed_unrecoverable() {
     let store = replicated_store();
     let err = JobRunner::new(store.clone())
         .quiescence_timeout(Duration::from_secs(30))
-        .run_healable(
+        .launch(
             Arc::new(ChainRelax {
                 store: store.clone(),
                 injected: AtomicBool::new(false),
@@ -158,9 +160,11 @@ fn exhausted_respawn_budget_is_typed_unrecoverable() {
                 n,
                 always_fail: true,
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+                ))])
+                .healing(),
         )
         .unwrap_err();
     assert!(

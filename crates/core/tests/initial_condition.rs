@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, SumI64,
+    AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, RunOptions,
+    SumI64,
 };
 use ripple_kv::KvStore;
 use ripple_store_mem::MemStore;
@@ -48,9 +49,9 @@ impl Job for Observer {
 fn all_four_initial_condition_channels() {
     let store = MemStore::builder().default_parts(3).build();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Observer>| {
                     // 1. initial states
                     sink.state(0, 1, (11, Vec::new()))?;
@@ -64,7 +65,7 @@ fn all_four_initial_condition_channels() {
                     sink.aggregate("seed", AggValue::I64(42))?;
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 1);
@@ -92,11 +93,11 @@ fn all_four_initial_condition_channels() {
 fn loader_rejects_unknown_aggregator() {
     let store = MemStore::builder().default_parts(2).build();
     let err = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Observer>| sink.aggregate("nonexistent", AggValue::I64(1)),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::NoSuchAggregator { .. }));
@@ -106,11 +107,11 @@ fn loader_rejects_unknown_aggregator() {
 fn loader_rejects_bad_state_table_index() {
     let store = MemStore::builder().default_parts(2).build();
     let err = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             Arc::new(Observer),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Observer>| sink.state(5, 0, (0, Vec::new())),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::StateTableIndex { index: 5, .. }));

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, Job, JobRunner, PairsLoader,
-    TableLoader,
+    RunOptions, TableLoader,
 };
 use ripple_kv::{KvStore, Table, TableSpec};
 use ripple_store_mem::MemStore;
@@ -47,9 +47,9 @@ fn pairs_loader_installs_and_enables() {
     let store = MemStore::builder().default_parts(3).build();
     let pairs: Vec<(u32, u64)> = (0..20).map(|k| (k, u64::from(k) + 1)).collect();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Doubler),
-            vec![Box::new(PairsLoader::new(0, pairs).enabling())],
+            RunOptions::new().loaders(vec![Box::new(PairsLoader::new(0, pairs).enabling())]),
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 20);
@@ -63,9 +63,9 @@ fn pairs_loader_without_enabling_runs_nothing() {
     let store = MemStore::builder().default_parts(3).build();
     let pairs: Vec<(u32, u64)> = (0..5).map(|k| (k, 7)).collect();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Doubler),
-            vec![Box::new(PairsLoader::new(0, pairs))],
+            RunOptions::new().loaders(vec![Box::new(PairsLoader::new(0, pairs))]),
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 0);
@@ -87,9 +87,11 @@ fn table_loader_reads_existing_data_without_changing_it() {
     }
 
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Doubler),
-            vec![Box::new(TableLoader::new(&store, &source, 0).enabling())],
+            RunOptions::new().loaders(vec![Box::new(
+                TableLoader::new(&store, &source, 0).enabling(),
+            )]),
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 15);
@@ -116,9 +118,11 @@ fn table_loader_on_empty_source_is_a_noop() {
     let store = MemStore::builder().default_parts(2).build();
     let source = store.create_table(&TableSpec::new("empty_src")).unwrap();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Doubler),
-            vec![Box::new(TableLoader::new(&store, &source, 0).enabling())],
+            RunOptions::new().loaders(vec![Box::new(
+                TableLoader::new(&store, &source, 0).enabling(),
+            )]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 0);
@@ -135,9 +139,9 @@ fn table_loader_surfaces_undecodable_source() {
         )
         .unwrap();
     let err = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Doubler),
-            vec![Box::new(TableLoader::new(&store, &source, 0))],
+            RunOptions::new().loaders(vec![Box::new(TableLoader::new(&store, &source, 0))]),
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::Wire(_)), "got {err:?}");
@@ -181,16 +185,16 @@ fn state_exporters_run_at_job_completion() {
         writer: Arc::clone(&writer),
     });
     JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(ripple_core::FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(ripple_core::FnLoader::new(
                 |sink: &mut dyn ripple_core::LoadSink<SelfExporting>| {
                     for k in 0..12u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let mut got = writer.take();

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use ripple_core::{
     ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink, ObservedEvent,
-    RecordingObserver, RunOutcome,
+    RecordingObserver, RunOptions, RunOutcome,
 };
 use ripple_kv::{KvStore, PartId, TableSpec};
 use ripple_store_mem::MemStore;
@@ -60,22 +60,24 @@ fn run_faulty(table: &str, deterministic: bool, fast: bool) -> (RunOutcome, Vec<
         .fast_recovery(fast)
         .observer(observer.clone());
     let outcome = runner
-        .run_recoverable(
+        .launch(
             Arc::new(FaultyCountDown {
                 store,
                 injected: AtomicBool::new(false),
                 table: table.to_owned(),
                 deterministic,
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<FaultyCountDown>| {
-                    for k in 0..KEYS {
-                        sink.state(0, k, 4)?;
-                        sink.enable(k)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                        for k in 0..KEYS {
+                            sink.state(0, k, 4)?;
+                            sink.enable(k)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery(),
         )
         .unwrap();
     (outcome, observer.take())
@@ -191,16 +193,18 @@ fn run_chain(fail_on_key: Option<u32>, n: u32) -> RunOutcome {
         .profile(true)
         .quiescence_timeout(Duration::from_secs(30));
     runner
-        .run_healable(
+        .launch(
             Arc::new(ChainRelax {
                 store,
                 injected: AtomicBool::new(fail_on_key.is_none()),
                 fail_on_key: fail_on_key.unwrap_or(0),
                 n,
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<ChainRelax>| sink.message(0, 0),
+                ))])
+                .healing(),
         )
         .unwrap()
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, ExecMode, FnLoader, Job,
-    JobProperties, JobRunner, LoadSink, QueueKind,
+    JobProperties, JobRunner, LoadSink, QueueKind, RunOptions,
 };
 use ripple_kv::KvStore;
 use ripple_store_mem::MemStore;
@@ -101,7 +101,7 @@ fn incremental_property_selects_unsynchronized_mode() {
         edges: path_graph(12),
     });
     let outcome = JobRunner::new(s.clone())
-        .run_with_loaders(job, vec![seed_loader(12)])
+        .launch(job, RunOptions::new().loaders(vec![seed_loader(12)]))
         .unwrap();
     assert_eq!(outcome.mode, ExecMode::Unsynchronized);
     assert_eq!(outcome.metrics.barriers, 0, "no-sync means zero barriers");
@@ -118,20 +118,20 @@ fn sync_and_nosync_reach_the_same_fixpoint() {
     let s1 = store();
     JobRunner::new(s1.clone())
         .force_mode(ExecMode::Synchronized)
-        .run_with_loaders(
+        .launch(
             Arc::new(FloodMin {
                 edges: Arc::clone(&edges),
             }),
-            vec![seed_loader(20)],
+            RunOptions::new().loaders(vec![seed_loader(20)]),
         )
         .unwrap();
     let s2 = store();
     JobRunner::new(s2.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(FloodMin {
                 edges: Arc::clone(&edges),
             }),
-            vec![seed_loader(20)],
+            RunOptions::new().loaders(vec![seed_loader(20)]),
         )
         .unwrap();
     assert_eq!(labels_after(&s1), labels_after(&s2));
@@ -142,11 +142,11 @@ fn forced_sync_run_uses_barriers() {
     let s = store();
     let outcome = JobRunner::new(s)
         .force_mode(ExecMode::Synchronized)
-        .run_with_loaders(
+        .launch(
             Arc::new(FloodMin {
                 edges: path_graph(12),
             }),
-            vec![seed_loader(12)],
+            RunOptions::new().loaders(vec![seed_loader(12)]),
         )
         .unwrap();
     assert_eq!(outcome.mode, ExecMode::Synchronized);
@@ -159,11 +159,11 @@ fn table_backed_queues_work_too() {
     let s = store();
     let outcome = JobRunner::new(s.clone())
         .queue_kind(QueueKind::Table)
-        .run_with_loaders(
+        .launch(
             Arc::new(FloodMin {
                 edges: path_graph(10),
             }),
-            vec![seed_loader(10)],
+            RunOptions::new().loaders(vec![seed_loader(10)]),
         )
         .unwrap();
     assert_eq!(outcome.mode, ExecMode::Unsynchronized);
@@ -223,11 +223,11 @@ fn per_sender_order_is_preserved_without_barriers() {
     let s = store();
     let count = 200;
     JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(OrderedStream { count }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<OrderedStream>| sink.message(0, 0),
-            ))],
+            ))]),
         )
         .unwrap();
     let table = s.lookup_table("stream").unwrap();
@@ -246,9 +246,12 @@ fn per_sender_order_is_preserved_without_barriers() {
 #[test]
 fn empty_nosync_job_terminates_immediately() {
     let outcome = JobRunner::new(store())
-        .run(Arc::new(FloodMin {
-            edges: Arc::new(Vec::new()),
-        }))
+        .launch(
+            Arc::new(FloodMin {
+                edges: Arc::new(Vec::new()),
+            }),
+            RunOptions::new(),
+        )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 0);
 }
@@ -280,11 +283,11 @@ impl Job for FailingCompute {
 #[test]
 fn worker_errors_stop_the_run_and_surface() {
     let err = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             Arc::new(FailingCompute),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<FailingCompute>| sink.message(0, ()),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::StateTableIndex { index: 7, .. }));
@@ -326,16 +329,16 @@ impl Job for NosyncCreator {
 fn creations_merge_via_combine_states() {
     let s = store();
     JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(NosyncCreator),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<NosyncCreator>| {
                     for k in 0..8u32 {
                         sink.message(k, ())?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let table = s.lookup_table("created").unwrap();

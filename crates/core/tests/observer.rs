@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink, ObservedEvent,
-    RecordingObserver,
+    RecordingObserver, RunOptions,
 };
 use ripple_kv::PartId;
 use ripple_store_mem::MemStore;
@@ -34,9 +34,9 @@ fn observer_sees_every_step_with_enabled_counts() {
     let store = MemStore::builder().default_parts(2).build();
     JobRunner::new(store)
         .observer(observer.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(CountDown),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<CountDown>| {
                     // Component k counts down from k+1: k=0 runs 1 step,
                     // k=2 runs 3 steps.
@@ -46,7 +46,7 @@ fn observer_sees_every_step_with_enabled_counts() {
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let steps: Vec<(u32, u64)> = observer
@@ -99,20 +99,22 @@ fn observer_sees_checkpoints_and_recoveries() {
     JobRunner::new(store.clone())
         .checkpoint_interval(1)
         .observer(observer.clone())
-        .run_recoverable(
+        .launch(
             Arc::new(FaultyCountDown {
                 store: store.clone(),
                 injected: AtomicBool::new(false),
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<FaultyCountDown>| {
-                    for k in 0..8u32 {
-                        sink.state(0, k, 4)?;
-                        sink.enable(k)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                        for k in 0..8u32 {
+                            sink.state(0, k, 4)?;
+                            sink.enable(k)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery(),
         )
         .unwrap();
     let events = observer.take();
@@ -139,20 +141,22 @@ fn observer_sees_whole_group_recovery_when_fast_is_disabled() {
         .checkpoint_interval(1)
         .fast_recovery(false)
         .observer(observer.clone())
-        .run_recoverable(
+        .launch(
             Arc::new(FaultyCountDown {
                 store: store.clone(),
                 injected: AtomicBool::new(false),
             }),
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<FaultyCountDown>| {
-                    for k in 0..8u32 {
-                        sink.state(0, k, 4)?;
-                        sink.enable(k)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<FaultyCountDown>| {
+                        for k in 0..8u32 {
+                            sink.state(0, k, 4)?;
+                            sink.enable(k)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery(),
         )
         .unwrap();
     let events = observer.take();

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use ripple_core::{
     ComputeContext, EbspError, ExecMode, FnLoader, Job, JobProperties, JobRunner, LoadSink,
-    ObservedEvent, RecordingObserver, StepProfile,
+    ObservedEvent, RecordingObserver, RunOptions, StepProfile,
 };
 use ripple_store_mem::MemStore;
 
@@ -45,16 +45,16 @@ impl Job for RingRelay {
 
 fn run_ring(runner: &JobRunner<MemStore>) -> ripple_core::RunOutcome {
     runner
-        .run_with_loaders(
+        .launch(
             Arc::new(RingRelay { n: 9 }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<RingRelay>| {
                     for k in 0..9u32 {
                         sink.message(k, 5)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap()
 }
@@ -257,11 +257,11 @@ fn nosync_run_yields_one_worker_profile_per_part() {
         .observer(observer.clone())
         .quiescence_timeout(Duration::from_secs(30));
     let outcome = runner
-        .run_with_loaders(
+        .launch(
             Arc::new(job),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
-                sink.message(0, 20)
-            }))],
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<_>| sink.message(0, 20),
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.mode, ExecMode::Unsynchronized);

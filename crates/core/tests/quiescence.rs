@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ripple_core::{ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink};
+use ripple_core::{
+    ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink, RunOptions,
+};
 use ripple_store_mem::MemStore;
 
 /// A job that never quiesces: every message spawns another.
@@ -42,11 +44,11 @@ fn non_quiescing_job_hits_the_safety_timeout() {
     let store = MemStore::builder().default_parts(2).build();
     let err = JobRunner::new(store)
         .quiescence_timeout(Duration::from_millis(150))
-        .run_with_loaders(
+        .launch(
             Arc::new(PingForever),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<PingForever>| sink.message(0, ()),
-            ))],
+            ))]),
         )
         .unwrap_err();
     let EbspError::QuiescenceTimeout { waited } = err else {
@@ -101,11 +103,11 @@ fn deep_cascades_drain_completely() {
     let store = MemStore::builder().default_parts(4).build();
     let job = Arc::new(Cascade { width: 3 });
     let outcome = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             Arc::clone(&job),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Cascade>| sink.message(0, 6),
-            ))],
+            ))]),
         )
         .unwrap();
     // Message count: 1 + 3 + 9 + ... + 3^6; each message triggers (at most
@@ -124,11 +126,11 @@ fn repeated_runs_are_stable() {
     for round in 0..10 {
         let store = MemStore::builder().default_parts(3).build();
         let outcome = JobRunner::new(store)
-            .run_with_loaders(
+            .launch(
                 Arc::new(Cascade { width: 2 }),
-                vec![Box::new(FnLoader::new(
+                RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                     |sink: &mut dyn LoadSink<Cascade>| sink.message(0, 8),
-                ))],
+                ))]),
             )
             .unwrap();
         let expected: u64 = (0..=8u32).map(|d| 2u64.pow(d)).sum();
@@ -165,11 +167,11 @@ fn worker_panics_fail_fast() {
     let started = std::time::Instant::now();
     let err = JobRunner::new(store)
         .quiescence_timeout(Duration::from_secs(60))
-        .run_with_loaders(
+        .launch(
             Arc::new(PanicOnMessage),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<PanicOnMessage>| sink.message(0, ()),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(

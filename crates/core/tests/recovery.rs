@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job,
-    JobProperties, JobRunner, LoadSink,
+    JobProperties, JobRunner, LoadSink, RunOptions,
 };
 use ripple_kv::{KvStore, PartId};
 use ripple_store_mem::MemStore;
@@ -84,16 +84,18 @@ fn run_summer_with(
     let outcome = JobRunner::new(store.clone())
         .checkpoint_interval(checkpoint_interval)
         .fast_recovery(fast)
-        .run_recoverable(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<StepSummer>| {
-                    for k in 0..30u32 {
-                        sink.enable(k)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<StepSummer>| {
+                        for k in 0..30u32 {
+                            sink.enable(k)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery(),
         )
         .unwrap();
     let table = store.lookup_table("sums_rec").unwrap();
@@ -188,16 +190,16 @@ fn unrecoverable_without_checkpointing() {
     });
     // Plain run(): no recovery hooks.
     let err = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<StepSummer>| {
                     for k in 0..30u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(

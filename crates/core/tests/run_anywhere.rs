@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, ExecutionPlan, Exporter,
-    FnLoader, Job, JobProperties, JobRunner, LoadSink,
+    FnLoader, Job, JobProperties, JobRunner, LoadSink, RunOptions,
 };
 use ripple_kv::{KvStore, PartId};
 use ripple_store_mem::MemStore;
@@ -87,16 +87,16 @@ fn skewed_work_is_stolen_across_parts() {
     // 200 components, every single one living in part 0.
     let keys = keys_in_part(PARTS, 0, 200);
     let outcome = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SkewedWork>| {
                     for k in keys {
                         sink.message(k, 7)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.metrics.invocations, 200);
@@ -122,16 +122,16 @@ fn run_anywhere_results_are_correct() {
     let keys = keys_in_part(PARTS, 1, 50);
     let expect_keys = keys.clone();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SkewedWork>| {
                     for k in keys {
                         sink.message(k, 41)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     // Every component wrote 42, into its *home* part's state table.
@@ -183,9 +183,9 @@ fn stealing_costs_remote_state_access() {
     let keys = keys_in_part(PARTS, 0, 100);
     let before = store.metrics();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Pinned),
-            vec![Box::new(FnLoader::new({
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new({
                 let keys = keys.clone();
                 move |sink: &mut dyn LoadSink<Pinned>| {
                     for k in keys {
@@ -193,7 +193,7 @@ fn stealing_costs_remote_state_access() {
                     }
                     Ok(())
                 }
-            }))],
+            }))]),
         )
         .unwrap();
     let pinned_delta = store.metrics() - before;
@@ -201,18 +201,18 @@ fn stealing_costs_remote_state_access() {
     let store2 = MemStore::builder().default_parts(PARTS).build();
     let before = store2.metrics();
     JobRunner::new(store2.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(SkewedWork {
                 exporter: Arc::new(CollectingExporter::new()),
             }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SkewedWork>| {
                     for k in keys {
                         sink.message(k, 1)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let stolen_delta = store2.metrics() - before;

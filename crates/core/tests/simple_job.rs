@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    AggValue, ExecMode, FnLoader, JobProperties, JobRunner, LoadSink, SimpleJob, SumI64,
+    AggValue, ExecMode, FnLoader, JobProperties, JobRunner, LoadSink, RunOptions, SimpleJob, SumI64,
 };
 use ripple_store_mem::MemStore;
 
@@ -31,15 +31,17 @@ fn closure_job_with_combiner_and_aggregator() {
         .build();
     let store = MemStore::builder().default_parts(3).build();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(job),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
-                for v in 0..8u32 {
-                    sink.state(0, v, v)?;
-                    sink.enable(v)?;
-                }
-                Ok(())
-            }))],
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<_>| {
+                    for v in 0..8u32 {
+                        sink.state(0, v, v)?;
+                        sink.enable(v)?;
+                    }
+                    Ok(())
+                },
+            ))]),
         )
         .unwrap();
     let table = ripple_kv::KvStore::lookup_table(&store, "gossip_max").unwrap();
@@ -68,11 +70,11 @@ fn closure_job_properties_select_nosync() {
         .build();
     let store = MemStore::builder().default_parts(2).build();
     let outcome = JobRunner::new(store)
-        .run_with_loaders(
+        .launch(
             Arc::new(job),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
-                sink.message(0, 20)
-            }))],
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<_>| sink.message(0, 20),
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.mode, ExecMode::Unsynchronized);
@@ -91,12 +93,14 @@ fn multiple_state_tables_by_index() {
         .build();
     let store = MemStore::builder().default_parts(2).build();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(job),
-            vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
-                sink.state(0, 3, 21)?;
-                sink.enable(3)
-            }))],
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
+                |sink: &mut dyn LoadSink<_>| {
+                    sink.state(0, 3, 21)?;
+                    sink.enable(3)
+                },
+            ))]),
         )
         .unwrap();
     let secondary = ripple_kv::KvStore::lookup_table(&store, "secondary_t").unwrap();

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job, JobRunner,
-    LoadSink,
+    LoadSink, RunOptions,
 };
 use ripple_kv::{KvStore, Table};
 use ripple_store_mem::MemStore;
@@ -41,9 +41,9 @@ impl Job for FactoredState {
 fn factored_state_tables_are_independent() {
     let store = MemStore::builder().default_parts(3).build();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(FactoredState),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<FactoredState>| {
                     for k in 1..=10u32 {
                         sink.state(0, k, u64::from(k))?; // config
@@ -51,7 +51,7 @@ fn factored_state_tables_are_independent() {
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
 
@@ -75,14 +75,14 @@ fn factored_state_tables_are_independent() {
 fn state_tables_are_copartitioned_with_the_reference() {
     let store = MemStore::builder().default_parts(4).build();
     JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(FactoredState),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<FactoredState>| {
                     sink.state(0, 1, 1)?;
                     sink.enable(1)
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let a = store.lookup_table("fs_config").unwrap();
@@ -98,7 +98,7 @@ fn mismatched_existing_table_is_rejected() {
         .create_table(ripple_kv::TableSpec::new("fs_accum").parts(2))
         .unwrap();
     let err = JobRunner::new(store)
-        .run(Arc::new(FactoredState))
+        .launch(Arc::new(FactoredState), RunOptions::new())
         .unwrap_err();
     assert!(matches!(err, EbspError::InvalidJob { .. }), "got {err:?}");
 }
@@ -133,11 +133,11 @@ impl Job for Stateless {
 fn components_exist_without_state_entries() {
     let store = MemStore::builder().default_parts(3).build();
     let outcome = JobRunner::new(store.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(Stateless),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Stateless>| sink.message(0, 9),
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 10);

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter, ComputeContext,
-    EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner, LoadSink, SumI64,
+    EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner, LoadSink, RunOptions,
+    SumI64,
 };
 use ripple_kv::{KvStore, Table, TableSpec};
 use ripple_store_mem::MemStore;
@@ -59,11 +60,11 @@ fn message_arrives_exactly_next_step() {
     let n = 5;
     let job = Arc::new(RingToken { n, rounds: 2 });
     let outcome = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<RingToken>| sink.message(0, 1),
-            ))],
+            ))]),
         )
         .unwrap();
     // Token makes 2*n hops; each hop is one step.
@@ -80,11 +81,11 @@ fn ring_observations_match_steps() {
     let s = store();
     let job = Arc::new(RingToken { n, rounds: 1 });
     JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<RingToken>| sink.message(0, 1),
-            ))],
+            ))]),
         )
         .unwrap();
     let table = s.lookup_table("ring").unwrap();
@@ -128,9 +129,9 @@ fn only_enabled_components_run() {
     let s = store();
     let job = Arc::new(TouchCounter);
     let outcome = JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<TouchCounter>| {
                     // 100 components exist, only 3 get messages.
                     for k in 0..100u32 {
@@ -141,7 +142,7 @@ fn only_enabled_components_run() {
                     sink.message(99, ())?;
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 1);
@@ -205,11 +206,11 @@ fn combiner_merges_fan_in() {
             combine,
         });
         let outcome = JobRunner::new(s.clone())
-            .run_with_loaders(
+            .launch(
                 job,
-                vec![Box::new(FnLoader::new(
+                RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                     |sink: &mut dyn LoadSink<SumFanIn>| sink.message(0, 0),
-                ))],
+                ))]),
             )
             .unwrap();
         let table = s.lookup_table("sums").unwrap();
@@ -274,16 +275,16 @@ fn needs_order_sorts_invocations() {
         exporter: Arc::clone(&exporter),
     });
     JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<TraceJob>| {
                     for k in (0..64u32).rev() {
                         sink.message(k, ())?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     // Within each part, keys must appear in ascending order.
@@ -338,16 +339,16 @@ impl Job for AggJob {
 #[test]
 fn aggregates_flow_across_steps() {
     let outcome = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             Arc::new(AggJob),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<AggJob>| {
                     for k in 0..10u32 {
                         sink.enable(k)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 3);
@@ -383,11 +384,11 @@ impl Job for AbortAtThree {
 #[test]
 fn aborter_stops_execution_between_steps() {
     let outcome = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             Arc::new(AbortAtThree),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<AbortAtThree>| sink.enable(0),
-            ))],
+            ))]),
         )
         .unwrap();
     assert!(outcome.aborted);
@@ -437,16 +438,16 @@ fn broadcast_data_is_readable_everywhere() {
         )
         .unwrap();
     JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(BroadcastReader),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<BroadcastReader>| {
                     for k in 0..16u32 {
                         sink.message(k, ())?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     let table = s.lookup_table("bc_state").unwrap();
@@ -496,14 +497,14 @@ impl Job for SpawnChain {
 fn components_create_and_delete_state() {
     let s = store();
     let outcome = JobRunner::new(s.clone())
-        .run_with_loaders(
+        .launch(
             Arc::new(SpawnChain { limit: 10 }),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<SpawnChain>| {
                     sink.state(0, 0, 0)?;
                     sink.message(0, ())
                 },
-            ))],
+            ))]),
         )
         .unwrap();
     assert_eq!(outcome.steps, 11);
@@ -544,11 +545,11 @@ impl Job for LyingNoContinue {
 #[test]
 fn no_continue_lie_is_detected() {
     let err = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             Arc::new(LyingNoContinue),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<LyingNoContinue>| sink.message(0, ()),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(
@@ -591,11 +592,11 @@ impl Job for LyingOneMsg {
 #[test]
 fn one_msg_lie_is_detected() {
     let err = JobRunner::new(store())
-        .run_with_loaders(
+        .launch(
             Arc::new(LyingOneMsg),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<LyingOneMsg>| sink.message(0, 0),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(
@@ -611,7 +612,7 @@ fn one_msg_lie_is_detected() {
 fn forcing_nosync_with_aggregators_is_rejected() {
     let err = JobRunner::new(store())
         .force_mode(ExecMode::Unsynchronized)
-        .run(Arc::new(AggJob))
+        .launch(Arc::new(AggJob), RunOptions::new())
         .unwrap_err();
     assert!(matches!(err, EbspError::PlanViolation { .. }));
 }
@@ -620,11 +621,11 @@ fn forcing_nosync_with_aggregators_is_rejected() {
 fn step_limit_is_enforced() {
     let err = JobRunner::new(store())
         .max_steps(5)
-        .run_with_loaders(
+        .launch(
             Arc::new(TouchCounterForever),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<TouchCounterForever>| sink.enable(0),
-            ))],
+            ))]),
         )
         .unwrap_err();
     assert!(matches!(err, EbspError::StepLimitExceeded { limit: 5 }));
@@ -648,7 +649,9 @@ impl Job for TouchCounterForever {
 
 #[test]
 fn empty_job_finishes_in_zero_steps() {
-    let outcome = JobRunner::new(store()).run(Arc::new(TouchCounter)).unwrap();
+    let outcome = JobRunner::new(store())
+        .launch(Arc::new(TouchCounter), RunOptions::new())
+        .unwrap();
     assert_eq!(outcome.steps, 0);
     assert_eq!(outcome.metrics.invocations, 0);
 }
@@ -669,6 +672,8 @@ fn job_without_state_tables_is_invalid() {
             Ok(false)
         }
     }
-    let err = JobRunner::new(store()).run(Arc::new(NoTables)).unwrap_err();
+    let err = JobRunner::new(store())
+        .launch(Arc::new(NoTables), RunOptions::new())
+        .unwrap_err();
     assert!(matches!(err, EbspError::InvalidJob { .. }));
 }

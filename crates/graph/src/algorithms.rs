@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, SumI64};
+use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, RunOptions, SumI64};
 use ripple_kv::KvStore;
 
 use crate::generate::Graph;
@@ -103,12 +103,12 @@ pub fn bfs<S: KvStore>(
     source: VertexId,
 ) -> Result<Vec<(VertexId, u32)>, EbspError> {
     let job = Arc::new(VertexJob::new(Arc::new(BfsDistances), table));
-    JobRunner::new(store.clone()).run_with_loaders(
+    JobRunner::new(store.clone()).launch(
         job,
-        vec![
+        RunOptions::new().loaders(vec![
             Box::new(GraphLoader::new(graph.clone(), |_| INF).without_enabling()),
             seed_messages::<BfsDistances>(vec![(source, 0)]),
-        ],
+        ]),
     )?;
     read_vertex_values(store, table)
 }

@@ -33,7 +33,8 @@
 use std::sync::Arc;
 
 use ripple_core::{
-    Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, RunOutcome, SumF64,
+    Aggregate, ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner, LoadSink,
+    RunOptions, RunOutcome, SumF64,
 };
 use ripple_kv::KvStore;
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -246,6 +247,16 @@ impl Job for DirectPageRank {
         vec![(SINK.to_owned(), Arc::new(SumF64))]
     }
 
+    fn properties(&self) -> JobProperties {
+        // needs-order makes collocated invocations run in key order, which
+        // fixes the fold order of the f64 contribution combines: any two
+        // runs — on any store backend — produce byte-identical ranks.
+        JobProperties {
+            needs_order: true,
+            ..JobProperties::default()
+        }
+    }
+
     fn combine_messages(&self, _k: &VertexId, a: &PrMsg, b: &PrMsg) -> Option<PrMsg> {
         Some(combine_pr(a, b))
     }
@@ -312,6 +323,16 @@ impl Job for MapReducePageRank {
 
     fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
         vec![(SINK.to_owned(), Arc::new(SumF64))]
+    }
+
+    fn properties(&self) -> JobProperties {
+        // needs-order makes collocated invocations run in key order, which
+        // fixes the fold order of the f64 contribution combines: any two
+        // runs — on any store backend — produce byte-identical ranks.
+        JobProperties {
+            needs_order: true,
+            ..JobProperties::default()
+        }
     }
 
     fn combine_messages(&self, _k: &VertexId, a: &PrMsg, b: &PrMsg) -> Option<PrMsg> {
@@ -407,7 +428,10 @@ pub fn run_direct_on<S: KvStore>(
         n: u64::from(graph.vertex_count()),
         config,
     });
-    runner.run_with_loaders(job, vec![structure_loader(graph)])
+    runner.launch(
+        job,
+        RunOptions::new().loaders(vec![structure_loader(graph)]),
+    )
 }
 
 /// Runs the MapReduce variant over `graph`, leaving ranks in `table`.
@@ -440,7 +464,10 @@ pub fn run_mapreduce_variant_on<S: KvStore>(
         n: u64::from(graph.vertex_count()),
         config,
     });
-    runner.run_with_loaders(job, vec![structure_loader(graph)])
+    runner.launch(
+        job,
+        RunOptions::new().loaders(vec![structure_loader(graph)]),
+    )
 }
 
 /// Reads the final ranks out of a PageRank table, sorted by vertex id.
@@ -535,6 +562,13 @@ impl Job for AdaptivePageRank {
         ]
     }
 
+    fn properties(&self) -> JobProperties {
+        JobProperties {
+            needs_order: true,
+            ..JobProperties::default()
+        }
+    }
+
     fn has_aborter(&self) -> bool {
         true
     }
@@ -611,7 +645,10 @@ pub fn run_adaptive<S: KvStore>(
     });
     JobRunner::new(store.clone())
         .max_steps(max_iterations)
-        .run_with_loaders(job, vec![structure_loader(graph)])
+        .launch(
+            job,
+            RunOptions::new().loaders(vec![structure_loader(graph)]),
+        )
 }
 
 #[cfg(test)]

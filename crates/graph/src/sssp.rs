@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobProperties, JobRunner,
-    LoadSink, RunMetrics, RunOutcome, SumI64,
+    LoadSink, RunMetrics, RunOptions, RunOutcome, SumI64,
 };
 use ripple_kv::{DurableStore, HealableStore, KvStore, RecoverableStore, Table};
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -205,9 +205,9 @@ impl<S: KvStore> SelectiveInstance<S> {
         let entries: Vec<(VertexId, Vec<VertexId>)> =
             graph.iter().map(|(v, adj)| (v, adj.to_vec())).collect();
         let job = instance.job();
-        let outcome = JobRunner::new(store.clone()).run_with_loaders(
+        let outcome = JobRunner::new(store.clone()).launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SelectiveSssp>| {
                     for (v, neighbors) in entries {
                         let dists = vec![INF; neighbors.len()];
@@ -224,7 +224,7 @@ impl<S: KvStore> SelectiveInstance<S> {
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )?;
         Ok((instance, outcome.metrics))
     }
@@ -265,16 +265,16 @@ impl<S: KvStore> SelectiveInstance<S> {
         changes: &[GraphChange],
     ) -> Result<RunOutcome, EbspError> {
         let seeds = self.seed_batch(changes)?;
-        runner.run_with_loaders(
+        runner.launch(
             self.job(),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SelectiveSssp>| {
                     for (to, msg) in seeds {
                         sink.message(to, msg)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )
     }
 
@@ -384,26 +384,28 @@ impl<S: RecoverableStore + HealableStore> SelectiveInstance<S> {
         let job = instance.job();
         let outcome = JobRunner::new(store.clone())
             .checkpoint_interval(checkpoint_interval)
-            .run_recoverable(
+            .launch(
                 job,
-                vec![Box::new(FnLoader::new(
-                    move |sink: &mut dyn LoadSink<SelectiveSssp>| {
-                        for (v, neighbors) in entries {
-                            let dists = vec![INF; neighbors.len()];
-                            sink.state(
-                                0,
-                                v,
-                                SelState {
-                                    neighbors,
-                                    neighbor_dists: dists,
-                                    dist: INF,
-                                },
-                            )?;
-                            sink.enable(v)?;
-                        }
-                        Ok(())
-                    },
-                ))],
+                RunOptions::new()
+                    .loaders(vec![Box::new(FnLoader::new(
+                        move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                            for (v, neighbors) in entries {
+                                let dists = vec![INF; neighbors.len()];
+                                sink.state(
+                                    0,
+                                    v,
+                                    SelState {
+                                        neighbors,
+                                        neighbor_dists: dists,
+                                        dist: INF,
+                                    },
+                                )?;
+                                sink.enable(v)?;
+                            }
+                            Ok(())
+                        },
+                    ))])
+                    .recovery(),
             )?;
         Ok((instance, outcome.metrics))
     }
@@ -422,16 +424,18 @@ impl<S: RecoverableStore + HealableStore> SelectiveInstance<S> {
         let seeds = self.seed_batch(changes)?;
         let outcome = JobRunner::new(self.store.clone())
             .checkpoint_interval(checkpoint_interval)
-            .run_recoverable(
+            .launch(
                 self.job(),
-                vec![Box::new(FnLoader::new(
-                    move |sink: &mut dyn LoadSink<SelectiveSssp>| {
-                        for (to, msg) in seeds {
-                            sink.message(to, msg)?;
-                        }
-                        Ok(())
-                    },
-                ))],
+                RunOptions::new()
+                    .loaders(vec![Box::new(FnLoader::new(
+                        move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                            for (to, msg) in seeds {
+                                sink.message(to, msg)?;
+                            }
+                            Ok(())
+                        },
+                    ))])
+                    .recovery(),
             )?;
         Ok(outcome.metrics)
     }
@@ -477,26 +481,29 @@ impl<S: RecoverableStore + HealableStore + DurableStore> SelectiveInstance<S> {
         if let Some(limit) = max_steps {
             runner.max_steps(limit);
         }
-        let outcome = runner.run_durable(
+        let outcome = runner.launch(
             job,
-            vec![Box::new(FnLoader::new(
-                move |sink: &mut dyn LoadSink<SelectiveSssp>| {
-                    for (v, neighbors) in entries {
-                        let dists = vec![INF; neighbors.len()];
-                        sink.state(
-                            0,
-                            v,
-                            SelState {
-                                neighbors,
-                                neighbor_dists: dists,
-                                dist: INF,
-                            },
-                        )?;
-                        sink.enable(v)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    move |sink: &mut dyn LoadSink<SelectiveSssp>| {
+                        for (v, neighbors) in entries {
+                            let dists = vec![INF; neighbors.len()];
+                            sink.state(
+                                0,
+                                v,
+                                SelState {
+                                    neighbors,
+                                    neighbor_dists: dists,
+                                    dist: INF,
+                                },
+                            )?;
+                            sink.enable(v)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery()
+                .durable(),
         )?;
         Ok((instance, outcome.metrics))
     }
@@ -838,16 +845,16 @@ impl<S: KvStore> FullScanInstance<S> {
                 wave,
                 n,
             });
-            let outcome = JobRunner::new(self.store.clone()).run_with_loaders(
+            let outcome = JobRunner::new(self.store.clone()).launch(
                 job,
-                vec![Box::new(FnLoader::new(
+                RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                     move |sink: &mut dyn LoadSink<FullScanSssp>| {
                         for v in 0..n {
                             sink.enable(v)?;
                         }
                         Ok(())
                     },
-                ))],
+                ))]),
             )?;
             accumulate(total, &outcome.metrics);
             let changed = outcome.aggregates.get(CHANGED).map_or(0, |v| v.as_i64());

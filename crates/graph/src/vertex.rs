@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     AggValue, Aggregate, ComputeContext, EbspError, FnLoader, Job, JobRunner, LoadSink, Loader,
-    RunOutcome,
+    RunOptions, RunOutcome,
 };
 use ripple_kv::KvStore;
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, Wire, WireError};
@@ -306,8 +306,10 @@ where
     F: Fn(VertexId) -> P::Value + Send + 'static,
 {
     let job = Arc::new(VertexJob::new(program, table));
-    JobRunner::new(store.clone())
-        .run_with_loaders(job, vec![Box::new(GraphLoader::new(graph, init))])
+    JobRunner::new(store.clone()).launch(
+        job,
+        RunOptions::new().loaders(vec![Box::new(GraphLoader::new(graph, init))]),
+    )
 }
 
 /// Reads all (vertex, value) pairs back out of a vertex table.

@@ -149,7 +149,7 @@ fn vertex_ids_are_u32() {
 mod pregel_features {
     use std::sync::Arc;
 
-    use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, SumI64};
+    use ripple_core::{AggValue, Aggregate, EbspError, JobRunner, RunOptions, SumI64};
     use ripple_graph::generate::Graph;
     use ripple_graph::vertex::{
         read_vertex_values, GraphLoader, VertexContext, VertexJob, VertexProgram,
@@ -189,7 +189,10 @@ mod pregel_features {
         let store = MemStore::builder().default_parts(2).build();
         let job = Arc::new(VertexJob::new(Arc::new(DegreeSum), "deg_sum"));
         let outcome = JobRunner::new(store.clone())
-            .run_with_loaders(job, vec![Box::new(GraphLoader::new(g, |_| 0))])
+            .launch(
+                job,
+                RunOptions::new().loaders(vec![Box::new(GraphLoader::new(g, |_| 0))]),
+            )
             .unwrap();
         // Aggregators are step-scoped: step 2 fed nothing, so the final
         // snapshot holds the identity...
@@ -233,7 +236,10 @@ mod pregel_features {
         let store = MemStore::builder().default_parts(2).build();
         let job = Arc::new(VertexJob::new(Arc::new(Rewire), "rewire"));
         JobRunner::new(store.clone())
-            .run_with_loaders(job, vec![Box::new(GraphLoader::new(g, |_| 0))])
+            .launch(
+                job,
+                RunOptions::new().loaders(vec![Box::new(GraphLoader::new(g, |_| 0))]),
+            )
             .unwrap();
         let values = read_vertex_values::<_, u32>(&store, "rewire").unwrap();
         assert_eq!(values[1].1, 0, "vertex 1 was unplugged");

@@ -65,6 +65,14 @@ pub enum KvError {
         /// The table name.
         name: String,
     },
+    /// No task with the given name is registered with the store, so a
+    /// named dispatch ([`KvStore::run_named_at`](crate::KvStore::run_named_at))
+    /// cannot run.  Registration happens per process; a networked store
+    /// requires the name to be registered on the part's owning server.
+    NoSuchTask {
+        /// The requested task name.
+        name: String,
+    },
     /// An implementation-specific failure, described in text.
     Backend {
         /// Human-readable description.
@@ -110,6 +118,7 @@ impl fmt::Display for KvError {
             KvError::UbiquityMismatch { name } => {
                 write!(f, "operation does not apply to ubiquitous table {name:?}")
             }
+            KvError::NoSuchTask { name } => write!(f, "no registered task named {name:?}"),
             KvError::Backend { detail } => write!(f, "store backend error: {detail}"),
             KvError::WalTailDiscarded {
                 table,

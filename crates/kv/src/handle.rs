@@ -19,6 +19,15 @@ impl<R> TaskHandle<R> {
         Self { part, rx }
     }
 
+    /// A handle that is already complete with `value` — for dispatch paths
+    /// that fail before any task starts (say, an unregistered task name),
+    /// where the caller still expects a joinable handle.
+    pub fn ready(part: PartId, value: R) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        tx.send(Ok(value)).expect("bounded(1) accepts one value");
+        Self { part, rx }
+    }
+
     /// The part the task was dispatched to.
     pub fn part(&self) -> PartId {
         self.part

@@ -38,14 +38,16 @@ mod recover;
 mod spec;
 mod store;
 mod table;
+mod task;
 
 pub use consumer::{FnPairConsumer, PairConsumer, PartConsumer, ScanControl};
 pub use durable::{DurableStore, SyncPolicy};
 pub use error::{panic_message, KvError};
 pub use handle::TaskHandle;
 pub use key::{fnv64, PartId, RoutedKey};
-pub use metrics::StoreMetrics;
+pub use metrics::{LatencyBuckets, StoreMetrics};
 pub use recover::{HealableStore, RecoverableStore};
 pub use spec::TableSpec;
 pub use store::KvStore;
 pub use table::{PartView, Table};
+pub use task::{PartTask, TaskRegistry};

@@ -1,6 +1,86 @@
 use std::fmt;
 use std::ops::Sub;
 
+/// Histogram of request latencies in power-of-two microsecond buckets.
+///
+/// Bucket `i` counts requests whose latency fell in `[2^i, 2^(i+1))`
+/// microseconds (bucket 0 additionally absorbs sub-microsecond requests;
+/// the last bucket absorbs everything slower).  Twelve buckets therefore
+/// span 1 µs to ~2 s — the useful range for an RPC on anything from
+/// loopback to a congested datacenter link — in a fixed-size, `Copy`
+/// value that subtracts field-wise like the rest of [`StoreMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBuckets(pub [u64; LatencyBuckets::BUCKETS]);
+
+impl LatencyBuckets {
+    /// Number of buckets.
+    pub const BUCKETS: usize = 12;
+
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self([0; Self::BUCKETS])
+    }
+
+    /// The bucket index a latency of `us` microseconds falls in.
+    pub fn bucket_for(us: u64) -> usize {
+        (us.max(1).ilog2() as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Records one request of `us` microseconds.
+    pub fn observe_us(&mut self, us: u64) {
+        self.0[Self::bucket_for(us)] += 1;
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// An upper bound (in microseconds) on the latency quantile `q` in
+    /// `[0, 1]`: the exclusive upper edge of the bucket the quantile
+    /// falls in, or 0 for an empty histogram.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, count) in self.0.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1 << (i + 1);
+            }
+        }
+        1 << Self::BUCKETS
+    }
+
+    /// Field-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyBuckets) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyBuckets {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sub for LatencyBuckets {
+    type Output = LatencyBuckets;
+
+    fn sub(self, rhs: LatencyBuckets) -> LatencyBuckets {
+        let mut out = self;
+        for (a, b) in out.0.iter_mut().zip(rhs.0.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
 /// Snapshot of a store's operation and marshalling counters.
 ///
 /// The Ripple evaluation leans on the distinction the debugging store makes:
@@ -30,6 +110,18 @@ pub struct StoreMetrics {
     /// Log records replayed while rebuilding memtables on open or rewind.
     /// Zero on memory-only backends.
     pub replayed_records: u64,
+    /// Requests sent over a network connection.  Zero on in-process
+    /// backends.
+    pub rpcs: u64,
+    /// Bytes received from the network (frame bytes, headers included).
+    /// Zero on in-process backends.
+    pub net_bytes_in: u64,
+    /// Bytes written to the network (frame bytes, headers included).
+    /// Zero on in-process backends.
+    pub net_bytes_out: u64,
+    /// Request-latency histogram for the networked operations counted in
+    /// [`StoreMetrics::rpcs`], measured send-to-completion.
+    pub rpc_latency: LatencyBuckets,
 }
 
 impl StoreMetrics {
@@ -52,6 +144,10 @@ impl Sub for StoreMetrics {
             wal_bytes: self.wal_bytes.saturating_sub(rhs.wal_bytes),
             fsyncs: self.fsyncs.saturating_sub(rhs.fsyncs),
             replayed_records: self.replayed_records.saturating_sub(rhs.replayed_records),
+            rpcs: self.rpcs.saturating_sub(rhs.rpcs),
+            net_bytes_in: self.net_bytes_in.saturating_sub(rhs.net_bytes_in),
+            net_bytes_out: self.net_bytes_out.saturating_sub(rhs.net_bytes_out),
+            rpc_latency: self.rpc_latency - rhs.rpc_latency,
         }
     }
 }
@@ -76,6 +172,18 @@ impl fmt::Display for StoreMetrics {
                 self.wal_bytes, self.fsyncs, self.replayed_records
             )?;
         }
+        // Network counters only appear on a networked backend; in-process
+        // stores leave them at zero and print compactly.
+        if self.rpcs != 0 || self.net_bytes_in != 0 || self.net_bytes_out != 0 {
+            write!(
+                f,
+                ", {} rpcs, {} B in / {} B out, p99 ≤ {} µs",
+                self.rpcs,
+                self.net_bytes_in,
+                self.net_bytes_out,
+                self.rpc_latency.quantile_upper_us(0.99)
+            )?;
+        }
         Ok(())
     }
 }
@@ -95,6 +203,10 @@ mod tests {
             wal_bytes: 900,
             fsyncs: 9,
             replayed_records: 7,
+            rpcs: 20,
+            net_bytes_in: 512,
+            net_bytes_out: 256,
+            rpc_latency: LatencyBuckets([2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
         };
         let b = StoreMetrics {
             local_ops: 4,
@@ -105,6 +217,10 @@ mod tests {
             wal_bytes: 300,
             fsyncs: 4,
             replayed_records: 7,
+            rpcs: 5,
+            net_bytes_in: 12,
+            net_bytes_out: 56,
+            rpc_latency: LatencyBuckets([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
         };
         let d = a - b;
         assert_eq!(d.local_ops, 6);
@@ -116,6 +232,50 @@ mod tests {
         assert_eq!(d.wal_bytes, 600);
         assert_eq!(d.fsyncs, 5);
         assert_eq!(d.replayed_records, 0);
+        assert_eq!(d.rpcs, 15);
+        assert_eq!(d.net_bytes_in, 500);
+        assert_eq!(d.net_bytes_out, 200);
+        assert_eq!(d.rpc_latency.total(), 1);
+    }
+
+    #[test]
+    fn latency_buckets_observe_and_quantile() {
+        let mut h = LatencyBuckets::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.quantile_upper_us(0.5), 0);
+        h.observe_us(0); // clamps into bucket 0
+        h.observe_us(1);
+        h.observe_us(3);
+        h.observe_us(100);
+        h.observe_us(u64::MAX); // clamps into the last bucket
+        assert_eq!(h.total(), 5);
+        assert_eq!(LatencyBuckets::bucket_for(1), 0);
+        assert_eq!(LatencyBuckets::bucket_for(3), 1);
+        assert_eq!(LatencyBuckets::bucket_for(100), 6);
+        assert_eq!(LatencyBuckets::bucket_for(u64::MAX), 11);
+        // Two of five fall in bucket 0, so the 0.4 quantile ends there.
+        assert_eq!(h.quantile_upper_us(0.4), 2);
+        // The slowest observation dominates the tail.
+        assert_eq!(h.quantile_upper_us(1.0), 1 << 12);
+        let mut merged = LatencyBuckets::new();
+        merged.merge(&h);
+        merged.merge(&h);
+        assert_eq!(merged.total(), 10);
+        assert_eq!((merged - h).total(), 5);
+    }
+
+    #[test]
+    fn display_mentions_network_only_when_nonzero() {
+        assert!(!StoreMetrics::default().to_string().contains("rpcs"));
+        let netted = StoreMetrics {
+            rpcs: 7,
+            net_bytes_in: 100,
+            net_bytes_out: 50,
+            ..StoreMetrics::default()
+        }
+        .to_string();
+        assert!(netted.contains("7 rpcs"));
+        assert!(netted.contains("100 B in / 50 B out"));
     }
 
     #[test]

@@ -74,6 +74,44 @@ pub trait KvStore: Clone + Send + Sync + Sized + 'static {
         R: Send + 'static,
         F: FnOnce(&dyn PartView) -> R + Send + 'static;
 
+    /// The store's registry of named part-tasks, if it keeps one.
+    ///
+    /// Stores that support [`KvStore::run_named_at`] expose their registry
+    /// here so jobs can register tasks through the trait; the default is
+    /// `None`, meaning only closure dispatch ([`KvStore::run_at`]) works.
+    fn task_registry(&self) -> Option<&crate::TaskRegistry> {
+        None
+    }
+
+    /// Dispatches the *registered* task called `task` to run adjacent to
+    /// part `part` of `reference` with argument `arg`.
+    ///
+    /// Unlike [`KvStore::run_at`], the task is addressed by name and its
+    /// argument and result are byte strings, so the dispatch can cross a
+    /// wire: a networked store forwards `(task, arg)` to the part's owning
+    /// server and runs the registration there.  The default implementation
+    /// looks the name up in [`KvStore::task_registry`] and dispatches the
+    /// closure via `run_at`; the handle resolves to
+    /// [`KvError::NoSuchTask`] when the name is not registered (or the
+    /// store keeps no registry at all).
+    fn run_named_at(
+        &self,
+        reference: &Self::Table,
+        part: PartId,
+        task: &str,
+        arg: bytes::Bytes,
+    ) -> TaskHandle<Result<bytes::Bytes, KvError>> {
+        match self.task_registry().and_then(|reg| reg.get(task)) {
+            Some(f) => self.run_at(reference, part, move |view| f(view, arg)),
+            None => TaskHandle::ready(
+                part,
+                Err(KvError::NoSuchTask {
+                    name: task.to_owned(),
+                }),
+            ),
+        }
+    }
+
     /// A snapshot of the store's operation/marshalling counters.
     fn metrics(&self) -> crate::StoreMetrics;
 

@@ -1,0 +1,151 @@
+//! Named part-tasks: mobile code that can cross a wire.
+//!
+//! [`KvStore::run_at`](crate::KvStore::run_at) ships a closure to a part —
+//! free inside one process, impossible across a network.  The registered-task
+//! mechanism is the networked escape hatch the paper's model implies: a job
+//! registers a *named* function against the store under a stable string, and
+//! [`KvStore::run_named_at`](crate::KvStore::run_named_at) dispatches by name
+//! plus an argument byte string, which *can* travel.  A networked store
+//! forwards the name and argument to the part's owning server and runs the
+//! server-side registration there; in-process stores just look the name up
+//! locally.  Jobs that skip registration still work everywhere — `run_at`
+//! against a networked store executes the closure client-side, reaching
+//! remote data through ordinary handles — registration only buys locality.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use bytes::Bytes;
+
+use crate::{KvError, PartView};
+
+/// A named part-task: runs adjacent to one part with an argument byte
+/// string, returning result bytes.  Both sides are raw bytes because the
+/// pair must be able to cross a wire; callers marshal with `ripple-wire`.
+pub type PartTask = Arc<dyn Fn(&dyn PartView, Bytes) -> Result<Bytes, KvError> + Send + Sync>;
+
+/// A registry of named part-tasks, shared by all handles to one store.
+///
+/// Cloning is cheap and clones observe each other's registrations — the
+/// registry is the store-wide name → task map, not a per-handle one.
+#[derive(Clone, Default)]
+pub struct TaskRegistry {
+    tasks: Arc<RwLock<HashMap<String, PartTask>>>,
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the task called `name`.
+    pub fn register<F>(&self, name: &str, task: F)
+    where
+        F: Fn(&dyn PartView, Bytes) -> Result<Bytes, KvError> + Send + Sync + 'static,
+    {
+        self.tasks
+            .write()
+            .expect("task registry lock poisoned")
+            .insert(name.to_owned(), Arc::new(task));
+    }
+
+    /// Looks up the task called `name`.
+    pub fn get(&self, name: &str) -> Option<PartTask> {
+        self.tasks
+            .read()
+            .expect("task registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Names of all registered tasks, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tasks
+            .read()
+            .expect("task registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for TaskRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_and_names() {
+        let reg = TaskRegistry::new();
+        assert!(reg.get("sum").is_none());
+        reg.register("sum", |_view, arg| Ok(arg));
+        reg.register("count", |_view, _arg| Ok(Bytes::new()));
+        assert!(reg.get("sum").is_some());
+        assert_eq!(reg.names(), vec!["count".to_owned(), "sum".to_owned()]);
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let reg = TaskRegistry::new();
+        let other = reg.clone();
+        reg.register("late", |_view, _arg| Ok(Bytes::new()));
+        assert!(other.get("late").is_some());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let reg = TaskRegistry::new();
+        reg.register("t", |_view, _arg| Ok(Bytes::from_static(b"old")));
+        reg.register("t", |_view, _arg| Ok(Bytes::from_static(b"new")));
+        let task = reg.get("t").unwrap();
+        struct NoView;
+        impl PartView for NoView {
+            fn part(&self) -> crate::PartId {
+                crate::PartId(0)
+            }
+            fn get(&self, _table: &str, _key: &crate::RoutedKey) -> Result<Option<Bytes>, KvError> {
+                unimplemented!()
+            }
+            fn put(
+                &self,
+                _table: &str,
+                _key: crate::RoutedKey,
+                _value: Bytes,
+            ) -> Result<Option<Bytes>, KvError> {
+                unimplemented!()
+            }
+            fn delete(&self, _table: &str, _key: &crate::RoutedKey) -> Result<bool, KvError> {
+                unimplemented!()
+            }
+            fn scan(
+                &self,
+                _table: &str,
+                _f: &mut dyn FnMut(&crate::RoutedKey, &[u8]) -> crate::ScanControl,
+            ) -> Result<(), KvError> {
+                unimplemented!()
+            }
+            fn drain(
+                &self,
+                _table: &str,
+                _f: &mut dyn FnMut(crate::RoutedKey, Bytes) -> crate::ScanControl,
+            ) -> Result<(), KvError> {
+                unimplemented!()
+            }
+            fn len(&self, _table: &str) -> Result<usize, KvError> {
+                unimplemented!()
+            }
+        }
+        assert_eq!(task(&NoView, Bytes::new()).unwrap().as_ref(), b"new");
+    }
+}

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     export_state_table, CollectingExporter, ComputeContext, EbspError, FnLoader, Job, JobRunner,
-    LoadSink,
+    LoadSink, RunOptions,
 };
 use ripple_kv::KvStore;
 
@@ -129,9 +129,9 @@ where
     S: KvStore,
     M: MapReduce,
 {
-    JobRunner::new(store.clone()).run_with_loaders(
+    JobRunner::new(store.clone()).launch(
         Arc::clone(job),
-        vec![Box::new(FnLoader::new(
+        RunOptions::new().loaders(vec![Box::new(FnLoader::new(
             move |sink: &mut dyn LoadSink<MapReduceJob<M>>| {
                 for (k, v) in input {
                     sink.enable(MrKey::In(k.clone()))?;
@@ -139,7 +139,7 @@ where
                 }
                 Ok(())
             },
-        ))],
+        ))]),
     )
 }
 

@@ -58,6 +58,7 @@ impl Cells {
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             replayed_records: self.replayed.load(Ordering::Relaxed),
+            ..StoreMetrics::default()
         }
     }
 }

@@ -1,0 +1,555 @@
+//! Client side: [`NetStore`], a [`KvStore`] whose tables live on part
+//! servers.
+//!
+//! # Topology
+//!
+//! The store is constructed from an ordered list of server addresses.
+//! Part `p` of every table is owned by server `p % servers`; ubiquitous
+//! tables are replicated on every server (writes broadcast, reads hit
+//! server 0 on the client path and any local replica on the server path).
+//! DDL is broadcast to all servers under a client-side lock so every
+//! server keeps an identically-shaped inner store; table metadata is
+//! taken from server 0's response and cached in a client-side catalog.
+//!
+//! # Mobile code
+//!
+//! Closures cannot cross the wire, so [`KvStore::run_at`] on a `NetStore`
+//! runs the closure *on the client* against a remote [`PartView`] that
+//! ships data instead of code — every view operation becomes a request to
+//! the owning server.  [`KvStore::run_named_at`] is the genuine Ripple
+//! dispatch path: it forwards the registered task's name and argument to
+//! the part's owning server, which runs the registration adjacent to the
+//! data.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use ripple_kv::{
+    KvError, KvStore, PartId, PartView, RoutedKey, ScanControl, StoreMetrics, Table, TableSpec,
+    TaskHandle,
+};
+use ripple_wire::{from_wire, to_wire};
+
+use crate::metrics::NetCounters;
+use crate::pool::{Pending, Pool};
+use crate::proto::{self, TableMeta};
+
+fn decode<T: ripple_wire::Decode>(payload: &[u8]) -> Result<T, KvError> {
+    from_wire(payload).map_err(|e| KvError::Backend {
+        detail: format!("malformed response payload: {e}"),
+    })
+}
+
+#[derive(Debug)]
+struct Shared {
+    pool: Pool,
+    metrics: Arc<NetCounters>,
+    catalog: Mutex<HashMap<String, TableMeta>>,
+    /// Serializes DDL broadcasts so all servers see them in one order.
+    ddl: Mutex<()>,
+}
+
+impl Shared {
+    fn servers(&self) -> usize {
+        self.pool.servers()
+    }
+
+    /// The server owning part `part` of any table.
+    fn owner(&self, part: u32) -> usize {
+        part as usize % self.servers()
+    }
+
+    fn unary(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        self.pool.unary(server, kind, payload)
+    }
+
+    /// Sends the same request to every server in index order and returns
+    /// server 0's response.  Used for DDL and ubiquitous-table writes,
+    /// which must reach every replica.
+    fn broadcast(&self, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        let mut first = None;
+        for server in 0..self.servers() {
+            let resp = self.unary(server, kind, payload)?;
+            if server == 0 {
+                first = Some(resp);
+            }
+        }
+        Ok(first.expect("at least one server"))
+    }
+
+    /// Table metadata by name: catalog hit, or a lookup on server 0.
+    fn meta_for(&self, table: &str) -> Result<TableMeta, KvError> {
+        if let Some(meta) = self.catalog.lock().expect("catalog lock").get(table) {
+            return Ok(*meta);
+        }
+        let meta =
+            TableMeta::decode(&self.unary(0, proto::REQ_LOOKUP, &to_wire(&table.to_owned()))?)?;
+        self.catalog
+            .lock()
+            .expect("catalog lock")
+            .insert(table.to_owned(), meta);
+        Ok(meta)
+    }
+
+    /// Issues a data-plane unary op, charging the data-op counters.
+    fn data_op(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        NetCounters::add(&self.metrics.remote_ops, 1);
+        NetCounters::add(&self.metrics.bytes_marshalled, payload.len() as u64);
+        self.unary(server, kind, payload)
+    }
+
+    /// Consumes a scan/drain stream.  Pairs are fed to `each` until it
+    /// returns `Stop`; the unconsumed remainder (rest of the stream) is
+    /// collected and returned so drains can restore it.
+    fn pull_stream(
+        &self,
+        pending: &Pending,
+        each: &mut dyn FnMut(RoutedKey, Bytes) -> ScanControl,
+    ) -> Result<Vec<(RoutedKey, Bytes)>, KvError> {
+        let mut stopped = false;
+        let mut leftover = Vec::new();
+        loop {
+            let frame = pending.recv()?;
+            match frame.kind {
+                proto::RESP_CHUNK => {
+                    NetCounters::add(&self.metrics.bytes_marshalled, frame.payload.len() as u64);
+                    for (k, v) in proto::decode_pairs(&frame.payload)? {
+                        if stopped {
+                            leftover.push((k, v));
+                        } else if !each(k, v).should_continue() {
+                            stopped = true;
+                        }
+                    }
+                }
+                _ => return Ok(leftover), // RESP_END
+            }
+        }
+    }
+}
+
+/// A [`KvStore`] backed by TCP part servers.
+///
+/// Cheap to clone; clones share the connection pool, catalog, and
+/// counters.
+#[derive(Debug, Clone)]
+pub struct NetStore {
+    inner: Arc<Shared>,
+}
+
+impl NetStore {
+    /// Creates a store speaking to `addrs`, one address per part server.
+    /// Connections open lazily on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    #[must_use]
+    pub fn connect(addrs: Vec<SocketAddr>) -> Self {
+        assert!(!addrs.is_empty(), "a NetStore needs at least one server");
+        let metrics = Arc::new(NetCounters::default());
+        Self {
+            inner: Arc::new(Shared {
+                pool: Pool::new(addrs, Arc::clone(&metrics)),
+                metrics,
+                catalog: Mutex::new(HashMap::new()),
+                ddl: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Number of part servers this store speaks to.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.inner.servers()
+    }
+
+    /// Severs every open connection at the socket level, failing in-flight
+    /// requests with [`KvError::Transient`].  Subsequent requests
+    /// reconnect.  A fault-injection hook for testing retry behaviour.
+    pub fn sever_connections(&self) {
+        self.inner.pool.sever();
+    }
+
+    fn table_from_meta(&self, name: &str, meta: TableMeta) -> NetTable {
+        self.inner
+            .catalog
+            .lock()
+            .expect("catalog lock")
+            .insert(name.to_owned(), meta);
+        NetTable {
+            store: Arc::clone(&self.inner),
+            name: name.to_owned(),
+            meta,
+        }
+    }
+}
+
+/// Handle to a table hosted on part servers.
+#[derive(Debug, Clone)]
+pub struct NetTable {
+    store: Arc<Shared>,
+    name: String,
+    meta: TableMeta,
+}
+
+impl NetTable {
+    /// The server that owns `key` (server 0 for ubiquitous tables).
+    fn server_for(&self, key: &RoutedKey) -> usize {
+        if self.meta.ubiquitous {
+            0
+        } else {
+            self.store.owner(key.part_for(self.meta.parts).0)
+        }
+    }
+}
+
+impl Table for NetTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn part_count(&self) -> u32 {
+        self.meta.parts
+    }
+
+    fn is_ubiquitous(&self) -> bool {
+        self.meta.ubiquitous
+    }
+
+    fn partitioning_id(&self) -> u64 {
+        self.meta.partitioning_id
+    }
+
+    fn get(&self, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        let payload = to_wire(&(self.name.clone(), key.clone()));
+        let resp = self
+            .store
+            .data_op(self.server_for(key), proto::REQ_GET, &payload)?;
+        decode(&resp)
+    }
+
+    fn put(&self, key: RoutedKey, value: Bytes) -> Result<Option<Bytes>, KvError> {
+        let server = self.server_for(&key);
+        let payload = to_wire(&(self.name.clone(), key, value));
+        let resp = if self.meta.ubiquitous {
+            NetCounters::add(&self.store.metrics.remote_ops, 1);
+            NetCounters::add(&self.store.metrics.bytes_marshalled, payload.len() as u64);
+            self.store.broadcast(proto::REQ_PUT, &payload)?
+        } else {
+            self.store.data_op(server, proto::REQ_PUT, &payload)?
+        };
+        decode(&resp)
+    }
+
+    fn delete(&self, key: &RoutedKey) -> Result<bool, KvError> {
+        let server = self.server_for(key);
+        let payload = to_wire(&(self.name.clone(), key.clone()));
+        let resp = if self.meta.ubiquitous {
+            NetCounters::add(&self.store.metrics.remote_ops, 1);
+            NetCounters::add(&self.store.metrics.bytes_marshalled, payload.len() as u64);
+            self.store.broadcast(proto::REQ_DELETE, &payload)?
+        } else {
+            self.store.data_op(server, proto::REQ_DELETE, &payload)?
+        };
+        decode(&resp)
+    }
+
+    fn len(&self) -> Result<usize, KvError> {
+        let payload = to_wire(&self.name);
+        if self.meta.ubiquitous {
+            let n: u64 = decode(&self.store.unary(0, proto::REQ_LEN, &payload)?)?;
+            return Ok(usize::try_from(n).unwrap_or(usize::MAX));
+        }
+        // Each server holds only the parts it owns, so the per-server
+        // totals sum to the table size.
+        let mut total = 0u64;
+        for server in 0..self.store.servers() {
+            let n: u64 = decode(&self.store.unary(server, proto::REQ_LEN, &payload)?)?;
+            total += n;
+        }
+        Ok(usize::try_from(total).unwrap_or(usize::MAX))
+    }
+
+    fn clear(&self) -> Result<(), KvError> {
+        self.store
+            .broadcast(proto::REQ_CLEAR, &to_wire(&self.name))?;
+        Ok(())
+    }
+}
+
+impl KvStore for NetStore {
+    type Table = NetTable;
+
+    fn create_table(&self, spec: &TableSpec) -> Result<NetTable, KvError> {
+        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let payload = to_wire(&(
+            spec.name().to_owned(),
+            spec.part_count(),
+            spec.is_ubiquitous(),
+            spec.is_replicated(),
+        ));
+        let meta = TableMeta::decode(&self.inner.broadcast(proto::REQ_CREATE_TABLE, &payload)?)?;
+        Ok(self.table_from_meta(spec.name(), meta))
+    }
+
+    fn create_table_like(&self, name: &str, like: &NetTable) -> Result<NetTable, KvError> {
+        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let payload = to_wire(&(name.to_owned(), like.name.clone()));
+        let meta = TableMeta::decode(&self.inner.broadcast(proto::REQ_CREATE_LIKE, &payload)?)?;
+        Ok(self.table_from_meta(name, meta))
+    }
+
+    fn create_table_like_replicated(
+        &self,
+        name: &str,
+        like: &NetTable,
+    ) -> Result<NetTable, KvError> {
+        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let payload = to_wire(&(name.to_owned(), like.name.clone()));
+        let meta = TableMeta::decode(
+            &self
+                .inner
+                .broadcast(proto::REQ_CREATE_LIKE_REPLICATED, &payload)?,
+        )?;
+        Ok(self.table_from_meta(name, meta))
+    }
+
+    fn lookup_table(&self, name: &str) -> Result<NetTable, KvError> {
+        let meta = TableMeta::decode(&self.inner.unary(
+            0,
+            proto::REQ_LOOKUP,
+            &to_wire(&name.to_owned()),
+        )?)?;
+        Ok(self.table_from_meta(name, meta))
+    }
+
+    fn drop_table(&self, name: &str) -> Result<(), KvError> {
+        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        self.inner
+            .broadcast(proto::REQ_DROP, &to_wire(&name.to_owned()))?;
+        self.inner
+            .catalog
+            .lock()
+            .expect("catalog lock")
+            .remove(name);
+        Ok(())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.inner
+            .unary(0, proto::REQ_TABLE_NAMES, &to_wire(&()))
+            .ok()
+            .and_then(|resp| decode(&resp).ok())
+            .unwrap_or_default()
+    }
+
+    fn run_at<R, F>(&self, reference: &NetTable, part: PartId, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&dyn PartView) -> R + Send + 'static,
+    {
+        assert!(
+            part.0 < reference.part_count(),
+            "part {part} out of range for table {:?} with {} parts",
+            reference.name(),
+            reference.part_count()
+        );
+        NetCounters::add(&self.inner.metrics.tasks, 1);
+        let view = RemotePartView {
+            shared: Arc::clone(&self.inner),
+            part,
+            partitioning_id: reference.meta.partitioning_id,
+            reference_name: reference.name.clone(),
+        };
+        let (tx, rx) = bounded(1);
+        std::thread::Builder::new()
+            .name(format!("net-store-task-p{}", part.0))
+            .spawn(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| task(&view)));
+                let _ = tx.send(result);
+            })
+            .expect("spawn task thread");
+        TaskHandle::from_channel(part, rx)
+    }
+
+    fn run_named_at(
+        &self,
+        reference: &NetTable,
+        part: PartId,
+        task: &str,
+        arg: Bytes,
+    ) -> TaskHandle<Result<Bytes, KvError>> {
+        assert!(
+            part.0 < reference.part_count(),
+            "part {part} out of range for table {:?} with {} parts",
+            reference.name(),
+            reference.part_count()
+        );
+        NetCounters::add(&self.inner.metrics.tasks, 1);
+        let shared = Arc::clone(&self.inner);
+        let server = if reference.meta.ubiquitous {
+            0
+        } else {
+            shared.owner(part.0)
+        };
+        let payload = to_wire(&(reference.name.clone(), part.0, task.to_owned(), arg));
+        let (tx, rx) = bounded(1);
+        std::thread::Builder::new()
+            .name(format!("net-store-named-p{}", part.0))
+            .spawn(move || {
+                let result = shared
+                    .unary(server, proto::REQ_RUN_TASK, &payload)
+                    .map(Bytes::from);
+                let _ = tx.send(Ok(result));
+            })
+            .expect("spawn named-task thread");
+        TaskHandle::from_channel(part, rx)
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        self.inner.metrics.snapshot()
+    }
+}
+
+/// The client-side [`PartView`] handed to `run_at` closures: every
+/// operation ships data over the wire to the owning server, mirroring the
+/// semantics of a local view (part-scoped enumeration, unscoped point
+/// lookups, the ubiquity and co-partitioning checks).
+struct RemotePartView {
+    shared: Arc<Shared>,
+    part: PartId,
+    partitioning_id: u64,
+    reference_name: String,
+}
+
+impl RemotePartView {
+    fn resolve(&self, table: &str, write: bool) -> Result<TableMeta, KvError> {
+        let meta = self.shared.meta_for(table)?;
+        if meta.ubiquitous {
+            if write {
+                return Err(KvError::UbiquityMismatch {
+                    name: table.to_owned(),
+                });
+            }
+            return Ok(meta);
+        }
+        if meta.partitioning_id != self.partitioning_id {
+            return Err(KvError::NotCopartitioned {
+                left: table.to_owned(),
+                right: self.reference_name.clone(),
+            });
+        }
+        Ok(meta)
+    }
+
+    fn server_for(&self, meta: TableMeta, key: &RoutedKey) -> usize {
+        if meta.ubiquitous {
+            0
+        } else {
+            self.shared.owner(key.part_for(meta.parts).0)
+        }
+    }
+
+    /// The `(server, part)` a part-scoped enumeration addresses: the
+    /// anchored part's owner, or part 0 on server 0 for ubiquitous tables
+    /// (whose every replica holds the full contents).
+    fn scan_target(&self, meta: TableMeta) -> (usize, u32) {
+        if meta.ubiquitous {
+            (0, 0)
+        } else {
+            (self.shared.owner(self.part.0), self.part.0)
+        }
+    }
+}
+
+impl PartView for RemotePartView {
+    fn part(&self) -> PartId {
+        self.part
+    }
+
+    fn get(&self, table: &str, key: &RoutedKey) -> Result<Option<Bytes>, KvError> {
+        let meta = self.resolve(table, false)?;
+        let payload = to_wire(&(table.to_owned(), key.clone()));
+        let resp = self
+            .shared
+            .data_op(self.server_for(meta, key), proto::REQ_GET, &payload)?;
+        decode(&resp)
+    }
+
+    fn put(&self, table: &str, key: RoutedKey, value: Bytes) -> Result<Option<Bytes>, KvError> {
+        let meta = self.resolve(table, true)?;
+        let server = self.server_for(meta, &key);
+        let payload = to_wire(&(table.to_owned(), key, value));
+        let resp = self.shared.data_op(server, proto::REQ_PUT, &payload)?;
+        decode(&resp)
+    }
+
+    fn delete(&self, table: &str, key: &RoutedKey) -> Result<bool, KvError> {
+        let meta = self.resolve(table, true)?;
+        let payload = to_wire(&(table.to_owned(), key.clone()));
+        let resp = self
+            .shared
+            .data_op(self.server_for(meta, key), proto::REQ_DELETE, &payload)?;
+        decode(&resp)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        f: &mut dyn FnMut(&RoutedKey, &[u8]) -> ScanControl,
+    ) -> Result<(), KvError> {
+        let meta = self.resolve(table, false)?;
+        NetCounters::add(&self.shared.metrics.enumerations, 1);
+        let (server, part) = self.scan_target(meta);
+        let payload = to_wire(&(table.to_owned(), part));
+        let pending = self
+            .shared
+            .pool
+            .request(server, proto::REQ_SCAN, &payload)?;
+        self.shared
+            .pull_stream(&pending, &mut |k, v| f(&k, &v))
+            .map(|_| ())
+    }
+
+    fn drain(
+        &self,
+        table: &str,
+        f: &mut dyn FnMut(RoutedKey, Bytes) -> ScanControl,
+    ) -> Result<(), KvError> {
+        let meta = self.resolve(table, true)?;
+        NetCounters::add(&self.shared.metrics.enumerations, 1);
+        let (server, part) = self.scan_target(meta);
+        let payload = to_wire(&(table.to_owned(), part));
+        let pending = self
+            .shared
+            .pool
+            .request(server, proto::REQ_DRAIN, &payload)?;
+        let leftover = self.shared.pull_stream(&pending, f)?;
+        if !leftover.is_empty() {
+            // The server removed the whole part; restore what the caller
+            // declined to consume, matching local early-stop semantics.
+            let ops: Vec<(u8, RoutedKey, Bytes)> = leftover
+                .into_iter()
+                .map(|(k, v)| (proto::APPLY_PUT, k, v))
+                .collect();
+            let count = ops.len() as u64;
+            NetCounters::add(&self.shared.metrics.remote_ops, count);
+            let payload = to_wire(&(table.to_owned(), ops));
+            NetCounters::add(&self.shared.metrics.bytes_marshalled, payload.len() as u64);
+            self.shared.unary(server, proto::REQ_APPLY, &payload)?;
+        }
+        Ok(())
+    }
+
+    fn len(&self, table: &str) -> Result<usize, KvError> {
+        let meta = self.resolve(table, false)?;
+        let (server, part) = self.scan_target(meta);
+        let payload = to_wire(&(table.to_owned(), part));
+        let n: u64 = decode(&self.shared.unary(server, proto::REQ_PART_LEN, &payload)?)?;
+        Ok(usize::try_from(n).unwrap_or(usize::MAX))
+    }
+}

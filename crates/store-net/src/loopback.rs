@@ -1,0 +1,69 @@
+//! In-process loopback clusters: a [`NetStore`] talking to part servers
+//! on `127.0.0.1`, all inside one process.
+//!
+//! This is the deployment used by tests, benches, and the `--store net`
+//! bench flag: every byte still crosses a real TCP socket and the full
+//! protocol (framing, CRC, pipelining, batching), so it exercises the
+//! networked path without needing more than one machine.
+
+use std::net::{Ipv4Addr, SocketAddr};
+
+use ripple_kv::TaskRegistry;
+use ripple_store_mem::MemStore;
+
+use crate::client::NetStore;
+use crate::server::{PartServer, ServerHandle};
+
+/// A [`NetStore`] plus the in-process servers backing it.  Dropping the
+/// cluster stops the servers.
+#[derive(Debug)]
+pub struct LoopbackCluster {
+    /// The client store; clone it freely.
+    pub store: NetStore,
+    /// Handles on the running servers (stopped on drop).
+    pub handles: Vec<ServerHandle>,
+}
+
+impl LoopbackCluster {
+    /// Spawns `servers` part servers on ephemeral loopback ports, each
+    /// backed by a [`MemStore`] with `default_parts` parts, and connects
+    /// a [`NetStore`] to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback listener cannot be bound.
+    #[must_use]
+    pub fn spawn(servers: usize, default_parts: u32) -> Self {
+        Self::spawn_with_registry(servers, default_parts, &TaskRegistry::default())
+    }
+
+    /// Like [`LoopbackCluster::spawn`], with a shared task registry so
+    /// callers can register named tasks on every server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback listener cannot be bound.
+    #[must_use]
+    pub fn spawn_with_registry(
+        servers: usize,
+        default_parts: u32,
+        registry: &TaskRegistry,
+    ) -> Self {
+        assert!(servers > 0, "a cluster needs at least one server");
+        let any: SocketAddr = (Ipv4Addr::LOCALHOST, 0).into();
+        let handles: Vec<ServerHandle> = (0..servers)
+            .map(|_| {
+                let inner = MemStore::builder().default_parts(default_parts).build();
+                PartServer::new(inner)
+                    .with_registry(registry.clone())
+                    .bind(any)
+                    .expect("bind loopback part server")
+            })
+            .collect();
+        let addrs = handles.iter().map(ServerHandle::addr).collect();
+        Self {
+            store: NetStore::connect(addrs),
+            handles,
+        }
+    }
+}

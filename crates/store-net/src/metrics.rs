@@ -1,0 +1,87 @@
+//! Lock-free counters for the networked store.
+//!
+//! One [`NetCounters`] instance is shared by the connection pool, the
+//! client tables, and the store facade; [`NetCounters::snapshot`] folds it
+//! into the platform-wide [`StoreMetrics`] shape so step profiles and
+//! Chrome traces pick the numbers up without knowing the backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ripple_kv::{LatencyBuckets, StoreMetrics};
+
+/// Atomic counter block for one [`NetStore`](crate::NetStore).
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Request/response round trips issued (unary requests and streams
+    /// each count once).
+    pub rpcs: AtomicU64,
+    /// Frame bytes received from part servers, including frame overhead.
+    pub bytes_in: AtomicU64,
+    /// Frame bytes sent to part servers, including frame overhead.
+    pub bytes_out: AtomicU64,
+    /// Data-plane operations (get/put/delete/apply entries).
+    pub remote_ops: AtomicU64,
+    /// Payload bytes marshalled for data-plane requests and streamed
+    /// responses.
+    pub bytes_marshalled: AtomicU64,
+    /// Tasks shipped via `run_at` / `run_named_at`.
+    pub tasks: AtomicU64,
+    /// Part enumerations (scan/drain streams opened).
+    pub enumerations: AtomicU64,
+    lat: [AtomicU64; LatencyBuckets::BUCKETS],
+}
+
+impl NetCounters {
+    /// Records one request latency measured from `start`.
+    pub fn observe_latency(&self, start: Instant) {
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.lat[LatencyBuckets::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds the counters into the platform metrics shape.
+    pub fn snapshot(&self) -> StoreMetrics {
+        let mut rpc_latency = LatencyBuckets::default();
+        for (slot, bucket) in self.lat.iter().zip(rpc_latency.0.iter_mut()) {
+            *bucket = slot.load(Ordering::Relaxed);
+        }
+        StoreMetrics {
+            remote_ops: self.remote_ops.load(Ordering::Relaxed),
+            bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
+            tasks_dispatched: self.tasks.load(Ordering::Relaxed),
+            enumerations: self.enumerations.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            net_bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            net_bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            rpc_latency,
+            ..StoreMetrics::default()
+        }
+    }
+
+    /// Convenience: `fetch_add` with relaxed ordering.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = NetCounters::default();
+        NetCounters::add(&c.rpcs, 3);
+        NetCounters::add(&c.bytes_in, 100);
+        NetCounters::add(&c.bytes_out, 200);
+        NetCounters::add(&c.remote_ops, 5);
+        c.observe_latency(Instant::now());
+        let m = c.snapshot();
+        assert_eq!(m.rpcs, 3);
+        assert_eq!(m.net_bytes_in, 100);
+        assert_eq!(m.net_bytes_out, 200);
+        assert_eq!(m.remote_ops, 5);
+        assert_eq!(m.rpc_latency.total(), 1);
+        assert_eq!(m.local_ops, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Pooled, pipelined connections to a set of part servers.
+//!
+//! The pool keeps at most one TCP connection per server and multiplexes
+//! every request over it: each request gets a fresh id, the response
+//! frames are matched back by id on a dedicated reader thread, so many
+//! callers (one engine worker per part, typically) share one socket
+//! without head-of-line blocking on the request side.
+//!
+//! Failure model: any I/O error on a connection marks it dead, fails all
+//! in-flight requests with [`KvError::Transient`], and drops the socket.
+//! The next request to that server reconnects lazily.  This is what lets
+//! the engine's existing retry policy heal a severed connection — the
+//! error kind is the same one the fault-injection stores produce.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ripple_kv::KvError;
+use ripple_wire::{msg_len, read_msg_from, write_msg, MsgFrame};
+
+use crate::metrics::NetCounters;
+use crate::proto::{self, RESP_CHUNK, RESP_ERR, RESP_OK};
+
+/// How long a caller waits for a response frame before reporting the
+/// request as transiently failed.
+pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+type FrameResult = Result<MsgFrame, KvError>;
+
+/// One live connection: a shared writer, the response-dispatch table, and
+/// the socket handle kept for shutdown.
+struct Connection {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Sender<FrameResult>>>,
+    dead: AtomicBool,
+    stream: TcpStream,
+}
+
+impl Connection {
+    fn fail_all(&self, detail: &str) {
+        self.dead.store(true, Ordering::SeqCst);
+        let drained: Vec<(u64, Sender<FrameResult>)> =
+            self.pending.lock().expect("pending lock").drain().collect();
+        for (_, tx) in drained {
+            let _ = tx.send(Err(KvError::Transient {
+                op: "recv",
+                part: 0,
+                detail: detail.to_owned(),
+            }));
+        }
+    }
+}
+
+/// A handle on one in-flight request's response stream.
+pub struct Pending {
+    rx: Receiver<FrameResult>,
+    started: Instant,
+    metrics: Arc<NetCounters>,
+}
+
+impl Pending {
+    /// Waits for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Transient`] on timeout or connection loss; the decoded
+    /// remote error if the server answered with `RESP_ERR`.
+    pub fn recv(&self) -> Result<MsgFrame, KvError> {
+        let frame = self
+            .rx
+            .recv_timeout(RESPONSE_TIMEOUT)
+            .map_err(|_| KvError::Transient {
+                op: "recv",
+                part: 0,
+                detail: "timed out waiting for part-server response".to_owned(),
+            })??;
+        if frame.kind == RESP_ERR {
+            self.metrics.observe_latency(self.started);
+            return Err(proto::decode_err(&frame.payload));
+        }
+        if frame.kind != RESP_CHUNK {
+            // RESP_OK / RESP_END terminate the request.
+            self.metrics.observe_latency(self.started);
+        }
+        Ok(frame)
+    }
+}
+
+/// Connection pool over an ordered list of part-server addresses.
+pub struct Pool {
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Mutex<Option<Arc<Connection>>>>,
+    next_id: AtomicU64,
+    metrics: Arc<NetCounters>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("addrs", &self.addrs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Creates a pool over `addrs`; connections are opened lazily.
+    pub fn new(addrs: Vec<SocketAddr>, metrics: Arc<NetCounters>) -> Self {
+        let conns = addrs.iter().map(|_| Mutex::new(None)).collect();
+        Self {
+            addrs,
+            conns,
+            next_id: AtomicU64::new(1),
+            metrics,
+        }
+    }
+
+    /// Number of servers this pool speaks to.
+    pub fn servers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Sends one request frame to `server` and returns a handle for its
+    /// response stream.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Transient`] if connecting or writing fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range; the caller derives server
+    /// indices from the same address list.
+    pub fn request(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Pending, KvError> {
+        let conn = self.connection(server)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        conn.pending.lock().expect("pending lock").insert(id, tx);
+        let started = Instant::now();
+
+        let mut buf = Vec::with_capacity(msg_len(payload.len()));
+        write_msg(&mut buf, kind, id, payload);
+        let write_result = {
+            let mut writer = conn.writer.lock().expect("writer lock");
+            writer.write_all(&buf)
+        };
+        if let Err(e) = write_result {
+            conn.pending.lock().expect("pending lock").remove(&id);
+            conn.fail_all(&format!("write failed: {e}"));
+            return Err(KvError::Transient {
+                op: "send",
+                part: 0,
+                detail: format!("writing to {}: {e}", self.addrs[server]),
+            });
+        }
+        NetCounters::add(&self.metrics.rpcs, 1);
+        NetCounters::add(&self.metrics.bytes_out, buf.len() as u64);
+        Ok(Pending {
+            rx,
+            started,
+            metrics: Arc::clone(&self.metrics),
+        })
+    }
+
+    /// Sends a request and waits for its single `RESP_OK` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Transient`] on connection trouble or timeout, or the
+    /// decoded remote error.
+    pub fn unary(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        let pending = self.request(server, kind, payload)?;
+        let frame = pending.recv()?;
+        debug_assert_eq!(frame.kind, RESP_OK);
+        Ok(frame.payload)
+    }
+
+    /// Severs every open connection at the socket level.  In-flight and
+    /// subsequent requests observe [`KvError::Transient`]; later requests
+    /// reconnect.  Exists for fault-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection-slot lock was poisoned by a panicking
+    /// thread.
+    pub fn sever(&self) {
+        for slot in &self.conns {
+            let conn = slot.lock().expect("conn slot lock").take();
+            if let Some(conn) = conn {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                conn.fail_all("connection severed");
+            }
+        }
+    }
+
+    fn connection(&self, server: usize) -> Result<Arc<Connection>, KvError> {
+        let mut slot = self.conns[server].lock().expect("conn slot lock");
+        if let Some(conn) = slot.as_ref() {
+            if !conn.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(conn));
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            *slot = None;
+        }
+        let addr = self.addrs[server];
+        let stream = TcpStream::connect(addr).map_err(|e| KvError::Transient {
+            op: "connect",
+            part: 0,
+            detail: format!("connecting to {addr}: {e}"),
+        })?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone().map_err(|e| KvError::Transient {
+            op: "connect",
+            part: 0,
+            detail: format!("cloning stream to {addr}: {e}"),
+        })?;
+        let conn = Arc::new(Connection {
+            writer: Mutex::new(stream.try_clone().map_err(|e| KvError::Transient {
+                op: "connect",
+                part: 0,
+                detail: format!("cloning stream to {addr}: {e}"),
+            })?),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            stream,
+        });
+        spawn_reader(Arc::clone(&conn), reader, Arc::clone(&self.metrics));
+        *slot = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+}
+
+/// Reader thread: decodes response frames and routes them to the pending
+/// request they answer.  Terminal frames (`RESP_OK`, `RESP_ERR`,
+/// `RESP_END`) retire the pending entry; `RESP_CHUNK` keeps it open for
+/// the rest of the stream.
+fn spawn_reader(conn: Arc<Connection>, mut stream: TcpStream, metrics: Arc<NetCounters>) {
+    std::thread::Builder::new()
+        .name("net-store-reader".to_owned())
+        .spawn(move || loop {
+            let frame = match read_msg_from(&mut stream) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    conn.fail_all(&format!("connection lost: {e}"));
+                    return;
+                }
+            };
+            NetCounters::add(&metrics.bytes_in, msg_len(frame.payload.len()) as u64);
+            let id = frame.id;
+            let terminal = frame.kind != RESP_CHUNK;
+            let mut pending = conn.pending.lock().expect("pending lock");
+            if terminal {
+                if let Some(tx) = pending.remove(&id) {
+                    let _ = tx.send(Ok(frame));
+                }
+            } else if let Some(tx) = pending.get(&id) {
+                if tx.send(Ok(frame)).is_err() {
+                    // Receiver abandoned the stream; stop routing to it.
+                    pending.remove(&id);
+                }
+            }
+        })
+        .expect("spawn reader thread");
+}

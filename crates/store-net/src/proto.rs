@@ -1,0 +1,334 @@
+//! The part-server protocol: message kinds, payload encodings, and the
+//! error codec.
+//!
+//! Every protocol message travels in a `ripple-wire` [message
+//! frame](ripple_wire::read_msg_from): `[len][kind][request id][payload][crc]`.
+//! The request id is assigned by the client; responses echo it, which is
+//! what lets a connection carry many requests at once (pipelining) and
+//! return responses out of order.  Payloads are ordinary `ripple-wire`
+//! values — the same codec the platform already uses for marshalling —
+//! so nothing here invents a second serialization format.
+//!
+//! # Frame catalogue
+//!
+//! | kind | direction | payload |
+//! |---|---|---|
+//! | [`REQ_CREATE_TABLE`] | → | `(name, parts, ubiquitous, replicated)` |
+//! | [`REQ_CREATE_LIKE`] | → | `(name, like)` |
+//! | [`REQ_CREATE_LIKE_REPLICATED`] | → | `(name, like)` |
+//! | [`REQ_LOOKUP`] | → | `name` |
+//! | [`REQ_DROP`] | → | `name` |
+//! | [`REQ_TABLE_NAMES`] | → | `()` |
+//! | [`REQ_GET`] | → | `(table, key)` |
+//! | [`REQ_PUT`] | → | `(table, key, value)` |
+//! | [`REQ_DELETE`] | → | `(table, key)` |
+//! | [`REQ_LEN`] | → | `table` |
+//! | [`REQ_CLEAR`] | → | `table` |
+//! | [`REQ_PART_LEN`] | → | `(table, part)` |
+//! | [`REQ_SCAN`] | → | `(table, part)` — streamed response |
+//! | [`REQ_DRAIN`] | → | `(table, part)` — streamed response |
+//! | [`REQ_APPLY`] | → | `(table, Vec<(op, key, value)>)` — batched writes |
+//! | [`REQ_RUN_TASK`] | → | `(reference, part, task, arg)` |
+//! | [`RESP_OK`] | ← | per request (see the handler) |
+//! | [`RESP_ERR`] | ← | encoded [`KvError`] |
+//! | [`RESP_CHUNK`] | ← | `Vec<(key, value)>` — one slice of a stream |
+//! | [`RESP_END`] | ← | `()` — terminates a stream |
+//!
+//! Unary requests get exactly one `RESP_OK`/`RESP_ERR`.  Streamed requests
+//! (scan, drain) get zero or more `RESP_CHUNK` frames followed by
+//! `RESP_END` (or `RESP_ERR`, which also terminates the stream).
+
+use bytes::Bytes;
+use ripple_kv::{KvError, RoutedKey};
+use ripple_wire::{from_wire, to_wire};
+
+/// Create a table from a spec.
+pub const REQ_CREATE_TABLE: u8 = 0x01;
+/// Create a table co-partitioned with an existing one.
+pub const REQ_CREATE_LIKE: u8 = 0x02;
+/// Create a co-partitioned table with per-part replicas.
+pub const REQ_CREATE_LIKE_REPLICATED: u8 = 0x03;
+/// Look up a table's metadata.
+pub const REQ_LOOKUP: u8 = 0x04;
+/// Drop a table.
+pub const REQ_DROP: u8 = 0x05;
+/// List live table names.
+pub const REQ_TABLE_NAMES: u8 = 0x06;
+/// Read one key.
+pub const REQ_GET: u8 = 0x10;
+/// Write one key, returning the previous value.
+pub const REQ_PUT: u8 = 0x11;
+/// Delete one key, returning whether it was present.
+pub const REQ_DELETE: u8 = 0x12;
+/// Server-local entry count of a table.
+pub const REQ_LEN: u8 = 0x13;
+/// Remove every entry of a table.
+pub const REQ_CLEAR: u8 = 0x14;
+/// Entry count of one part of a table.
+pub const REQ_PART_LEN: u8 = 0x15;
+/// Stream the pairs of one part.
+pub const REQ_SCAN: u8 = 0x20;
+/// Stream *and remove* the pairs of one part.
+pub const REQ_DRAIN: u8 = 0x21;
+/// Apply a batch of puts/deletes in one round trip.
+pub const REQ_APPLY: u8 = 0x30;
+/// Dispatch a registered named task adjacent to a part.
+pub const REQ_RUN_TASK: u8 = 0x40;
+
+/// Success response; payload depends on the request kind.
+pub const RESP_OK: u8 = 0x80;
+/// Failure response; payload is an encoded [`KvError`].
+pub const RESP_ERR: u8 = 0x81;
+/// One slice of a streamed scan/drain: `Vec<(RoutedKey, Bytes)>`.
+pub const RESP_CHUNK: u8 = 0x82;
+/// End of a streamed response.
+pub const RESP_END: u8 = 0x83;
+
+/// A batched write in a [`REQ_APPLY`] payload.
+pub const APPLY_PUT: u8 = 0;
+/// A batched delete in a [`REQ_APPLY`] payload.
+pub const APPLY_DELETE: u8 = 1;
+
+/// Target size of one [`RESP_CHUNK`] payload; the server flushes a chunk
+/// once the encoded pairs reach this many bytes.
+pub const CHUNK_TARGET_BYTES: usize = 256 << 10;
+
+/// Table metadata exchanged by DDL and lookup responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Number of parts.
+    pub parts: u32,
+    /// Whether the table is ubiquitous.
+    pub ubiquitous: bool,
+    /// Partitioning identity, as reported by server 0.
+    pub partitioning_id: u64,
+}
+
+impl TableMeta {
+    /// Encodes the metadata as a `RESP_OK` payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        to_wire(&(self.parts, self.ubiquitous, self.partitioning_id))
+    }
+
+    /// Decodes metadata from a `RESP_OK` payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Backend`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, KvError> {
+        let (parts, ubiquitous, partitioning_id): (u32, bool, u64) =
+            from_wire(payload).map_err(|e| KvError::Backend {
+                detail: format!("malformed table metadata: {e}"),
+            })?;
+        Ok(Self {
+            parts,
+            ubiquitous,
+            partitioning_id,
+        })
+    }
+}
+
+/// Encodes a chunk of key/value pairs for a [`RESP_CHUNK`] frame.
+#[must_use]
+pub fn encode_pairs(pairs: &[(RoutedKey, Bytes)]) -> Bytes {
+    to_wire(&pairs.to_vec())
+}
+
+/// Decodes a [`RESP_CHUNK`] payload.
+///
+/// # Errors
+///
+/// Returns [`KvError::Backend`] on malformed bytes.
+pub fn decode_pairs(payload: &[u8]) -> Result<Vec<(RoutedKey, Bytes)>, KvError> {
+    from_wire(payload).map_err(|e| KvError::Backend {
+        detail: format!("malformed pair chunk: {e}"),
+    })
+}
+
+/// Maps an operation name to the `&'static str` the [`KvError::Transient`]
+/// variant requires.  Known names map to themselves; anything else becomes
+/// `"remote"` rather than leaking a new allocation per error.
+#[must_use]
+pub fn static_op(op: &str) -> &'static str {
+    for known in [
+        "get", "put", "delete", "scan", "drain", "len", "clear", "apply", "connect", "send",
+        "recv", "run_task", "ddl",
+    ] {
+        if op == known {
+            return known;
+        }
+    }
+    "remote"
+}
+
+/// Encodes a [`KvError`] for a [`RESP_ERR`] payload.
+///
+/// The encoding is `(code, s1, s2, n1, n2)` with variant-specific field
+/// use; unknown future variants collapse to [`KvError::Backend`].
+#[must_use]
+pub fn encode_err(err: &KvError) -> Bytes {
+    let (code, s1, s2, n1, n2): (u8, String, String, u64, u64) = match err {
+        KvError::TableExists { name } => (0, name.clone(), String::new(), 0, 0),
+        KvError::NoSuchTable { name } => (1, name.clone(), String::new(), 0, 0),
+        KvError::PartOutOfRange { part, parts } => (
+            2,
+            String::new(),
+            String::new(),
+            u64::from(*part),
+            u64::from(*parts),
+        ),
+        KvError::TableDropped { name } => (3, name.clone(), String::new(), 0, 0),
+        KvError::StoreClosed => (4, String::new(), String::new(), 0, 0),
+        KvError::PartFailed { part } => (5, String::new(), String::new(), u64::from(*part), 0),
+        KvError::TaskPanicked { part, message } => {
+            (6, message.clone(), String::new(), u64::from(*part), 0)
+        }
+        KvError::Transient { op, part, detail } => {
+            (7, (*op).to_owned(), detail.clone(), u64::from(*part), 0)
+        }
+        KvError::NotCopartitioned { left, right } => (8, left.clone(), right.clone(), 0, 0),
+        KvError::UbiquityMismatch { name } => (9, name.clone(), String::new(), 0, 0),
+        KvError::NoSuchTask { name } => (10, name.clone(), String::new(), 0, 0),
+        KvError::Backend { detail } => (11, detail.clone(), String::new(), 0, 0),
+        KvError::WalTailDiscarded {
+            table,
+            part,
+            valid_records,
+            discarded_bytes,
+        } => (
+            12,
+            table.clone(),
+            String::new(),
+            u64::from(*part) | (valid_records << 32),
+            *discarded_bytes,
+        ),
+        // `KvError` is `#[non_exhaustive]`; future variants degrade to a
+        // backend error carrying their display form.
+        other => (11, other.to_string(), String::new(), 0, 0),
+    };
+    to_wire(&(code, s1, s2, n1, n2))
+}
+
+/// Decodes a [`RESP_ERR`] payload back into a [`KvError`].
+#[must_use]
+pub fn decode_err(payload: &[u8]) -> KvError {
+    let Ok((code, s1, s2, n1, n2)) = from_wire::<(u8, String, String, u64, u64)>(payload) else {
+        return KvError::Backend {
+            detail: "malformed error payload".to_owned(),
+        };
+    };
+    // Part numbers travel in the low half of `n1` (WalTailDiscarded packs
+    // its record count above them).
+    let part = u32::try_from(n1 & u64::from(u32::MAX)).unwrap_or(u32::MAX);
+    match code {
+        0 => KvError::TableExists { name: s1 },
+        1 => KvError::NoSuchTable { name: s1 },
+        2 => KvError::PartOutOfRange {
+            part,
+            parts: u32::try_from(n2 & u64::from(u32::MAX)).unwrap_or(u32::MAX),
+        },
+        3 => KvError::TableDropped { name: s1 },
+        4 => KvError::StoreClosed,
+        5 => KvError::PartFailed { part },
+        6 => KvError::TaskPanicked { part, message: s1 },
+        7 => KvError::Transient {
+            op: static_op(&s1),
+            part,
+            detail: s2,
+        },
+        8 => KvError::NotCopartitioned {
+            left: s1,
+            right: s2,
+        },
+        9 => KvError::UbiquityMismatch { name: s1 },
+        10 => KvError::NoSuchTask { name: s1 },
+        12 => KvError::WalTailDiscarded {
+            table: s1,
+            part,
+            valid_records: n1 >> 32,
+            discarded_bytes: n2,
+        },
+        _ => KvError::Backend { detail: s1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_roundtrip() {
+        let cases = vec![
+            KvError::TableExists { name: "t".into() },
+            KvError::NoSuchTable { name: "u".into() },
+            KvError::PartOutOfRange { part: 3, parts: 2 },
+            KvError::TableDropped { name: "v".into() },
+            KvError::StoreClosed,
+            KvError::PartFailed { part: 7 },
+            KvError::TaskPanicked {
+                part: 1,
+                message: "boom".into(),
+            },
+            KvError::Transient {
+                op: "get",
+                part: 2,
+                detail: "socket reset".into(),
+            },
+            KvError::NotCopartitioned {
+                left: "a".into(),
+                right: "b".into(),
+            },
+            KvError::UbiquityMismatch {
+                name: "bcast".into(),
+            },
+            KvError::NoSuchTask { name: "sum".into() },
+            KvError::Backend { detail: "x".into() },
+        ];
+        for e in cases {
+            assert_eq!(decode_err(&encode_err(&e)), e, "{e}");
+        }
+    }
+
+    #[test]
+    fn wal_tail_roundtrips_both_counters() {
+        let e = KvError::WalTailDiscarded {
+            table: "t".into(),
+            part: 5,
+            valid_records: 99,
+            discarded_bytes: 1234,
+        };
+        assert_eq!(decode_err(&encode_err(&e)), e);
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let pairs = vec![
+            (
+                RoutedKey::with_route(1, Bytes::from_static(b"k1")),
+                Bytes::from_static(b"v1"),
+            ),
+            (
+                RoutedKey::with_route(2, Bytes::from_static(b"k2")),
+                Bytes::new(),
+            ),
+        ];
+        assert_eq!(decode_pairs(&encode_pairs(&pairs)).unwrap(), pairs);
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        let m = TableMeta {
+            parts: 8,
+            ubiquitous: false,
+            partitioning_id: 42,
+        };
+        assert_eq!(TableMeta::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_transient_op_maps_to_static() {
+        assert_eq!(static_op("get"), "get");
+        assert_eq!(static_op("exotic"), "remote");
+    }
+}

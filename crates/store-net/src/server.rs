@@ -1,0 +1,377 @@
+//! The part server: hosts parts of an inner [`KvStore`] behind the wire
+//! protocol.
+//!
+//! A part server wraps any local store (memory or disk) and serves the
+//! full table SPI over TCP: DDL, point operations, batched writes,
+//! streamed part enumeration, and dispatch of *registered* tasks.  A
+//! cluster runs one server per host; each server is configured with an
+//! identically-shaped inner store, and the client routes each part to its
+//! owning server — so every server's inner store holds data only for the
+//! parts it owns (plus full replicas of ubiquitous tables, which clients
+//! broadcast).
+//!
+//! Mobile code cannot cross the wire as a closure; [`REQ_RUN_TASK`]
+//! therefore dispatches by *name* against the server's [`TaskRegistry`]
+//! (the paper's pre-registered operation model).  Unregistered names fail
+//! with [`KvError::NoSuchTask`]; ad-hoc closures fall back to data
+//! shipping through the client's remote `PartView`.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, ScanControl, Table, TableSpec, TaskRegistry};
+use ripple_wire::{from_wire, msg_len, read_msg_from, write_msg};
+
+use crate::proto::{self, TableMeta};
+
+/// A part server ready to be bound to an address.
+#[derive(Debug, Clone)]
+pub struct PartServer<S: KvStore> {
+    store: S,
+    registry: TaskRegistry,
+}
+
+impl<S: KvStore> PartServer<S> {
+    /// Wraps `store` in a server with an empty task registry.
+    pub fn new(store: S) -> Self {
+        Self {
+            store,
+            registry: TaskRegistry::default(),
+        }
+    }
+
+    /// Replaces the server's task registry, so several servers can share
+    /// one set of registrations.
+    #[must_use]
+    pub fn with_registry(mut self, registry: TaskRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The server's task registry, for registering named tasks.
+    pub fn registry(&self) -> &TaskRegistry {
+        &self.registry
+    }
+
+    /// Binds a listener on `addr` and starts serving on background
+    /// threads.  Pass port 0 to let the OS pick; the bound address is on
+    /// the returned handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(self, addr: SocketAddr) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let join = std::thread::Builder::new()
+            .name(format!("part-server-{local}"))
+            .spawn(move || accept_loop(&listener, &self, &flag))?;
+        Ok(ServerHandle {
+            addr: local,
+            shutdown,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle on a running part server; stops it when dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.  Already
+    /// established connections drain on their own threads until the peer
+    /// disconnects.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop<S: KvStore>(listener: &TcpListener, server: &PartServer<S>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                let server = server.clone();
+                let _ = std::thread::Builder::new()
+                    .name("part-server-conn".to_owned())
+                    .spawn(move || serve_conn(&server, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Writes one response frame under the shared writer lock.
+fn send(writer: &Mutex<TcpStream>, kind: u8, id: u64, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(msg_len(payload.len()));
+    write_msg(&mut buf, kind, id, payload);
+    writer.lock().expect("writer lock").write_all(&buf)
+}
+
+fn send_result(writer: &Mutex<TcpStream>, id: u64, result: Result<Bytes, KvError>) {
+    let _ = match result {
+        Ok(payload) => send(writer, proto::RESP_OK, id, &payload),
+        Err(e) => send(writer, proto::RESP_ERR, id, &proto::encode_err(&e)),
+    };
+}
+
+fn serve_conn<S: KvStore>(server: &PartServer<S>, mut stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    loop {
+        // A read error means the peer is gone or the stream is corrupt;
+        // either way the connection is done.
+        let Ok(frame) = read_msg_from(&mut stream) else {
+            return;
+        };
+        match frame.kind {
+            proto::REQ_SCAN | proto::REQ_DRAIN => {
+                let drain = frame.kind == proto::REQ_DRAIN;
+                match enumerate(&server.store, &frame.payload, drain) {
+                    Ok(pairs) => stream_pairs(&writer, frame.id, &pairs),
+                    Err(e) => {
+                        let _ = send(&writer, proto::RESP_ERR, frame.id, &proto::encode_err(&e));
+                    }
+                }
+            }
+            proto::REQ_RUN_TASK => {
+                // Tasks may block on other parts (even ones on this same
+                // connection), so they must not occupy the service loop.
+                let server = server.clone();
+                let writer = Arc::clone(&writer);
+                let id = frame.id;
+                let payload = frame.payload;
+                let _ = std::thread::Builder::new()
+                    .name("part-server-task".to_owned())
+                    .spawn(move || send_result(&writer, id, run_task(&server, &payload)));
+            }
+            kind => send_result(
+                &writer,
+                frame.id,
+                unary(&server.store, kind, &frame.payload),
+            ),
+        }
+    }
+}
+
+fn decode<T: ripple_wire::Decode>(payload: &[u8]) -> Result<T, KvError> {
+    from_wire(payload).map_err(|e| KvError::Backend {
+        detail: format!("malformed request payload: {e}"),
+    })
+}
+
+fn meta_of(t: &impl Table) -> TableMeta {
+    TableMeta {
+        parts: t.part_count(),
+        ubiquitous: t.is_ubiquitous(),
+        partitioning_id: t.partitioning_id(),
+    }
+}
+
+/// Handles one single-response request and produces its `RESP_OK` payload.
+fn unary<S: KvStore>(store: &S, kind: u8, payload: &[u8]) -> Result<Bytes, KvError> {
+    match kind {
+        proto::REQ_CREATE_TABLE => {
+            let (name, parts, ubiquitous, replicated): (String, u32, bool, bool) = decode(payload)?;
+            let mut spec = TableSpec::new(name);
+            spec.parts(parts);
+            if ubiquitous {
+                spec.ubiquitous();
+            }
+            if replicated {
+                spec.replicated();
+            }
+            let t = store.create_table(&spec)?;
+            Ok(meta_of(&t).encode())
+        }
+        proto::REQ_CREATE_LIKE | proto::REQ_CREATE_LIKE_REPLICATED => {
+            let (name, like): (String, String) = decode(payload)?;
+            let like = store.lookup_table(&like)?;
+            let t = if kind == proto::REQ_CREATE_LIKE {
+                store.create_table_like(&name, &like)?
+            } else {
+                store.create_table_like_replicated(&name, &like)?
+            };
+            Ok(meta_of(&t).encode())
+        }
+        proto::REQ_LOOKUP => {
+            let name: String = decode(payload)?;
+            let t = store.lookup_table(&name)?;
+            Ok(meta_of(&t).encode())
+        }
+        proto::REQ_DROP => {
+            let name: String = decode(payload)?;
+            store.drop_table(&name)?;
+            Ok(Bytes::new())
+        }
+        proto::REQ_TABLE_NAMES => {
+            let names = store.table_names();
+            Ok(ripple_wire::to_wire(&names))
+        }
+        proto::REQ_GET => {
+            let (table, key): (String, RoutedKey) = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            Ok(ripple_wire::to_wire(&t.get(&key)?))
+        }
+        proto::REQ_PUT => {
+            let (table, key, value): (String, RoutedKey, Bytes) = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            Ok(ripple_wire::to_wire(&t.put(key, value)?))
+        }
+        proto::REQ_DELETE => {
+            let (table, key): (String, RoutedKey) = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            Ok(ripple_wire::to_wire(&t.delete(&key)?))
+        }
+        proto::REQ_LEN => {
+            let table: String = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            Ok(ripple_wire::to_wire(&(t.len()? as u64)))
+        }
+        proto::REQ_CLEAR => {
+            let table: String = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            t.clear()?;
+            Ok(Bytes::new())
+        }
+        proto::REQ_PART_LEN => {
+            let (table, part): (String, u32) = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            check_part(&t, part)?;
+            let name = table.clone();
+            let n = store
+                .run_at(&t, PartId(part), move |view| view.len(&name))
+                .join()??;
+            Ok(ripple_wire::to_wire(&(n as u64)))
+        }
+        proto::REQ_APPLY => {
+            let (table, ops): (String, Vec<(u8, RoutedKey, Bytes)>) = decode(payload)?;
+            let t = store.lookup_table(&table)?;
+            let count = ops.len() as u64;
+            for (op, key, value) in ops {
+                if op == proto::APPLY_PUT {
+                    t.put(key, value)?;
+                } else {
+                    t.delete(&key)?;
+                }
+            }
+            Ok(ripple_wire::to_wire(&count))
+        }
+        other => Err(KvError::Backend {
+            detail: format!("unknown request kind {other:#04x}"),
+        }),
+    }
+}
+
+fn check_part(t: &impl Table, part: u32) -> Result<(), KvError> {
+    if part < t.part_count() {
+        Ok(())
+    } else {
+        Err(KvError::PartOutOfRange {
+            part,
+            parts: t.part_count(),
+        })
+    }
+}
+
+/// Collects the pairs of one part for a scan or drain stream.
+fn enumerate<S: KvStore>(
+    store: &S,
+    payload: &[u8],
+    drain: bool,
+) -> Result<Vec<(RoutedKey, Bytes)>, KvError> {
+    let (table, part): (String, u32) = decode(payload)?;
+    let t = store.lookup_table(&table)?;
+    check_part(&t, part)?;
+    store
+        .run_at(&t, PartId(part), move |view| {
+            let mut out: Vec<(RoutedKey, Bytes)> = Vec::new();
+            if drain {
+                view.drain(&table, &mut |k, v| {
+                    out.push((k, v));
+                    ScanControl::Continue
+                })?;
+            } else {
+                view.scan(&table, &mut |k, v| {
+                    out.push((k.clone(), Bytes::copy_from_slice(v)));
+                    ScanControl::Continue
+                })?;
+            }
+            Ok(out)
+        })
+        .join()?
+}
+
+/// Sends `pairs` as size-bounded `RESP_CHUNK` frames followed by
+/// `RESP_END`.
+fn stream_pairs(writer: &Mutex<TcpStream>, id: u64, pairs: &[(RoutedKey, Bytes)]) {
+    let mut chunk: Vec<(RoutedKey, Bytes)> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    for (k, v) in pairs {
+        chunk_bytes += k.body().len() + v.len() + 16;
+        chunk.push((k.clone(), v.clone()));
+        if chunk_bytes >= proto::CHUNK_TARGET_BYTES {
+            if send(writer, proto::RESP_CHUNK, id, &proto::encode_pairs(&chunk)).is_err() {
+                return;
+            }
+            chunk.clear();
+            chunk_bytes = 0;
+        }
+    }
+    if !chunk.is_empty()
+        && send(writer, proto::RESP_CHUNK, id, &proto::encode_pairs(&chunk)).is_err()
+    {
+        return;
+    }
+    let _ = send(writer, proto::RESP_END, id, &[]);
+}
+
+/// Dispatches one registered task and returns its byte result.
+fn run_task<S: KvStore>(server: &PartServer<S>, payload: &[u8]) -> Result<Bytes, KvError> {
+    let (reference, part, task, arg): (String, u32, String, Bytes) = decode(payload)?;
+    let t = server.store.lookup_table(&reference)?;
+    check_part(&t, part)?;
+    let f = server
+        .registry
+        .get(&task)
+        .or_else(|| server.store.task_registry().and_then(|reg| reg.get(&task)))
+        .ok_or(KvError::NoSuchTask { name: task })?;
+    server
+        .store
+        .run_at(&t, PartId(part), move |view| f(view, arg))
+        .join()?
+}

@@ -1,0 +1,215 @@
+//! Differential testing: a [`NetStore`] over a loopback cluster must be
+//! observationally equivalent to the [`SimpleStore`] oracle for any
+//! sequence of table and part-view operations.
+//!
+//! Both stores get the same table layout (a co-partitioned pair, an
+//! independently partitioned table, and a ubiquitous table) and the same
+//! random op sequence; every operation's result — values, lengths,
+//! booleans, *and errors* — must match, and so must the final contents of
+//! every table.  Enumeration order is unspecified, so scans and drains
+//! compare as sorted sets and drains always run to completion (an early
+//! stop consumes an arbitrary subset, which would legitimately diverge).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ripple_kv::{KvError, KvStore, PartId, RoutedKey, ScanControl, Table, TableSpec};
+use ripple_store_net::LoopbackCluster;
+use ripple_store_simple::SimpleStore;
+
+const PARTS: u32 = 4;
+const TABLES: [&str; 4] = ["a", "b", "other", "bcast"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(usize, u8, u8),
+    Get(usize, u8),
+    Delete(usize, u8),
+    Len(usize),
+    Clear(usize),
+    ViewGet(u32, usize, u8),
+    ViewPut(u32, usize, u8, u8),
+    ViewDelete(u32, usize, u8),
+    ViewLen(u32, usize),
+    ViewScan(u32, usize),
+    ViewDrain(u32, usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let table = 0usize..TABLES.len();
+    let part = 0u32..PARTS;
+    prop_oneof![
+        (table.clone(), any::<u8>(), any::<u8>()).prop_map(|(t, k, v)| Op::Put(t, k, v)),
+        (table.clone(), any::<u8>()).prop_map(|(t, k)| Op::Get(t, k)),
+        (table.clone(), any::<u8>()).prop_map(|(t, k)| Op::Delete(t, k)),
+        table.clone().prop_map(Op::Len),
+        table.clone().prop_map(Op::Clear),
+        (part.clone(), table.clone(), any::<u8>()).prop_map(|(p, t, k)| Op::ViewGet(p, t, k)),
+        (part.clone(), table.clone(), any::<u8>(), any::<u8>())
+            .prop_map(|(p, t, k, v)| Op::ViewPut(p, t, k, v)),
+        (part.clone(), table.clone(), any::<u8>()).prop_map(|(p, t, k)| Op::ViewDelete(p, t, k)),
+        (part.clone(), table.clone()).prop_map(|(p, t)| Op::ViewLen(p, t)),
+        (part.clone(), table.clone()).prop_map(|(p, t)| Op::ViewScan(p, t)),
+        (part, table).prop_map(|(p, t)| Op::ViewDrain(p, t)),
+    ]
+}
+
+fn key(k: u8) -> RoutedKey {
+    RoutedKey::from_body(Bytes::copy_from_slice(format!("key-{k}").as_bytes()))
+}
+
+fn value(v: u8) -> Bytes {
+    Bytes::copy_from_slice(format!("value-{v}").as_bytes())
+}
+
+/// Creates the fixed table layout on `store`: `a` and `b` co-partitioned,
+/// `other` independently partitioned, `bcast` ubiquitous.  Returns the
+/// handle of `a`, the reference table all views anchor to.
+fn layout<S: KvStore>(store: &S) -> S::Table {
+    let a = store
+        .create_table(TableSpec::new("a").parts(PARTS))
+        .unwrap();
+    store.create_table_like("b", &a).unwrap();
+    store
+        .create_table(TableSpec::new("other").parts(PARTS))
+        .unwrap();
+    store
+        .create_table(TableSpec::new("bcast").ubiquitous())
+        .unwrap();
+    a
+}
+
+/// Normalizes a result for comparison: success payload or the error.
+type Outcome<T> = Result<T, KvError>;
+
+fn scan_sorted<S: KvStore>(
+    store: &S,
+    reference: &S::Table,
+    part: u32,
+    table: &str,
+) -> Outcome<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let table = table.to_owned();
+    store
+        .run_at(reference, PartId(part), move |view| {
+            let mut out = BTreeMap::new();
+            view.scan(&table, &mut |k, v| {
+                out.insert(k.body().to_vec(), v.to_vec());
+                ScanControl::Continue
+            })?;
+            Ok(out)
+        })
+        .join()
+        .unwrap()
+}
+
+fn drain_sorted<S: KvStore>(
+    store: &S,
+    reference: &S::Table,
+    part: u32,
+    table: &str,
+) -> Outcome<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let table = table.to_owned();
+    store
+        .run_at(reference, PartId(part), move |view| {
+            let mut out = BTreeMap::new();
+            view.drain(&table, &mut |k, v| {
+                out.insert(k.body().to_vec(), v.to_vec());
+                ScanControl::Continue
+            })?;
+            Ok(out)
+        })
+        .join()
+        .unwrap()
+}
+
+fn view_op<S: KvStore, R: Send + 'static>(
+    store: &S,
+    reference: &S::Table,
+    part: u32,
+    f: impl FnOnce(&dyn ripple_kv::PartView) -> R + Send + 'static,
+) -> R {
+    store.run_at(reference, PartId(part), f).join().unwrap()
+}
+
+/// Applies `op` to `store` (views anchored at `reference`) and returns a
+/// printable outcome for equality comparison.
+fn apply<S: KvStore>(store: &S, reference: &S::Table, op: &Op) -> String {
+    match *op {
+        Op::Put(t, k, v) => {
+            let r = store
+                .lookup_table(TABLES[t])
+                .and_then(|t| t.put(key(k), value(v)));
+            format!("{r:?}")
+        }
+        Op::Get(t, k) => {
+            let r = store.lookup_table(TABLES[t]).and_then(|t| t.get(&key(k)));
+            format!("{r:?}")
+        }
+        Op::Delete(t, k) => {
+            let r = store
+                .lookup_table(TABLES[t])
+                .and_then(|t| t.delete(&key(k)));
+            format!("{r:?}")
+        }
+        Op::Len(t) => {
+            let r = store.lookup_table(TABLES[t]).and_then(|t| t.len());
+            format!("{r:?}")
+        }
+        Op::Clear(t) => {
+            let r = store.lookup_table(TABLES[t]).and_then(|t| t.clear());
+            format!("{r:?}")
+        }
+        Op::ViewGet(p, t, k) => {
+            let name = TABLES[t];
+            let r = view_op(store, reference, p, move |view| view.get(name, &key(k)));
+            format!("{r:?}")
+        }
+        Op::ViewPut(part, t, k, v) => {
+            let name = TABLES[t];
+            let result = view_op(store, reference, part, move |view| {
+                view.put(name, key(k), value(v))
+            });
+            format!("{result:?}")
+        }
+        Op::ViewDelete(p, t, k) => {
+            let name = TABLES[t];
+            let r = view_op(store, reference, p, move |view| view.delete(name, &key(k)));
+            format!("{r:?}")
+        }
+        Op::ViewLen(p, t) => {
+            let name = TABLES[t];
+            let r = view_op(store, reference, p, move |view| view.len(name));
+            format!("{r:?}")
+        }
+        Op::ViewScan(p, t) => format!("{:?}", scan_sorted(store, reference, p, TABLES[t])),
+        Op::ViewDrain(p, t) => format!("{:?}", drain_sorted(store, reference, p, TABLES[t])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn net_store_matches_simple_oracle(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let cluster = LoopbackCluster::spawn(2, PARTS);
+        let oracle = SimpleStore::new(PARTS);
+        let net_ref = layout(&cluster.store);
+        let simple_ref = layout(&oracle);
+
+        for (i, op) in ops.iter().enumerate() {
+            let net = apply(&cluster.store, &net_ref, op);
+            let simple = apply(&oracle, &simple_ref, op);
+            prop_assert_eq!(&net, &simple, "op #{} {:?} diverged", i, op);
+        }
+
+        // Final state: every part of every table matches as a sorted map.
+        for table in TABLES {
+            for part in 0..PARTS {
+                let net = format!("{:?}", scan_sorted(&cluster.store, &net_ref, part, table));
+                let simple = format!("{:?}", scan_sorted(&oracle, &simple_ref, part, table));
+                prop_assert_eq!(&net, &simple, "final state of {}/part {}", table, part);
+            }
+        }
+    }
+}

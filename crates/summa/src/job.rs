@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use ripple_core::{
     CollectingExporter, ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job,
-    JobProperties, JobRunner, LoadSink, RunOutcome,
+    JobProperties, JobRunner, LoadSink, RunOptions, RunOutcome,
 };
 use ripple_kv::KvStore;
 use ripple_wire::{ByteReader, ByteWriter, Decode, Encode, WireError};
@@ -352,7 +352,7 @@ pub fn multiply<S: KvStore>(
 
     let mut runner = JobRunner::new(store.clone());
     runner.force_mode(options.mode).profile(options.profile);
-    let outcome = runner.run_with_loaders(job, vec![loader])?;
+    let outcome = runner.launch(job, RunOptions::new().loaders(vec![loader]))?;
 
     // Gather and assemble the C blocks.
     let handle = store.lookup_table(&table).map_err(EbspError::Kv)?;

@@ -14,7 +14,11 @@
 //! they are wrapped in the [`frame`-module](read_frame) record format,
 //! which adds a length prefix and a CRC-32 checksum so that torn tails
 //! from interrupted appends and corrupted records are detected on replay
-//! instead of being decoded as garbage.
+//! instead of being decoded as garbage.  When bytes cross a *wire* — the
+//! networked store's TCP protocol — they travel in [message
+//! frames](read_msg_from), which add a kind tag and a request id on top
+//! of the same length + CRC-32 envelope so responses can be pipelined and
+//! matched out of order.
 //!
 //! # Examples
 //!
@@ -34,12 +38,14 @@ mod error;
 mod frame;
 mod impls;
 mod macros;
+mod msg;
 mod reader;
 mod varint;
 mod writer;
 
 pub use error::WireError;
 pub use frame::{crc32, frame_len, read_frame, write_frame, FrameRead};
+pub use msg::{msg_len, read_msg_from, write_msg, MsgFrame, MAX_MSG_LEN, MSG_OVERHEAD};
 pub use reader::ByteReader;
 pub use writer::ByteWriter;
 

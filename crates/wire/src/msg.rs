@@ -1,0 +1,190 @@
+//! Network message frames: the unit of exchange on a `ripple-store-net`
+//! connection.
+//!
+//! A message frame wraps one protocol payload for transmission on a byte
+//! stream:
+//!
+//! ```text
+//! +----------------+------+------------+---------------+----------------+
+//! | length (LE u32)| kind | id (LE u64)| payload bytes | CRC32 (LE u32) |
+//! +----------------+------+------------+---------------+----------------+
+//! ```
+//!
+//! `length` counts the kind byte, the id, and the payload (not itself and
+//! not the checksum), so a reader can issue exactly two reads per frame.
+//! The checksum is CRC-32 (IEEE) over kind + id + payload — the same
+//! polynomial as the [`frame`](crate::read_frame) log records — so a frame
+//! damaged in transit or by a buggy peer is rejected instead of decoded as
+//! garbage.  Unlike log frames, message frames carry a `kind` tag (which
+//! protocol message follows) and an `id` (the request this frame belongs
+//! to, letting responses return out of order on a pipelined connection).
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_wire::{read_msg_from, write_msg};
+//!
+//! let mut buf = Vec::new();
+//! write_msg(&mut buf, 7, 42, b"payload");
+//! let frame = read_msg_from(&mut buf.as_slice()).unwrap();
+//! assert_eq!(frame.kind, 7);
+//! assert_eq!(frame.id, 42);
+//! assert_eq!(frame.payload.as_slice(), b"payload");
+//! ```
+
+use std::io::{self, Read};
+
+use crate::frame::crc32;
+
+/// Largest payload a message frame may carry (64 MiB).  A length beyond
+/// this reads as [`io::ErrorKind::InvalidData`] rather than an attempted
+/// allocation — the peer is broken or malicious either way.
+pub const MAX_MSG_LEN: usize = 64 << 20;
+
+/// Fixed per-frame byte overhead beyond the payload: length prefix, kind
+/// tag, request id, and checksum.
+pub const MSG_OVERHEAD: usize = 4 + 1 + 8 + 4;
+
+/// One decoded message frame: a protocol kind tag, the request id it
+/// belongs to, and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgFrame {
+    /// Which protocol message the payload encodes.
+    pub kind: u8,
+    /// The request this frame belongs to (responses echo the request's id).
+    pub id: u64,
+    /// The message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Appends one message frame to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_MSG_LEN`]; callers chunk large
+/// transfers (that is what streamed scan chunks are for).
+pub fn write_msg(out: &mut Vec<u8>, kind: u8, id: u64, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_MSG_LEN,
+        "message payload of {} bytes exceeds MAX_MSG_LEN",
+        payload.len()
+    );
+    let body_len = 1 + 8 + payload.len();
+    out.reserve(4 + body_len + 4);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let body_start = out.len();
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Total bytes [`write_msg`] emits for a payload of `payload_len` bytes.
+pub fn msg_len(payload_len: usize) -> usize {
+    MSG_OVERHEAD + payload_len
+}
+
+/// Reads one message frame from `r`, blocking until it is complete.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `r` (a clean EOF before the first length
+/// byte surfaces as [`io::ErrorKind::UnexpectedEof`]); an absurd length or
+/// a checksum mismatch yields [`io::ErrorKind::InvalidData`].
+pub fn read_msg_from(r: &mut impl Read) -> io::Result<MsgFrame> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let body_len = u32::from_le_bytes(len_buf) as usize;
+    if !(1 + 8..=1 + 8 + MAX_MSG_LEN).contains(&body_len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message frame length {body_len} out of range"),
+        ));
+    }
+    let mut body = vec![0u8; body_len + 4];
+    r.read_exact(&mut body)?;
+    let (frame, crc_bytes) = body.split_at(body_len);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(frame) != stored {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "message frame checksum mismatch",
+        ));
+    }
+    let kind = frame[0];
+    let id = u64::from_le_bytes([
+        frame[1], frame[2], frame[3], frame[4], frame[5], frame[6], frame[7], frame[8],
+    ]);
+    body.truncate(body_len);
+    body.drain(..9);
+    Ok(MsgFrame {
+        kind,
+        id,
+        payload: body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_a_reader() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, 3, 0xDEAD_BEEF, b"hello");
+        write_msg(&mut buf, 0, 0, b"");
+        assert_eq!(buf.len(), msg_len(5) + msg_len(0));
+        let mut r = buf.as_slice();
+        let a = read_msg_from(&mut r).unwrap();
+        assert_eq!(
+            (a.kind, a.id, a.payload.as_slice()),
+            (3, 0xDEAD_BEEF, &b"hello"[..])
+        );
+        let b = read_msg_from(&mut r).unwrap();
+        assert_eq!((b.kind, b.id, b.payload.len()), (0, 0, 0));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn eof_before_frame_is_unexpected_eof() {
+        let err = read_msg_from(&mut [].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, 1, 9, b"payload");
+        for cut in 1..buf.len() {
+            let err = read_msg_from(&mut &buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, 1, 9, b"payload");
+        for i in 4..buf.len() {
+            let mut damaged = buf.clone();
+            damaged[i] ^= 0x10;
+            let err = read_msg_from(&mut damaged.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_invalid_data_not_allocation() {
+        let buf = u32::MAX.to_le_bytes();
+        let err = read_msg_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn undersized_length_is_invalid_data() {
+        let buf = 3u32.to_le_bytes();
+        let err = read_msg_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

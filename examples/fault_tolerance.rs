@@ -61,16 +61,18 @@ fn main() -> Result<(), EbspError> {
     });
     let outcome = JobRunner::new(store.clone())
         .checkpoint_interval(2)
-        .run_recoverable(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<Summer>| {
-                    for k in 0..30u32 {
-                        sink.enable(k)?;
-                    }
-                    Ok(())
-                },
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<Summer>| {
+                        for k in 0..30u32 {
+                            sink.enable(k)?;
+                        }
+                        Ok(())
+                    },
+                ))])
+                .recovery(),
         )?;
     println!(
         "checkpoint recovery: {} steps, {} recoveries, results exact:",

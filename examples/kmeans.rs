@@ -110,16 +110,16 @@ fn main() -> Result<(), EbspError> {
         }
         let job = Arc::new(AssignPoints);
         let ids: Vec<u32> = points.iter().map(|(id, _)| *id).collect();
-        let outcome = JobRunner::new(store.clone()).run_with_loaders(
+        let outcome = JobRunner::new(store.clone()).launch(
             job,
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<AssignPoints>| {
                     for id in ids {
                         sink.enable(id)?;
                     }
                     Ok(())
                 },
-            ))],
+            ))]),
         )?;
 
         let mut moved = 0.0f64;

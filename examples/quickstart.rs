@@ -51,9 +51,9 @@ fn main() -> Result<(), EbspError> {
     let store = MemStore::builder().default_parts(4).build();
 
     let job = Arc::new(DoubleYourMoney { rate: 0.07 });
-    let outcome = JobRunner::new(store.clone()).run_with_loaders(
+    let outcome = JobRunner::new(store.clone()).launch(
         job,
-        vec![Box::new(FnLoader::new(
+        RunOptions::new().loaders(vec![Box::new(FnLoader::new(
             |sink: &mut dyn LoadSink<DoubleYourMoney>| {
                 for account in 0..8u32 {
                     let opening = 100.0 * f64::from(account + 1);
@@ -62,7 +62,7 @@ fn main() -> Result<(), EbspError> {
                 }
                 Ok(())
             },
-        ))],
+        ))]),
     )?;
 
     println!(

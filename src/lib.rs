@@ -22,6 +22,7 @@
 //! | [`store`] | `ripple-store-mem` | the in-process partitioned "debugging store" |
 //! | [`store_simple`] | `ripple-store-simple` | a minimal single-map reference store |
 //! | [`store_disk`] | `ripple-store-disk` | the durable WAL-backed store (cross-restart resume) |
+//! | [`store_net`] | `ripple-store-net` | TCP part servers + the networked client store |
 //! | [`mq`] | `ripple-mq` | queue sets (table-backed and channel-backed) |
 //! | [`ebsp`] | `ripple-core` | the K/V EBSP programming model and engines |
 //! | [`mapreduce`] | `ripple-mapreduce` | (iterated) MapReduce atop K/V EBSP |
@@ -37,6 +38,7 @@ pub use ripple_mapreduce as mapreduce;
 pub use ripple_mq as mq;
 pub use ripple_store_disk as store_disk;
 pub use ripple_store_mem as store;
+pub use ripple_store_net as store_net;
 pub use ripple_store_simple as store_simple;
 pub use ripple_summa as summa;
 pub use ripple_wire as wire;
@@ -46,8 +48,9 @@ pub mod prelude {
     pub use ripple_core::{
         export_state_table, AggValue, Aggregate, AggregateSnapshot, CollectingExporter,
         ComputeContext, EbspError, ExecMode, Exporter, FnLoader, Job, JobProperties, JobRunner,
-        LoadSink, Loader, PairsLoader, QueueKind, RetryPolicy, RunOutcome,
+        LoadSink, Loader, PairsLoader, QueueKind, RetryPolicy, RunOptions, RunOutcome,
     };
-    pub use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec};
+    pub use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec, TaskRegistry};
     pub use ripple_store_mem::MemStore;
+    pub use ripple_store_net::{LoopbackCluster, NetStore, PartServer};
 }

@@ -181,11 +181,13 @@ fn recovery_during_a_real_application() {
     });
     let outcome = JobRunner::new(store.clone())
         .checkpoint_interval(1)
-        .run_recoverable(
+        .launch(
             job,
-            vec![Box::new(FnLoader::new(
-                |sink: &mut dyn LoadSink<FaultyBfs>| sink.message(0, 0),
-            ))],
+            RunOptions::new()
+                .loaders(vec![Box::new(FnLoader::new(
+                    |sink: &mut dyn LoadSink<FaultyBfs>| sink.message(0, 0),
+                ))])
+                .recovery(),
         )
         .unwrap();
     assert!(outcome.metrics.recoveries >= 1, "the failure must be seen");
@@ -240,11 +242,11 @@ fn graph_ebsp_runs_on_table_backed_queues_too() {
     let store = MemStore::builder().default_parts(4).build();
     JobRunner::new(store.clone())
         .queue_kind(QueueKind::Table)
-        .run_with_loaders(
+        .launch(
             Arc::new(Gossip),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Gossip>| sink.message(7, 0),
-            ))],
+            ))]),
         )
         .unwrap();
     let table = store.lookup_table("gossip").unwrap();

@@ -1,0 +1,74 @@
+//! The distributability claim, end to end: a 4-part PageRank run through
+//! [`NetStore`] over loopback TCP part servers produces **byte-identical**
+//! output to the same job on the in-process `MemStore`, and the run's
+//! step profiles report real network activity (`rpcs`, `net_bytes_in`,
+//! `net_bytes_out`).
+
+use ripple::ebsp::step_profiles_json;
+use ripple::graph::generate::power_law_graph;
+use ripple::graph::pagerank::{read_ranks, run_direct, run_direct_on, PageRankConfig};
+use ripple::prelude::*;
+
+/// Sorted (vertex, bit-exact rank) pairs — equality means byte-identical.
+fn rank_bits<S: KvStore>(store: &S, table: &str) -> Vec<(u32, u64)> {
+    let mut ranks: Vec<(u32, u64)> = read_ranks(store, table)
+        .expect("read ranks")
+        .into_iter()
+        .map(|(v, r)| (v, r.to_bits()))
+        .collect();
+    ranks.sort_unstable();
+    ranks
+}
+
+#[test]
+fn pagerank_over_loopback_matches_memstore_byte_for_byte() {
+    let parts = 4u32;
+    let graph = power_law_graph(300, 3000, 0.8, 0xA11CE);
+    let config = PageRankConfig {
+        damping: 0.85,
+        iterations: 10,
+    };
+
+    // Local reference run.
+    let local_store = MemStore::builder().default_parts(parts).build();
+    let local = run_direct(&local_store, "pr", &graph, config).expect("local run");
+
+    // The same job over a loopback cluster, profiled so the step profiles
+    // capture the store counter deltas.
+    let cluster = LoopbackCluster::spawn(parts as usize, parts);
+    let mut runner = JobRunner::new(cluster.store.clone());
+    runner.profile(true);
+    let remote = run_direct_on(&runner, "pr", &graph, config).expect("remote run");
+
+    // Identical iterative structure...
+    assert_eq!(remote.steps, local.steps);
+    assert_eq!(remote.metrics.invocations, local.metrics.invocations);
+    assert_eq!(remote.metrics.barriers, local.metrics.barriers);
+
+    // ...and byte-identical ranks.
+    let local_ranks = rank_bits(&local_store, "pr");
+    let remote_ranks = rank_bits(&cluster.store, "pr");
+    assert_eq!(local_ranks.len(), 300);
+    assert_eq!(remote_ranks, local_ranks, "ranks diverged across the wire");
+
+    // The remote run really crossed the network: the per-step profiles
+    // carry non-zero RPC and byte counters, and they surface in the
+    // profile JSON the bench bins write.
+    let profiles = remote.profiles.as_deref().expect("profiling was on");
+    assert!(!profiles.is_empty());
+    let rpcs: u64 = profiles.iter().map(|p| p.store.rpcs).sum();
+    let bytes_in: u64 = profiles.iter().map(|p| p.store.net_bytes_in).sum();
+    let bytes_out: u64 = profiles.iter().map(|p| p.store.net_bytes_out).sum();
+    assert!(rpcs > 0, "no rpcs recorded in step profiles");
+    assert!(bytes_in > 0, "no inbound bytes recorded in step profiles");
+    assert!(bytes_out > 0, "no outbound bytes recorded in step profiles");
+
+    let json = step_profiles_json(profiles);
+    assert!(json.contains("\"rpcs\":"));
+    assert!(json.contains("\"net_bytes_in\":"));
+    assert!(json.contains("\"net_bytes_out\":"));
+
+    // Whole-store totals agree with the claim too.
+    let m = cluster.store.metrics();
+    assert!(m.rpcs > 0 && m.net_bytes_in > 0 && m.net_bytes_out > 0);
+}

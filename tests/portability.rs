@@ -100,11 +100,11 @@ fn table_queues_over_the_simple_store() {
     let store = SimpleStore::new(3);
     JobRunner::new(store.clone())
         .queue_kind(QueueKind::Table)
-        .run_with_loaders(
+        .launch(
             Arc::new(Gossip),
-            vec![Box::new(FnLoader::new(
+            RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 |sink: &mut dyn LoadSink<Gossip>| sink.message(5, 0),
-            ))],
+            ))]),
         )
         .unwrap();
     let table = store.lookup_table("gossip_s").unwrap();

@@ -165,14 +165,14 @@ proptest! {
                 runner.force_mode(m);
             }
             runner
-                .run_with_loaders(job, vec![Box::new(FnLoader::new(
+                .launch(job, RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                     move |sink: &mut dyn LoadSink<Flood>| {
                         for v in 0..n {
                             sink.message(v, v)?;
                         }
                         Ok(())
                     },
-                ))])
+                ))]))
                 .unwrap();
             let table = s.lookup_table("flood").unwrap();
             let exporter = Arc::new(CollectingExporter::<u32, u32>::new());
