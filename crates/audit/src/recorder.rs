@@ -1,0 +1,196 @@
+//! The recording [`AuditProbe`]: accumulates everything one instrumented
+//! run reveals about the job's actual behavior.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use ripple_core::{AuditProbe, StateOp};
+use ripple_kv::fnv64;
+
+/// Renders a wire-encoded component key for humans: hex of the first bytes.
+pub(crate) fn render_key(bytes: &[u8]) -> String {
+    const SHOWN: usize = 16;
+    let mut s = String::with_capacity(2 * SHOWN + 1);
+    for b in bytes.iter().take(SHOWN) {
+        s.push_str(&format!("{b:02x}"));
+    }
+    if bytes.len() > SHOWN {
+        s.push('…');
+    }
+    s
+}
+
+/// What one instrumented run looked like, summarized for conformance
+/// checking.  Digests are order-independent (wrapping sums of FNV hashes)
+/// so two runs compare equal exactly when they produced the same multiset
+/// of sends and deliveries, regardless of scheduling.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunObservations {
+    /// Compute invocations observed.
+    pub invocations: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// State-table reads, writes and deletes, summed over all invocations.
+    pub state_ops: u64,
+    /// The largest post-combine per-(key, step) delivery count seen.
+    pub max_delivery: u32,
+    /// First delivery of more than one message: (step, part, key, count).
+    pub first_multi_delivery: Option<(u32, u32, String, u32)>,
+    /// First positive continue signal: (step, part, key).
+    pub first_continue: Option<(u32, u32, String)>,
+    /// Per-step order-independent digest of every (destination, payload)
+    /// sent during that step.
+    pub send_digests: BTreeMap<u32, u64>,
+    /// Per-step order-independent digest of every (key, count) delivered.
+    pub deliver_digests: BTreeMap<u32, u64>,
+    /// Highest step any probe callback reported.
+    pub last_step: u32,
+}
+
+impl RunObservations {
+    /// The first step whose send or delivery digest differs from `other`'s,
+    /// if the two runs diverged.
+    pub fn first_divergence(&self, other: &RunObservations) -> Option<u32> {
+        let steps = self
+            .send_digests
+            .keys()
+            .chain(other.send_digests.keys())
+            .chain(self.deliver_digests.keys())
+            .chain(other.deliver_digests.keys());
+        let mut diverged: Option<u32> = None;
+        for &step in steps {
+            if self.send_digests.get(&step) != other.send_digests.get(&step)
+                || self.deliver_digests.get(&step) != other.deliver_digests.get(&step)
+            {
+                diverged = Some(diverged.map_or(step, |s| s.min(step)));
+            }
+        }
+        diverged
+    }
+}
+
+/// An [`AuditProbe`] that records a [`RunObservations`].  Probes run
+/// concurrently across part tasks; one mutex around the whole record keeps
+/// this simple — audit runs are not performance runs.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<RunObservations>,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the accumulated observations, resetting the recorder.
+    pub fn take(&self) -> RunObservations {
+        std::mem::take(&mut self.inner.lock())
+    }
+}
+
+/// Hashes one `(a, b)` pair as a unit: FNV over the length-prefixed
+/// concatenation, so neither swapping the pair nor re-pairing values
+/// across two pairs preserves the wrapping sum of the hashes.
+fn pair_hash(a: &[u8], b: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + a.len() + b.len());
+    buf.extend_from_slice(&(a.len() as u64).to_le_bytes());
+    buf.extend_from_slice(a);
+    buf.extend_from_slice(b);
+    fnv64(&buf)
+}
+
+impl AuditProbe for Recorder {
+    fn on_invocation(&self, step: u32, _part: u32, _key: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.invocations += 1;
+        inner.last_step = inner.last_step.max(step);
+    }
+
+    fn on_continue(&self, step: u32, part: u32, key: &[u8], continued: bool) {
+        if !continued {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.first_continue.is_none() {
+            inner.first_continue = Some((step, part, render_key(key)));
+        }
+    }
+
+    fn on_send(&self, step: u32, _part: u32, _from: &[u8], to: &[u8], msg: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.sends += 1;
+        let digest = inner.send_digests.entry(step).or_insert(0);
+        *digest = digest.wrapping_add(pair_hash(to, msg));
+    }
+
+    fn on_state_access(&self, _step: u32, _part: u32, _op: StateOp, _table: usize) {
+        self.inner.lock().state_ops += 1;
+    }
+
+    fn on_deliver(&self, step: u32, part: u32, key: &[u8], msgs: u32) {
+        let mut inner = self.inner.lock();
+        inner.max_delivery = inner.max_delivery.max(msgs);
+        inner.last_step = inner.last_step.max(step);
+        if msgs > 1 && inner.first_multi_delivery.is_none() {
+            inner.first_multi_delivery = Some((step, part, render_key(key), msgs));
+        }
+        let digest = inner.deliver_digests.entry(step).or_insert(0);
+        *digest = digest.wrapping_add(pair_hash(key, &msgs.to_le_bytes()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_and_resets() {
+        let r = Recorder::new();
+        r.on_invocation(1, 0, b"k");
+        r.on_send(1, 0, b"k", b"d", b"m");
+        r.on_state_access(1, 0, StateOp::Write, 0);
+        r.on_deliver(2, 1, b"d", 3);
+        r.on_continue(2, 1, b"d", true);
+        let obs = r.take();
+        assert_eq!(obs.invocations, 1);
+        assert_eq!(obs.sends, 1);
+        assert_eq!(obs.state_ops, 1);
+        assert_eq!(obs.max_delivery, 3);
+        assert_eq!(obs.first_multi_delivery.as_ref().unwrap().0, 2);
+        assert_eq!(obs.first_continue.as_ref().unwrap().0, 2);
+        assert_eq!(r.take(), RunObservations::default());
+    }
+
+    #[test]
+    fn digests_are_order_independent_but_content_sensitive() {
+        let a = Recorder::new();
+        a.on_send(1, 0, b"x", b"d1", b"m1");
+        a.on_send(1, 0, b"x", b"d2", b"m2");
+        let b = Recorder::new();
+        b.on_send(1, 3, b"y", b"d2", b"m2");
+        b.on_send(1, 3, b"y", b"d1", b"m1");
+        assert_eq!(a.take().send_digests, b.take().send_digests);
+
+        let c = Recorder::new();
+        c.on_send(1, 0, b"x", b"d1", b"m2");
+        c.on_send(1, 0, b"x", b"d2", b"m1");
+        let d = Recorder::new();
+        d.on_send(1, 0, b"x", b"d1", b"m1");
+        d.on_send(1, 0, b"x", b"d2", b"m2");
+        assert_ne!(c.take().send_digests, d.take().send_digests);
+    }
+
+    #[test]
+    fn first_divergence_names_the_earliest_differing_step() {
+        let a = Recorder::new();
+        a.on_send(1, 0, b"k", b"d", b"m");
+        a.on_send(2, 0, b"k", b"d", b"m");
+        let b = Recorder::new();
+        b.on_send(1, 0, b"k", b"d", b"m");
+        b.on_send(2, 0, b"k", b"d", b"DIFFERENT");
+        let (oa, ob) = (a.take(), b.take());
+        assert_eq!(oa.first_divergence(&ob), Some(2));
+        assert_eq!(oa.first_divergence(&oa), None);
+    }
+}

@@ -20,17 +20,30 @@
 //!
 //! Usage: `cargo run --release -p ripple-bench --bin table1 --
 //! [--scale 100] [--trials 5] [--iterations 10] [--parts 6]
-//! [--store mem|simple|disk|net] [--data-dir path] [--profile steps.json]`
+//! [--store mem|simple|disk|net] [--data-dir path] [--profile steps.json]
+//! [--audit]`
 //!
 //! `--profile <path>` additionally runs one profiled direct ranking of the
 //! first graph shape and writes its per-step profiles (per-part compute
 //! times, barrier skew, store deltas) to `<path>` as JSON, tagged with the
 //! backend: `{"store":"...","steps":[...]}`.
+//!
+//! `--audit` runs the property conformance auditor over both PageRank
+//! variants (on the first graph shape) before timing anything and prints
+//! each report: declared vs. observed properties, violations, inferred
+//! stronger properties, and the execution-plan features they would unlock.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use ripple_audit::{audit_job, AuditConfig};
 use ripple_bench::{dispatch, row, timed_trials, Args, Stats, StoreBench, StoreChoice};
 use ripple_core::{step_profiles_json, JobRunner};
 use ripple_graph::generate::power_law_graph;
-use ripple_graph::pagerank::{run_direct, run_direct_on, run_mapreduce_variant, PageRankConfig};
+use ripple_graph::pagerank::{
+    run_direct, run_direct_on, run_mapreduce_variant, structure_loader, DirectPageRank,
+    MapReducePageRank, PageRankConfig,
+};
 use ripple_kv::KvStore;
 
 struct Table1 {
@@ -75,6 +88,43 @@ fn run<S: KvStore>(
         (132_000, 8_683_970),
         (262_000, 8_683_970),
     ];
+
+    if args.has("audit") {
+        let (v_full, e_full) = shapes[0];
+        let vertices = (v_full / scale).max(100) as u32;
+        let edges = (e_full / scale).max(1000);
+        let graph = power_law_graph(vertices, edges, 0.8, 0xA11CE);
+        let n = u64::from(vertices);
+        // The auditor re-creates the store per instrumented run; adapt the
+        // bench's stateful factory to its `Fn` interface.
+        let factory = RefCell::new(&mut make_store);
+        let mk_store = || (factory.borrow_mut())();
+        let audit = AuditConfig::default();
+
+        let direct = audit_job(
+            "table1/direct",
+            &audit,
+            mk_store,
+            || Arc::new(DirectPageRank::new("pr_audit_d", n, config)),
+            || vec![structure_loader(&graph)],
+        )
+        .expect("audit direct variant");
+        println!("{}", direct.render());
+        let mapreduce = audit_job(
+            "table1/mapreduce",
+            &audit,
+            mk_store,
+            || Arc::new(MapReducePageRank::new("pr_audit_mr", n, config)),
+            || vec![structure_loader(&graph)],
+        )
+        .expect("audit MapReduce variant");
+        println!("{}", mapreduce.render());
+        assert!(
+            direct.clean() && mapreduce.clean(),
+            "PageRank property declarations failed their audit; \
+             fix the declarations before trusting the timings"
+        );
+    }
 
     println!(
         "Table I: PageRank elapsed time (s), {iterations} iterations, \

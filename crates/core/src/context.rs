@@ -67,6 +67,9 @@ pub struct ComputeContext<'a, J: Job> {
     pub(crate) registry: &'a AggregatorRegistry,
     pub(crate) prev_agg: &'a AggregateSnapshot,
     pub(crate) direct: Option<&'a dyn Exporter<J::OutKey, J::OutValue>>,
+    /// Audit instrumentation; `None` (the default path) costs one branch
+    /// per hook site.
+    pub(crate) probe: Option<&'a dyn crate::AuditProbe>,
 }
 
 impl<'a, J: Job> ComputeContext<'a, J> {
@@ -122,6 +125,9 @@ impl<'a, J: Job> ComputeContext<'a, J> {
     pub fn read_state(&mut self, tab: usize) -> Result<Option<J::State>, EbspError> {
         self.check_tab(tab)?;
         self.out.metrics.state_reads += 1;
+        if let Some(probe) = self.probe {
+            probe.on_state_access(self.step, self.part.0, crate::StateOp::Read, tab);
+        }
         match self.ops.get(tab, &self.routed)? {
             None => Ok(None),
             Some(bytes) => Ok(Some(from_wire(&bytes)?)),
@@ -136,6 +142,9 @@ impl<'a, J: Job> ComputeContext<'a, J> {
     pub fn write_state(&mut self, tab: usize, state: &J::State) -> Result<(), EbspError> {
         self.check_tab(tab)?;
         self.out.metrics.state_writes += 1;
+        if let Some(probe) = self.probe {
+            probe.on_state_access(self.step, self.part.0, crate::StateOp::Write, tab);
+        }
         self.ops.put(tab, self.routed.clone(), to_wire(state))?;
         Ok(())
     }
@@ -149,6 +158,9 @@ impl<'a, J: Job> ComputeContext<'a, J> {
     pub fn delete_state(&mut self, tab: usize) -> Result<bool, EbspError> {
         self.check_tab(tab)?;
         self.out.metrics.state_deletes += 1;
+        if let Some(probe) = self.probe {
+            probe.on_state_access(self.step, self.part.0, crate::StateOp::Delete, tab);
+        }
         Ok(self.ops.delete(tab, &self.routed)?)
     }
 
@@ -179,6 +191,16 @@ impl<'a, J: Job> ComputeContext<'a, J> {
     /// step (and enable `to` for that step).
     pub fn send(&mut self, to: J::Key, msg: J::Message) {
         self.out.metrics.messages_sent += 1;
+        if let Some(probe) = self.probe {
+            // Wire-encode destination and payload only on the audit path.
+            probe.on_send(
+                self.step,
+                self.part.0,
+                self.routed.body(),
+                &to_wire(&to),
+                &to_wire(&msg),
+            );
+        }
         self.out.envelopes.push(Envelope::Message { to, msg });
     }
 

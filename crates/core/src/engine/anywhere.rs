@@ -37,6 +37,7 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
     prev_agg: &AggregateSnapshot,
     transport: &S::Table,
     inbox_name: &str,
+    probe: Option<Arc<dyn crate::AuditProbe>>,
 ) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
     let parts = env.parts();
 
@@ -68,6 +69,7 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
             let registry = env.registry.clone();
             let prev = prev_agg.clone();
             let direct = env.direct.clone();
+            let probe = probe.clone();
             let ops = GlobalStateOps::<S> {
                 tables: env.tables.clone(),
                 broadcast: env
@@ -95,6 +97,10 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
                             let key: J::Key = from_wire(routed.body())?;
                             let messages: Vec<J::Message> = from_wire(&bytes)?;
                             out.metrics.invocations += 1;
+                            let key_bytes = probe.as_deref().map(|p| {
+                                p.on_invocation(step, part.0, routed.body());
+                                routed.body().clone()
+                            });
                             let mut ctx = crate::ComputeContext {
                                 step,
                                 mode: crate::ExecMode::Synchronized,
@@ -107,8 +113,12 @@ pub(crate) fn run_compute_phase_anywhere<S: KvStore, J: Job>(
                                 registry: &registry,
                                 prev_agg: &prev,
                                 direct: direct.as_deref(),
+                                probe: probe.as_deref(),
                             };
                             let cont = job.compute(&mut ctx)?;
+                            if let (Some(p), Some(kb)) = (probe.as_deref(), &key_bytes) {
+                                p.on_continue(step, part.0, kb, cont);
+                            }
                             if cont {
                                 // run-anywhere implies no-collect implies
                                 // no-continue; the plan guaranteed this.

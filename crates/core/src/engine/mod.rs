@@ -173,18 +173,32 @@ pub(crate) fn build_inbox_at_part<J: Job>(
     table_names: &[String],
     retry: Option<&FaultRetry>,
     record: bool,
+    probe: Option<&dyn crate::AuditProbe>,
 ) -> Result<(u64, PartCounters, Vec<(RoutedKey, Bytes)>), EbspError> {
     let mut counters = PartCounters::default();
     // Drain spills; order deterministically by (step, src, seq) so that
-    // replay after recovery sees identical message orders.
-    let mut batches: Vec<((u32, u32, u64), Bytes)> = Vec::new();
-    view.drain(transport_name, &mut |key, value| {
-        if let Ok(tag) = from_wire::<(u32, u32, u64)>(key.body()) {
-            batches.push((tag, value));
-        }
-        ripple_kv::ScanControl::Continue
+    // replay after recovery sees identical message orders.  The
+    // accumulator lives inside the retry closure so a drain that fails
+    // transiently (e.g. a severed connection mid-stream) starts each
+    // attempt from a clean slate — no pair is delivered twice.
+    let mut batches = kv_with_retry(retry, view.part().0, || {
+        let mut acc: Vec<((u32, u32, u64), Bytes)> = Vec::new();
+        view.drain(transport_name, &mut |key, value| {
+            if let Ok(tag) = from_wire::<(u32, u32, u64)>(key.body()) {
+                acc.push((tag, value));
+            }
+            ripple_kv::ScanControl::Continue
+        })?;
+        Ok(acc)
     })?;
     batches.sort_by_key(|(tag, _)| *tag);
+    // Spills tagged with step s are delivered for step s + 1; loader
+    // spills (tagged 0) feed step 1.
+    let deliver_step = batches
+        .iter()
+        .map(|((s, _, _), _)| s + 1)
+        .max()
+        .unwrap_or(1);
 
     // Fold envelopes into per-component inboxes, preserving arrival order
     // and applying the pairwise combiner opportunistically.
@@ -252,6 +266,16 @@ pub(crate) fn build_inbox_at_part<J: Job>(
         })?;
     }
 
+    // Audit the post-combine delivery counts — the `one-msg` contract is
+    // about what arrives per (key, step) after combining, not about how
+    // many raw sends targeted the key.
+    if let Some(probe) = probe {
+        let part = view.part().0;
+        for (key, list) in &inbox {
+            probe.on_deliver(deliver_step, part, &to_wire(key), list.len() as u32);
+        }
+    }
+
     // Enforce one-msg when the plan dropped collection.
     if !plan.collect {
         for (_key, list) in inbox.iter() {
@@ -309,18 +333,23 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
     retry: Option<&FaultRetry>,
     replay_entries: Option<Vec<(RoutedKey, Bytes)>>,
     suppress: bool,
+    probe: Option<&dyn crate::AuditProbe>,
+    shuffle: Option<u64>,
 ) -> Result<(HashMap<String, AggValue>, PartCounters), EbspError> {
-    // Collect this step's enabled components at this part.
-    let mut entries: Vec<(RoutedKey, Bytes)> = Vec::new();
-    match replay_entries {
-        Some(replayed) => entries = replayed,
-        None => {
+    // Collect this step's enabled components at this part.  As with the
+    // transport drain, the accumulator is per-attempt so a transient
+    // drain failure retries without duplicating entries.
+    let entries: Vec<(RoutedKey, Bytes)> = match replay_entries {
+        Some(replayed) => replayed,
+        None => kv_with_retry(retry, view.part().0, || {
+            let mut acc: Vec<(RoutedKey, Bytes)> = Vec::new();
             view.drain(inbox_name, &mut |key, value| {
-                entries.push((key, value));
+                acc.push((key, value));
                 ripple_kv::ScanControl::Continue
             })?;
-        }
-    }
+            Ok(acc)
+        })?,
+    };
 
     let mut decoded: Vec<(J::Key, RoutedKey, Vec<J::Message>)> = Vec::with_capacity(entries.len());
     for (routed, bytes) in entries {
@@ -328,7 +357,30 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
         let msgs: Vec<J::Message> = from_wire(&bytes)?;
         decoded.push((key, routed, msgs));
     }
-    if plan.sort {
+    if let Some(seed) = shuffle {
+        // Audit mode: a deterministic Fisher–Yates permutation keyed by
+        // (seed, step, part) *replaces* the plan's ordering, so a job whose
+        // output survives several seeds demonstrably does not depend on
+        // invocation order.  Sort first: the permutation must be a pure
+        // function of (seed, step, part), not of the store's iteration
+        // order, or same-seed runs would not be comparable.
+        decoded.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut state = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(step) << 32)
+            .wrapping_add(u64::from(view.part().0))
+            | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..decoded.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            decoded.swap(i, j);
+        }
+    } else if plan.sort {
         decoded.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
@@ -343,6 +395,12 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
     let mut out = Outbox::<J>::new();
     for (key, routed, messages) in decoded {
         out.metrics.invocations += 1;
+        // Keep the encoded key on hand for the post-compute probe calls;
+        // `routed` itself moves into the context.
+        let key_bytes = probe.map(|p| {
+            p.on_invocation(step, part.0, routed.body());
+            routed.body().clone()
+        });
         let mut ctx = crate::ComputeContext {
             step,
             mode: crate::ExecMode::Synchronized,
@@ -355,8 +413,14 @@ pub(crate) fn compute_at_part<T: Table, J: Job>(
             registry,
             prev_agg,
             direct: if suppress { None } else { direct },
+            probe,
         };
         let cont = job.compute(&mut ctx)?;
+        if let (Some(p), Some(kb)) = (probe, &key_bytes) {
+            // Before the no-continue enforcement below, so the audit
+            // recorder holds the evidence when the engine aborts the run.
+            p.on_continue(step, part.0, kb, cont);
+        }
         if cont {
             if no_continue {
                 return Err(EbspError::PropertyViolation {
@@ -410,11 +474,15 @@ pub(crate) fn merge_aggregates_at_part(
     view: &dyn PartView,
     agg1_name: &str,
     agg2_name: &str,
+    retry: Option<&FaultRetry>,
 ) -> Result<Vec<(String, AggValue)>, EbspError> {
-    let mut raw: Vec<(Bytes, Bytes)> = Vec::new();
-    view.drain(agg1_name, &mut |key, value| {
-        raw.push((key.body().clone(), value));
-        ripple_kv::ScanControl::Continue
+    let raw = kv_with_retry(retry, view.part().0, || {
+        let mut acc: Vec<(Bytes, Bytes)> = Vec::new();
+        view.drain(agg1_name, &mut |key, value| {
+            acc.push((key.body().clone(), value));
+            ripple_kv::ScanControl::Continue
+        })?;
+        Ok(acc)
     })?;
     let mut merged: HashMap<String, AggValue> = HashMap::new();
     for (key_body, value_bytes) in raw {
@@ -423,7 +491,10 @@ pub(crate) fn merge_aggregates_at_part(
         registry.fold(&mut merged, &name, value)?;
     }
     for (name, value) in &merged {
-        view.put(agg2_name, key_to_routed(name), to_wire(value))?;
+        kv_with_retry(retry, view.part().0, || {
+            view.put(agg2_name, key_to_routed(name), to_wire(value))
+                .map(|_| ())
+        })?;
     }
     Ok(merged.into_iter().collect())
 }

@@ -73,6 +73,9 @@ pub(crate) struct NosyncOptions {
     /// Collect per-worker [`WorkerProfile`]s and emit them through the
     /// observer as the run drains.
     pub(crate) profile: bool,
+    /// Audit instrumentation called from every compute invocation
+    /// ([`RunOptions::audit`](crate::RunOptions::audit)).
+    pub(crate) probe: Option<Arc<dyn crate::AuditProbe>>,
 }
 
 impl Default for NosyncOptions {
@@ -85,6 +88,7 @@ impl Default for NosyncOptions {
             observer: None,
             heal: None,
             profile: false,
+            probe: None,
         }
     }
 }
@@ -247,6 +251,7 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
         retry: Arc::clone(&retry),
         heal: opts.heal.clone(),
         recoveries: std::sync::atomic::AtomicU32::new(0),
+        probe: opts.probe.clone(),
     });
     let results = {
         let worker_env = Arc::clone(&worker_env);
@@ -306,6 +311,7 @@ struct WorkerEnv<J: Job> {
     retry: Arc<FaultRetry>,
     heal: Option<Arc<HealFn>>,
     recoveries: std::sync::atomic::AtomicU32,
+    probe: Option<Arc<dyn crate::AuditProbe>>,
 }
 
 /// Whether a worker failure is worth healing the part and respawning for:
@@ -524,18 +530,23 @@ fn worker_inner<J: Job, Q: QueueSet>(
             *seq += 1;
             let step = *seq;
             out.metrics.invocations += 1;
+            let routed = crate::key_to_routed(&key);
+            if let Some(probe) = wenv.probe.as_deref() {
+                probe.on_invocation(step, part.0, routed.body());
+            }
             let mut ctx = crate::ComputeContext {
                 step,
                 mode: crate::ExecMode::Unsynchronized,
                 part,
                 key: key.clone(),
-                routed: crate::key_to_routed(&key),
+                routed,
                 messages,
                 ops: &ops,
                 out: &mut out,
                 registry: &wenv.registry,
                 prev_agg: &wenv.prev_agg,
                 direct: wenv.direct.as_deref(),
+                probe: wenv.probe.as_deref(),
             };
             // The continue signal is step-scheduling machinery; without
             // steps it is ignored (components re-run when messages arrive).

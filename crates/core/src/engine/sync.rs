@@ -69,6 +69,12 @@ pub(crate) struct SyncOptions {
     /// Collect a [`StepProfile`] per step and emit it through the observer
     /// as each barrier completes.
     pub(crate) profile: bool,
+    /// Audit instrumentation called from every compute invocation and
+    /// inbox build ([`RunOptions::audit`](crate::RunOptions::audit)).
+    pub(crate) probe: Option<Arc<dyn crate::AuditProbe>>,
+    /// Replace invocation ordering with a seeded permutation
+    /// ([`RunOptions::shuffle_delivery`](crate::RunOptions::shuffle_delivery)).
+    pub(crate) shuffle: Option<u64>,
 }
 
 /// A captured, type-erased shard checkpoint.
@@ -293,6 +299,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             &mut metrics,
             &fault_retry,
             fast,
+            opts.probe.clone(),
         )?;
         enabled = n;
         if fast {
@@ -342,6 +349,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 &agg_snapshot,
                 &transport,
                 &inbox_name,
+                opts.probe.clone(),
             )
         } else {
             let per_part = run_compute_phase(
@@ -352,6 +360,8 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 &inbox_name,
                 agg_tables.as_ref().map(|((_, t), _)| t),
                 &fault_retry,
+                opts.probe.clone(),
+                opts.shuffle,
             );
             let mut aggs = env.registry.identities();
             let mut counters = PartCounters::default();
@@ -394,6 +404,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                             &fault_retry,
                             &mut metrics,
                             &opts.observer,
+                            opts.shuffle,
                         ) {
                             env.registry.merge(&mut aggs, replayed_aggs);
                             counters.merge(&replayed_counters);
@@ -417,7 +428,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                     Some(((a1, _), (a2, t2))) => {
                         // The extra enumeration round of the large path.
                         let _ = t2.clear();
-                        match run_agg_merge_phase(env, a1, a2) {
+                        match run_agg_merge_phase(env, a1, a2, &fault_retry) {
                             Ok(merged) => merged,
                             Err(e) => {
                                 recover_or_fail(
@@ -496,6 +507,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             &mut metrics,
             &fault_retry,
             fast,
+            opts.probe.clone(),
         ) {
             Ok((n, inbox_counters, recorded, inbox_times)) => {
                 let inbox_wall = inbox_begin.elapsed();
@@ -708,7 +720,7 @@ fn rewind_profiles(
 /// returns each part's result — so the caller can recover a single failed
 /// part without discarding the survivors' work — alongside the part task's
 /// start/finish instants (absent when the dispatch itself failed).
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_compute_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     step: u32,
@@ -717,6 +729,8 @@ fn run_compute_phase<S: KvStore, J: Job>(
     inbox_name: &str,
     agg_table: Option<&S::Table>,
     retry: &Arc<FaultRetry>,
+    probe: Option<Arc<dyn crate::AuditProbe>>,
+    shuffle: Option<u64>,
 ) -> Vec<(
     Result<(HashMap<String, AggValue>, PartCounters), EbspError>,
     Option<(Instant, Instant)>,
@@ -736,6 +750,7 @@ fn run_compute_phase<S: KvStore, J: Job>(
             let direct = env.direct.clone();
             let agg_table = agg_table.clone();
             let retry = Arc::clone(retry);
+            let probe = probe.clone();
             env.store.run_at(&env.reference, PartId(p), move |view| {
                 let begun = Instant::now();
                 let result = compute_at_part::<S::Table, J>(
@@ -755,6 +770,8 @@ fn run_compute_phase<S: KvStore, J: Job>(
                     Some(&retry),
                     None,
                     false,
+                    probe.as_deref(),
+                    shuffle,
                 );
                 (begun, Instant::now(), result)
             })
@@ -775,7 +792,7 @@ fn run_compute_phase<S: KvStore, J: Job>(
 /// work counters (also absorbed into `metrics`), the per-part task
 /// timings, and — when `record` is set — every part's materialized inbox
 /// entries, indexed by part.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_inbox_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     transport_name: &str,
@@ -783,6 +800,7 @@ fn run_inbox_phase<S: KvStore, J: Job>(
     metrics: &mut RunMetrics,
     retry: &Arc<FaultRetry>,
     record: bool,
+    probe: Option<Arc<dyn crate::AuditProbe>>,
 ) -> Result<
     (
         u64,
@@ -800,6 +818,7 @@ fn run_inbox_phase<S: KvStore, J: Job>(
             let transport = transport_name.to_owned();
             let inbox = inbox_name.to_owned();
             let retry = Arc::clone(retry);
+            let probe = probe.clone();
             env.store.run_at(&env.reference, PartId(p), move |view| {
                 let begun = Instant::now();
                 let result = build_inbox_at_part::<J>(
@@ -811,6 +830,7 @@ fn run_inbox_phase<S: KvStore, J: Job>(
                     &table_names,
                     Some(&retry),
                     record,
+                    probe.as_deref(),
                 );
                 (begun, Instant::now(), result)
             })
@@ -855,13 +875,15 @@ fn run_agg_merge_phase<S: KvStore, J: Job>(
     env: &JobEnv<S, J>,
     agg1_name: &str,
     agg2_name: &str,
+    retry: &Arc<FaultRetry>,
 ) -> Result<HashMap<String, AggValue>, EbspError> {
     let results = {
         let registry = env.registry.clone();
         let a1 = agg1_name.to_owned();
         let a2 = agg2_name.to_owned();
+        let retry = Arc::clone(retry);
         env.store.run_at_all(&env.reference, move |view| {
-            crate::engine::merge_aggregates_at_part(&registry, view, &a1, &a2)
+            crate::engine::merge_aggregates_at_part(&registry, view, &a1, &a2, Some(&retry))
         })?
     };
     let mut merged = env.registry.identities();
@@ -933,6 +955,7 @@ fn fast_recover<S: KvStore, J: Job>(
     retry: &Arc<FaultRetry>,
     metrics: &mut RunMetrics,
     observer: &Option<Arc<dyn RunObserver>>,
+    shuffle: Option<u64>,
 ) -> Option<(HashMap<String, AggValue>, PartCounters)> {
     let from = record.step;
     // Every replayed step needs its recorded inbox and the aggregate
@@ -996,6 +1019,11 @@ fn fast_recover<S: KvStore, J: Job>(
                 Some(&retry),
                 Some(entries),
                 suppress,
+                // Replay never re-fires audit probes (it would double-count
+                // observations), but must keep the original invocation
+                // order, so the shuffle seed carries over.
+                None,
+                shuffle,
             )
         });
         match handle.join() {

@@ -45,6 +45,7 @@
 //! incremental single-source shortest paths.
 
 mod aggregate;
+mod audit;
 mod context;
 mod envelope;
 mod error;
@@ -68,6 +69,7 @@ pub use aggregate::{
     AggValue, Aggregate, AggregateSnapshot, AggregatorRegistry, CountAgg, MaxI64, MinI64, SumF64,
     SumI64,
 };
+pub use audit::{AuditFinding, AuditProbe, FindingKind, StateOp};
 pub use context::ComputeContext;
 pub use envelope::Envelope;
 pub use error::EbspError;

@@ -60,6 +60,14 @@ pub trait RunObserver: Send + Sync + 'static {
     fn on_worker_profile(&self, profile: &WorkerProfile) {
         let _ = profile;
     }
+
+    /// The property auditor reported a finding — a declared-property
+    /// violation, or an inference-mode advisory.  Fired by the audit
+    /// harness (`ripple-audit`) as findings are established, not by the
+    /// engines themselves.
+    fn on_audit_finding(&self, finding: &crate::AuditFinding) {
+        let _ = finding;
+    }
 }
 
 /// Forwards every callback to each of a list of observers, in order — how
@@ -117,6 +125,11 @@ impl RunObserver for FanoutObserver {
             o.on_worker_profile(profile);
         }
     }
+    fn on_audit_finding(&self, finding: &crate::AuditFinding) {
+        for o in &self.observers {
+            o.on_audit_finding(finding);
+        }
+    }
 }
 
 /// An observer that records every callback, for tests and diagnostics.
@@ -144,6 +157,8 @@ pub enum ObservedEvent {
     StepProfile(u32),
     /// `on_worker_profile(profile)` — the part.
     WorkerProfile(u32),
+    /// `on_audit_finding(finding)` — the property and step.
+    AuditFinding(&'static str, u32),
 }
 
 impl RecordingObserver {
@@ -194,5 +209,10 @@ impl RunObserver for RecordingObserver {
         self.events
             .lock()
             .push(ObservedEvent::WorkerProfile(profile.part));
+    }
+    fn on_audit_finding(&self, finding: &crate::AuditFinding) {
+        self.events
+            .lock()
+            .push(ObservedEvent::AuditFinding(finding.property, finding.step));
     }
 }

@@ -55,7 +55,7 @@ use std::sync::Arc;
 
 use ripple_kv::KvStore;
 
-use crate::{EbspError, Job, JobRunner, Loader, RunOutcome};
+use crate::{AuditProbe, EbspError, Job, JobRunner, Loader, RunOutcome};
 
 mod sealed {
     pub trait Sealed {}
@@ -90,15 +90,22 @@ pub struct Durable;
 /// [`Durable`] — each under exactly the store-trait bounds that mode
 /// needs, which is how `launch` checks capabilities at compile time.  The
 /// trait is sealed; the four markers are the complete set of modes.
-pub trait LaunchMode<S: KvStore>: sealed::Sealed {
+pub trait LaunchMode<S: KvStore>: sealed::Sealed + Sized {
     /// Runs `job` on `runner` in this mode.  Called by
     /// [`JobRunner::launch`]; not part of the public API surface.
     #[doc(hidden)]
     fn launch_on<J: Job>(
         runner: &JobRunner<S>,
         job: Arc<J>,
-        loaders: Vec<Box<dyn Loader<J>>>,
+        options: RunOptions<J, Self>,
     ) -> Result<RunOutcome, EbspError>;
+}
+
+/// The audit-related launch configuration, split out of [`RunOptions`] so
+/// the runner's internal entry points can thread it without generics.
+pub(crate) struct AuditOpts {
+    pub(crate) probe: Option<Arc<dyn AuditProbe>>,
+    pub(crate) shuffle_seed: Option<u64>,
 }
 
 /// Per-launch configuration for [`JobRunner::launch`]: extra loaders plus
@@ -109,6 +116,8 @@ pub trait LaunchMode<S: KvStore>: sealed::Sealed {
 /// `RunOptions` holds what varies per run.
 pub struct RunOptions<J: Job, M = Basic> {
     loaders: Vec<Box<dyn Loader<J>>>,
+    audit_probe: Option<Arc<dyn AuditProbe>>,
+    shuffle_seed: Option<u64>,
     _mode: PhantomData<M>,
 }
 
@@ -117,6 +126,8 @@ impl<J: Job> RunOptions<J, Basic> {
     pub fn new() -> Self {
         Self {
             loaders: Vec::new(),
+            audit_probe: None,
+            shuffle_seed: None,
             _mode: PhantomData,
         }
     }
@@ -141,14 +152,43 @@ impl<J: Job, M> RunOptions<J, M> {
         self
     }
 
-    /// The configured extra loaders, consumed at launch.
-    pub(crate) fn into_loaders(self) -> Vec<Box<dyn Loader<J>>> {
-        self.loaders
+    /// Installs audit instrumentation: the engines call `probe` on every
+    /// compute invocation, send, state access, continue signal, and
+    /// post-combine delivery.  Used by the `ripple-audit` conformance
+    /// checker; without a probe the run takes the unchanged default path.
+    pub fn audit(mut self, probe: Arc<dyn AuditProbe>) -> Self {
+        self.audit_probe = Some(probe);
+        self
+    }
+
+    /// Replaces the plan's per-part invocation ordering (sorted or
+    /// arrival-ordered) with a deterministic pseudo-random permutation
+    /// keyed by `(seed, step, part)`.  This deliberately breaks the
+    /// engine's `needs-order` guarantee — it exists so the auditor can
+    /// probe whether declared ordering properties actually matter; do not
+    /// use it outside audits.
+    pub fn shuffle_delivery(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Splits the options into loaders and audit configuration, consumed
+    /// at launch.
+    pub(crate) fn into_parts(self) -> (Vec<Box<dyn Loader<J>>>, AuditOpts) {
+        (
+            self.loaders,
+            AuditOpts {
+                probe: self.audit_probe,
+                shuffle_seed: self.shuffle_seed,
+            },
+        )
     }
 
     fn into_mode<N>(self) -> RunOptions<J, N> {
         RunOptions {
             loaders: self.loaders,
+            audit_probe: self.audit_probe,
+            shuffle_seed: self.shuffle_seed,
             _mode: PhantomData,
         }
     }
@@ -187,6 +227,8 @@ impl<J: Job, M> std::fmt::Debug for RunOptions<J, M> {
         f.debug_struct("RunOptions")
             .field("mode", &std::any::type_name::<M>())
             .field("extra_loaders", &self.loaders.len())
+            .field("audit", &self.audit_probe.is_some())
+            .field("shuffle_seed", &self.shuffle_seed)
             .finish()
     }
 }

@@ -45,6 +45,44 @@ pub struct JobProperties {
     pub deterministic: bool,
 }
 
+impl JobProperties {
+    /// Rejects contradictory declarations before a plan is derived.
+    ///
+    /// `needs_order` promises per-step key-ordered invocation — a notion
+    /// that only exists under barriers — so combining it with a property
+    /// whose entire point is to license barrier-free (`incremental`) or
+    /// step-order-free (`no_ss_order`) execution is a contract the engine
+    /// cannot honour either way.  Deriving a plan from such a declaration
+    /// silently picks one side; failing typed at launch is honest.
+    ///
+    /// # Errors
+    ///
+    /// [`EbspError::ConfigUnsupported`](crate::EbspError::ConfigUnsupported)
+    /// naming the contradictory pair.
+    pub fn validate(&self) -> Result<(), crate::EbspError> {
+        let contradiction = if self.needs_order && self.no_ss_order {
+            Some(
+                "needs_order promises per-step key-ordered invocation; no_ss_order waives step \
+                  order for a key — the engine cannot honour both",
+            )
+        } else if self.needs_order && self.incremental {
+            Some(
+                "needs_order promises per-step key-ordered invocation; incremental licenses \
+                  barrier-free delivery with no steps to order within",
+            )
+        } else {
+            None
+        };
+        match contradiction {
+            Some(reason) => Err(crate::EbspError::ConfigUnsupported {
+                option: "properties",
+                reason: reason.to_owned(),
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Which engine executes the job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -217,5 +255,182 @@ mod tests {
             ..p()
         };
         assert!(ExecutionPlan::derive(&props, true, true).fast_recovery);
+    }
+
+    /// Builds the property combination with index `i` in `0..128`, one bit
+    /// per declared property.
+    fn combo(i: u32) -> JobProperties {
+        JobProperties {
+            needs_order: i & 1 != 0,
+            no_continue: i & 2 != 0,
+            one_msg: i & 4 != 0,
+            rare_state: i & 8 != 0,
+            no_ss_order: i & 16 != 0,
+            incremental: i & 32 != 0,
+            deterministic: i & 64 != 0,
+        }
+    }
+
+    /// Checks every §II-A implication rule against one derived plan,
+    /// recomputing each rule independently of `derive`'s internals.
+    fn check_plan(props: &JobProperties, no_agg: bool, no_client_sync: bool) {
+        let plan = ExecutionPlan::derive(props, no_agg, no_client_sync);
+        let ctx = format!("{props:?} no_agg={no_agg} no_client_sync={no_client_sync}");
+
+        // sort ⇔ needs-order.
+        assert_eq!(plan.sort, props.needs_order, "sort rule: {ctx}");
+
+        // no-collect ⇔ one-msg ∧ no-continue.
+        let no_collect = props.one_msg && props.no_continue;
+        assert_eq!(plan.collect, !no_collect, "collect rule: {ctx}");
+
+        // run-anywhere ⇔ no-collect ∧ rare-state.
+        assert_eq!(
+            plan.run_anywhere,
+            no_collect && props.rare_state,
+            "run-anywhere rule: {ctx}"
+        );
+
+        // no-sync ⇔ (no-collect ∧ no-ss-order ∨ incremental) ∧ no-agg
+        //           ∧ no-client-sync.
+        let no_sync =
+            ((no_collect && props.no_ss_order) || props.incremental) && no_agg && no_client_sync;
+        assert_eq!(
+            plan.mode,
+            if no_sync {
+                ExecMode::Unsynchronized
+            } else {
+                ExecMode::Synchronized
+            },
+            "no-sync rule: {ctx}"
+        );
+
+        // fast-recovery ⇔ deterministic.
+        assert_eq!(
+            plan.fast_recovery, props.deterministic,
+            "fast-recovery rule: {ctx}"
+        );
+    }
+
+    /// Satellite: the full truth table.  All 2^7 declared combinations ×
+    /// the 2 × 2 detected properties = 512 rows, each checked against the
+    /// implication rules restated independently above.
+    #[test]
+    fn derive_truth_table_is_exhaustive() {
+        for i in 0..128 {
+            let props = combo(i);
+            for (no_agg, no_client_sync) in
+                [(false, false), (false, true), (true, false), (true, true)]
+            {
+                check_plan(&props, no_agg, no_client_sync);
+            }
+        }
+    }
+
+    /// Monotonicity spot-check across the whole table: turning a detected
+    /// property *off* can only remove `no-sync`, never grant it.
+    #[test]
+    fn detected_properties_only_restrict() {
+        for i in 0..128 {
+            let props = combo(i);
+            let free = ExecutionPlan::derive(&props, true, true);
+            for (no_agg, no_client_sync) in [(false, true), (true, false), (false, false)] {
+                let plan = ExecutionPlan::derive(&props, no_agg, no_client_sync);
+                assert_eq!(plan.mode, ExecMode::Synchronized, "restriction: {props:?}");
+                // Everything except the mode is unaffected by detection.
+                assert_eq!(plan.sort, free.sort);
+                assert_eq!(plan.collect, free.collect);
+                assert_eq!(plan.run_anywhere, free.run_anywhere);
+                assert_eq!(plan.fast_recovery, free.fast_recovery);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_all_non_contradictory_combinations() {
+        for i in 0..128 {
+            let props = combo(i);
+            let contradictory = props.needs_order && (props.no_ss_order || props.incremental);
+            assert_eq!(
+                props.validate().is_err(),
+                contradictory,
+                "validate disagrees with the contradiction rule: {props:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_needs_order_with_no_ss_order() {
+        let props = JobProperties {
+            needs_order: true,
+            no_ss_order: true,
+            ..p()
+        };
+        match props.validate() {
+            Err(crate::EbspError::ConfigUnsupported { option, reason }) => {
+                assert_eq!(option, "properties");
+                assert!(reason.contains("no_ss_order"), "reason: {reason}");
+            }
+            other => panic!("expected ConfigUnsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_needs_order_with_incremental() {
+        let props = JobProperties {
+            needs_order: true,
+            incremental: true,
+            ..p()
+        };
+        match props.validate() {
+            Err(crate::EbspError::ConfigUnsupported { option, reason }) => {
+                assert_eq!(option, "properties");
+                assert!(reason.contains("incremental"), "reason: {reason}");
+            }
+            other => panic!("expected ConfigUnsupported, got {other:?}"),
+        }
+    }
+
+    mod property_based {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_props() -> impl Strategy<Value = JobProperties> {
+            (0u32..128).prop_map(combo)
+        }
+
+        proptest! {
+            /// Randomized restatement of the truth table — redundant with
+            /// the exhaustive loop by construction, kept so the invariants
+            /// survive if the property set ever outgrows 2^7 enumeration.
+            #[test]
+            fn derive_respects_every_rule(
+                props in arb_props(),
+                no_agg in any::<bool>(),
+                no_client_sync in any::<bool>(),
+            ) {
+                check_plan(&props, no_agg, no_client_sync);
+            }
+
+            /// Declaring *more* properties never produces a strictly worse
+            /// plan: flipping any single property on keeps each optimization
+            /// that was already unlocked, except that the flipped property
+            /// may change `sort`/`collect` semantics it directly controls.
+            #[test]
+            fn adding_rare_state_never_loses_optimizations(
+                props in arb_props(),
+                no_agg in any::<bool>(),
+                no_client_sync in any::<bool>(),
+            ) {
+                let with = JobProperties { rare_state: true, ..props };
+                let before = ExecutionPlan::derive(&props, no_agg, no_client_sync);
+                let after = ExecutionPlan::derive(&with, no_agg, no_client_sync);
+                prop_assert_eq!(after.sort, before.sort);
+                prop_assert_eq!(after.collect, before.collect);
+                prop_assert_eq!(after.fast_recovery, before.fast_recovery);
+                prop_assert_eq!(after.mode, before.mode);
+                prop_assert!(after.run_anywhere || !before.run_anywhere);
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@ use ripple_wire::{from_wire, to_wire};
 use crate::engine::nosync::{run_nosync, HealFn, NosyncOptions};
 use crate::engine::sync::{run_sync, DurableOpts, RecoveryHooks, ResumePoint, SyncOptions};
 use crate::engine::JobEnv;
-use crate::options::{Basic, Durable, Heal, LaunchMode, Recover, RunOptions};
+use crate::options::{AuditOpts, Basic, Durable, Heal, LaunchMode, Recover, RunOptions};
 use crate::{
     AggValue, AggregateSnapshot, AggregatorRegistry, EbspError, ExecMode, ExecutionPlan, Job,
     Loader, RetryPolicy, RunMetrics,
@@ -278,7 +278,7 @@ impl<S: KvStore> JobRunner<S> {
         job: Arc<J>,
         options: RunOptions<J, M>,
     ) -> Result<RunOutcome, EbspError> {
-        M::launch_on(self, job, options.into_loaders())
+        M::launch_on(self, job, options)
     }
 
     /// Runs `job` using only the loaders the job itself declares.
@@ -313,6 +313,7 @@ impl<S: KvStore> JobRunner<S> {
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
         heal: Option<Arc<HealFn>>,
+        audit: AuditOpts,
     ) -> Result<RunOutcome, EbspError> {
         if self.checkpoint_interval.is_some() {
             return Err(EbspError::ConfigUnsupported {
@@ -338,6 +339,8 @@ impl<S: KvStore> JobRunner<S> {
                     retry: self.retry,
                     fast_recovery: self.fast_recovery,
                     profile,
+                    probe: audit.probe.clone(),
+                    shuffle: audit.shuffle_seed,
                 },
                 None,
                 None,
@@ -351,6 +354,7 @@ impl<S: KvStore> JobRunner<S> {
                     observer,
                     heal,
                     profile,
+                    probe: audit.probe.clone(),
                     ..NosyncOptions::default()
                 },
                 self.queue_kind,
@@ -421,6 +425,7 @@ impl<S: KvStore> JobRunner<S> {
     /// Validates the job, materializes its tables (creating missing ones
     /// co-partitioned with the reference table), and picks the engine.
     fn prepare<J: Job>(&self, job: Arc<J>) -> Result<(JobEnv<S, J>, ExecMode), EbspError> {
+        job.properties().validate()?;
         let table_names = job.state_tables();
         if table_names.is_empty() {
             return Err(EbspError::InvalidJob {
@@ -528,9 +533,10 @@ impl<S: KvStore> LaunchMode<S> for Basic {
     fn launch_on<J: Job>(
         runner: &JobRunner<S>,
         job: Arc<J>,
-        loaders: Vec<Box<dyn Loader<J>>>,
+        options: RunOptions<J, Self>,
     ) -> Result<RunOutcome, EbspError> {
-        runner.run_inner(job, loaders, None)
+        let (loaders, audit) = options.into_parts();
+        runner.run_inner(job, loaders, None, audit)
     }
 }
 
@@ -545,15 +551,16 @@ impl<S: HealableStore> LaunchMode<S> for Heal {
     fn launch_on<J: Job>(
         runner: &JobRunner<S>,
         job: Arc<J>,
-        loaders: Vec<Box<dyn Loader<J>>>,
+        options: RunOptions<J, Self>,
     ) -> Result<RunOutcome, EbspError> {
+        let (loaders, audit) = options.into_parts();
         let store = runner.store.clone();
         let reference_name = job.reference_table();
         let heal: Arc<HealFn> = Arc::new(move |part| {
             let reference = store.lookup_table(&reference_name)?;
             store.recover_part(&reference, part)
         });
-        runner.run_inner(job, loaders, Some(heal))
+        runner.run_inner(job, loaders, Some(heal), audit)
     }
 }
 
@@ -621,6 +628,7 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
+        audit: AuditOpts,
     ) -> Result<RunOutcome, EbspError> {
         let (env, _) = self.prepare(job)?;
         let mut loaders = env.job.loaders();
@@ -639,6 +647,8 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
                 retry: self.retry,
                 fast_recovery: self.fast_recovery,
                 profile,
+                probe: audit.probe,
+                shuffle: audit.shuffle_seed,
             },
             Some(hooks),
             None,
@@ -655,9 +665,10 @@ impl<S: RecoverableStore + HealableStore> LaunchMode<S> for Recover {
     fn launch_on<J: Job>(
         runner: &JobRunner<S>,
         job: Arc<J>,
-        loaders: Vec<Box<dyn Loader<J>>>,
+        options: RunOptions<J, Self>,
     ) -> Result<RunOutcome, EbspError> {
-        runner.launch_recoverable(job, loaders)
+        let (loaders, audit) = options.into_parts();
+        runner.launch_recoverable(job, loaders, audit)
     }
 }
 
@@ -688,6 +699,7 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
         &self,
         job: Arc<J>,
         extra_loaders: Vec<Box<dyn Loader<J>>>,
+        audit: AuditOpts,
     ) -> Result<RunOutcome, EbspError> {
         let (env, _) = self.prepare(job)?;
         let mut loaders = env.job.loaders();
@@ -782,6 +794,8 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
                 retry: self.retry,
                 fast_recovery: self.fast_recovery,
                 profile,
+                probe: audit.probe,
+                shuffle: audit.shuffle_seed,
             },
             Some(hooks),
             Some(durable),
@@ -821,8 +835,9 @@ impl<S: RecoverableStore + HealableStore + DurableStore> LaunchMode<S> for Durab
     fn launch_on<J: Job>(
         runner: &JobRunner<S>,
         job: Arc<J>,
-        loaders: Vec<Box<dyn Loader<J>>>,
+        options: RunOptions<J, Self>,
     ) -> Result<RunOutcome, EbspError> {
-        runner.launch_durable(job, loaders)
+        let (loaders, audit) = options.into_parts();
+        runner.launch_durable(job, loaders, audit)
     }
 }

@@ -31,8 +31,19 @@
 //! as a recorded failure), so a watcher needs no polling loop — its only
 //! timed wait is the caller's deadline.
 
+// Under `--cfg loom` the synchronization primitives come from the loom
+// model-checking harness so `tests/loom_termination.rs` can explore
+// interleavings of mint / give_back / wait_until; the production build uses
+// std directly.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::PoisonError;
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Huang-style weight-throwing termination detector with integer weights.

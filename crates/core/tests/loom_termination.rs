@@ -1,0 +1,128 @@
+//! Loom models of the Huang weight-throwing termination detector.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p ripple-core --test
+//! loom_termination`.  Compiles to nothing in ordinary builds.
+//!
+//! The property under check is the detector's single invariant: as long as
+//! any worker follows the protocol — mint *before* a message becomes
+//! visible, give back only *after* all work it caused (including forwards)
+//! is done — `quiescent()` never returns `true` while work remains, under
+//! any interleaving of the minting, forwarding, and returning threads.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Mutex};
+use ripple_core::WeightThrow;
+
+/// Two workers race over a tiny message queue: worker A consumes the seed
+/// message and forwards one child; worker B consumes whatever it finds.
+/// At every consumption the worker still holds weight, so `quiescent()`
+/// must be false; after both join, everything has drained and it must be
+/// true.
+#[test]
+fn forwarding_workers_never_observe_early_termination() {
+    loom::model(|| {
+        let detector = Arc::new(WeightThrow::new());
+        let queue: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Seed one message, protocol order: mint, then publish.
+        let w = detector.mint(1);
+        queue.lock().unwrap().push(w);
+
+        let spawn_worker = |forwards: bool| {
+            let detector = Arc::clone(&detector);
+            let queue = Arc::clone(&queue);
+            loom::thread::spawn(move || {
+                loop {
+                    let Some(w) = queue.lock().unwrap().pop() else {
+                        return;
+                    };
+                    // This worker holds weight w: termination now would be
+                    // premature.
+                    assert!(!detector.quiescent(), "terminated while work remains");
+                    if forwards {
+                        // Forward a child, protocol order again.
+                        let child = detector.mint(1);
+                        queue.lock().unwrap().push(child);
+                    }
+                    detector.give_back(w);
+                    if forwards {
+                        return; // forward only once, then drain-assist
+                    }
+                }
+            })
+        };
+
+        let a = spawn_worker(true);
+        let b = spawn_worker(false);
+        a.join().unwrap();
+        b.join().unwrap();
+
+        // The queue may still hold the forwarded child if worker A pushed
+        // it after worker B exited; drain it following the protocol.
+        while let Some(w) = queue.lock().unwrap().pop() {
+            assert!(!detector.quiescent(), "terminated while work remains");
+            detector.give_back(w);
+        }
+        assert!(detector.quiescent(), "must be quiescent once drained");
+    });
+}
+
+/// The mint/give_back pairing itself: a producer mints and hands weight to
+/// a consumer through a one-slot mailbox while a third observer polls
+/// `quiescent()`.  The observer may see true only before the mint or after
+/// the give_back — never in between.
+#[test]
+fn observer_never_sees_quiescence_while_weight_is_outstanding() {
+    loom::model(|| {
+        let detector = Arc::new(WeightThrow::new());
+        let mailbox: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let producer = {
+            let detector = Arc::clone(&detector);
+            let mailbox = Arc::clone(&mailbox);
+            loom::thread::spawn(move || {
+                let w = detector.mint(1);
+                *mailbox.lock().unwrap() = Some(w);
+            })
+        };
+        let consumer = {
+            let detector = Arc::clone(&detector);
+            let mailbox = Arc::clone(&mailbox);
+            let done = Arc::clone(&done);
+            loom::thread::spawn(move || loop {
+                let taken = mailbox.lock().unwrap().take();
+                if let Some(w) = taken {
+                    assert!(!detector.quiescent(), "consumer holds weight");
+                    detector.give_back(w);
+                    done.store(true, Ordering::SeqCst);
+                    return;
+                }
+                loom::thread::yield_now();
+            })
+        };
+        let observer = {
+            let detector = Arc::clone(&detector);
+            let mailbox = Arc::clone(&mailbox);
+            loom::thread::spawn(move || {
+                // If a message is visible in the mailbox, its weight is
+                // outstanding, so the detector must not be quiescent.
+                // The mailbox lock is held across the check: while it is
+                // held the consumer cannot take the message, so the weight
+                // provably cannot have been given back yet.
+                let slot = mailbox.lock().unwrap();
+                if slot.is_some() {
+                    assert!(!detector.quiescent(), "quiescent with a message in flight");
+                }
+                drop(slot);
+            })
+        };
+
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        observer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert!(detector.quiescent());
+    });
+}

@@ -232,6 +232,18 @@ pub struct DirectPageRank {
     config: PageRankConfig,
 }
 
+impl DirectPageRank {
+    /// A direct-variant job over `n` vertices whose structure (and final
+    /// ranks) live in `table`.
+    pub fn new(table: impl Into<String>, n: u64, config: PageRankConfig) -> Self {
+        Self {
+            table: table.into(),
+            n,
+            config,
+        }
+    }
+}
+
 impl Job for DirectPageRank {
     type Key = VertexId;
     type State = PrState;
@@ -250,9 +262,17 @@ impl Job for DirectPageRank {
     fn properties(&self) -> JobProperties {
         // needs-order makes collocated invocations run in key order, which
         // fixes the fold order of the f64 contribution combines: any two
-        // runs — on any store backend — produce byte-identical ranks.
+        // runs — on any store backend — produce byte-identical ranks; that
+        // ordered fold is also what makes `deterministic` true bit-for-bit.
+        // The combiner always merges, so each vertex sees exactly one
+        // post-combine message (one-msg), and compute never returns the
+        // continue signal (no-continue) — together they unlock the
+        // no-collect plan.
         JobProperties {
             needs_order: true,
+            deterministic: true,
+            one_msg: true,
+            no_continue: true,
             ..JobProperties::default()
         }
     }
@@ -310,6 +330,18 @@ pub struct MapReducePageRank {
     config: PageRankConfig,
 }
 
+impl MapReducePageRank {
+    /// A MapReduce-variant job over `n` vertices whose structure (and
+    /// final ranks) live in `table`.
+    pub fn new(table: impl Into<String>, n: u64, config: PageRankConfig) -> Self {
+        Self {
+            table: table.into(),
+            n,
+            config,
+        }
+    }
+}
+
 impl Job for MapReducePageRank {
     type Key = VertexId;
     type State = PrState;
@@ -328,9 +360,15 @@ impl Job for MapReducePageRank {
     fn properties(&self) -> JobProperties {
         // needs-order makes collocated invocations run in key order, which
         // fixes the fold order of the f64 contribution combines: any two
-        // runs — on any store backend — produce byte-identical ranks.
+        // runs — on any store backend — produce byte-identical ranks; the
+        // ordered fold also makes the job bit-for-bit `deterministic`.  The
+        // combiner always merges, so each reduce-side vertex sees exactly
+        // one post-combine message (one-msg).  No `no_continue`: the reduce
+        // step drives the iteration with the positive continue signal.
         JobProperties {
             needs_order: true,
+            deterministic: true,
+            one_msg: true,
             ..JobProperties::default()
         }
     }
@@ -380,7 +418,10 @@ impl Job for MapReducePageRank {
 // Drivers
 // ---------------------------------------------------------------------------
 
-fn structure_loader<J>(graph: &Graph) -> Box<dyn ripple_core::Loader<J>>
+/// A loader seeding the structure table from `graph`: every vertex enabled
+/// with its adjacency list and no rank yet.  Public so external harnesses
+/// (e.g. the property auditor) can drive the PageRank jobs directly.
+pub fn structure_loader<J>(graph: &Graph) -> Box<dyn ripple_core::Loader<J>>
 where
     J: Job<Key = VertexId, State = PrState>,
 {
@@ -542,6 +583,20 @@ pub struct AdaptivePageRank {
     epsilon: f64,
 }
 
+impl AdaptivePageRank {
+    /// An adaptive-variant job over `n` vertices whose structure (and
+    /// running ranks) live in `table`, stopping once the per-iteration rank
+    /// movement drops below `epsilon`.
+    pub fn new(table: impl Into<String>, n: u64, damping: f64, epsilon: f64) -> Self {
+        Self {
+            table: table.into(),
+            n,
+            damping,
+            epsilon,
+        }
+    }
+}
+
 const DELTA: &str = "delta";
 
 impl Job for AdaptivePageRank {
@@ -563,8 +618,15 @@ impl Job for AdaptivePageRank {
     }
 
     fn properties(&self) -> JobProperties {
+        // Same ordered f64 folds as the other variants.  The combiner
+        // always merges (one-msg) and compute never returns the continue
+        // signal (no-continue): termination comes from the aborter, whose
+        // client synchronization keeps the plan synchronized regardless.
         JobProperties {
             needs_order: true,
+            deterministic: true,
+            one_msg: true,
+            no_continue: true,
             ..JobProperties::default()
         }
     }

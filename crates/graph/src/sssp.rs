@@ -120,6 +120,18 @@ pub struct SelectiveSssp {
     n: u32,
 }
 
+impl SelectiveSssp {
+    /// A selective-variant job solving distances from `source` over the
+    /// `n`-vertex annotated graph living in `table`.
+    pub fn new(table: impl Into<String>, source: VertexId, n: u32) -> Self {
+        Self {
+            table: table.into(),
+            source,
+            n,
+        }
+    }
+}
+
 impl Job for SelectiveSssp {
     type Key = VertexId;
     type State = SelState;
@@ -138,6 +150,10 @@ impl Job for SelectiveSssp {
             // the same states, messages, and fault-injection points.
             needs_order: true,
             deterministic: true,
+            // The wave dies out by itself: compute never returns the
+            // positive continue signal, vertices fall dormant unless a
+            // neighbor's distance message re-enables them.
+            no_continue: true,
             ..JobProperties::default()
         }
     }
@@ -646,6 +662,19 @@ pub struct FullScanSssp {
     n: u32,
 }
 
+impl FullScanSssp {
+    /// One `wave` over the `n`-vertex annotated graph in `table`, relaxing
+    /// (or invalidating) distances from `source`.
+    pub fn new(table: impl Into<String>, source: VertexId, wave: Wave, n: u32) -> Self {
+        Self {
+            table: table.into(),
+            source,
+            wave,
+            n,
+        }
+    }
+}
+
 impl Job for FullScanSssp {
     type Key = VertexId;
     type State = FsState;
@@ -659,6 +688,20 @@ impl Job for FullScanSssp {
 
     fn aggregators(&self) -> Vec<(String, Arc<dyn Aggregate>)> {
         vec![(CHANGED.to_owned(), Arc::new(SumI64))]
+    }
+
+    fn properties(&self) -> JobProperties {
+        // All-integer arithmetic under a commutative, always-merging
+        // combiner: any fold order gives the same bits (deterministic), and
+        // each reduce-side vertex sees exactly one post-combine message
+        // (one-msg).  Compute never returns the continue signal; the wave
+        // driver, not the job, decides whether another scan runs.
+        JobProperties {
+            deterministic: true,
+            one_msg: true,
+            no_continue: true,
+            ..JobProperties::default()
+        }
     }
 
     fn combine_messages(&self, _k: &VertexId, a: &FsMsg, b: &FsMsg) -> Option<FsMsg> {

@@ -49,6 +49,18 @@ impl<M: MapReduce> Job for MapReduceJob<M> {
         vec![self.table.clone()]
     }
 
+    fn properties(&self) -> ripple_core::JobProperties {
+        // A couplet is self-limiting: map-side components go dormant after
+        // emitting, reduce-side components after folding — compute never
+        // returns the continue signal.  Nothing stronger can be promised
+        // here: one-msg and determinism depend on the client's `map` /
+        // `reduce` / `combine` functions.
+        ripple_core::JobProperties {
+            no_continue: true,
+            ..ripple_core::JobProperties::default()
+        }
+    }
+
     fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<bool, EbspError> {
         match ctx.key().clone() {
             MrKey::In(key) => {

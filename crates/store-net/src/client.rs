@@ -524,18 +524,35 @@ impl PartView for RemotePartView {
         NetCounters::add(&self.shared.metrics.enumerations, 1);
         let (server, part) = self.scan_target(meta);
         let payload = to_wire(&(table.to_owned(), part));
+        // Enumerate non-destructively and buffer the whole stream first:
+        // nothing is removed server-side until the stream has arrived
+        // intact, so a connection lost mid-drain loses no data — the
+        // caller sees a transient error and the retried drain starts
+        // clean.  (The destructive `REQ_DRAIN` would drop the part's
+        // pairs on the floor if the stream died under it.)
         let pending = self
             .shared
             .pool
-            .request(server, proto::REQ_DRAIN, &payload)?;
-        let leftover = self.shared.pull_stream(&pending, f)?;
-        if !leftover.is_empty() {
-            // The server removed the whole part; restore what the caller
-            // declined to consume, matching local early-stop semantics.
-            let ops: Vec<(u8, RoutedKey, Bytes)> = leftover
-                .into_iter()
-                .map(|(k, v)| (proto::APPLY_PUT, k, v))
-                .collect();
+            .request(server, proto::REQ_SCAN, &payload)?;
+        let mut pairs: Vec<(RoutedKey, Bytes)> = Vec::new();
+        self.shared.pull_stream(&pending, &mut |k, v| {
+            pairs.push((k, v));
+            ScanControl::Continue
+        })?;
+        // Feed the visitor, then delete exactly what it consumed; an
+        // early stop leaves the remainder in place, matching local
+        // early-stop semantics.  Engine phases are barriered, so nothing
+        // writes the table between the enumeration and the deletes.
+        let mut ops: Vec<(u8, RoutedKey, Bytes)> = Vec::new();
+        for (k, v) in pairs {
+            let key = k.clone();
+            let control = f(k, v);
+            ops.push((proto::APPLY_DELETE, key, Bytes::new()));
+            if !control.should_continue() {
+                break;
+            }
+        }
+        if !ops.is_empty() {
             let count = ops.len() as u64;
             NetCounters::add(&self.shared.metrics.remote_ops, count);
             let payload = to_wire(&(table.to_owned(), ops));

@@ -1,0 +1,138 @@
+//! The response-dispatch table one connection shares between its writer
+//! side (registering requests) and its reader thread (routing responses
+//! and, on connection loss, failing everything).
+//!
+//! The table guards against a *stranding race*: a request that registers
+//! itself concurrently with the reader thread declaring the connection
+//! dead.  If death were a separate flag checked before registration (the
+//! previous design), this interleaving stranded the request forever —
+//!
+//! 1. writer checks `dead == false`,
+//! 2. reader drains the table and sets `dead = true`,
+//! 3. writer inserts its completer into the already-drained table,
+//!
+//! — nobody ever completes it, and the caller burns the full response
+//! timeout.  Here the death flag lives *inside* the table's mutex:
+//! [`Dispatch::register`] refuses registration once dead (the caller fails
+//! fast and retries on a fresh connection) and [`Dispatch::kill`] marks
+//! death and drains atomically, so every completer is either refused or
+//! drained — never stranded.  `tests/loom_pool.rs` model-checks exactly
+//! this property.
+
+use std::collections::HashMap;
+
+// Under `--cfg loom` the lock comes from the loom harness so the model
+// tests can explore register/kill interleavings.
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+/// Per-connection dispatch table mapping in-flight request ids to their
+/// completers (response senders, in the pool's case).
+#[derive(Debug)]
+pub struct Dispatch<C> {
+    state: Mutex<State<C>>,
+}
+
+#[derive(Debug)]
+struct State<C> {
+    dead: bool,
+    entries: HashMap<u64, C>,
+}
+
+impl<C> Default for Dispatch<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Dispatch<C> {
+    /// An empty, live table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(State {
+                dead: false,
+                entries: HashMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<C>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `completer` under `id`.  Returns `false` — without
+    /// registering — if the connection has already been killed; the caller
+    /// must then fail the request itself rather than wait for a response
+    /// that can no longer arrive.
+    #[must_use]
+    pub fn register(&self, id: u64, completer: C) -> bool {
+        let mut state = self.lock();
+        if state.dead {
+            return false;
+        }
+        state.entries.insert(id, completer);
+        true
+    }
+
+    /// Removes and returns the completer registered under `id`, if any —
+    /// for terminal response frames and for unwinding a failed send.
+    pub fn take(&self, id: u64) -> Option<C> {
+        self.lock().entries.remove(&id)
+    }
+
+    /// Runs `f` on the completer registered under `id` while it stays
+    /// registered — for streamed (non-terminal) response frames.  Returns
+    /// `None` if no such registration exists.
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&C) -> R) -> Option<R> {
+        Some(f(self.lock().entries.get(&id)?))
+    }
+
+    /// Whether [`Dispatch::kill`] has been called.
+    pub fn is_dead(&self) -> bool {
+        self.lock().dead
+    }
+
+    /// Marks the connection dead and drains every registered completer, in
+    /// one critical section: any registration that did not make it into the
+    /// returned drain is refused from now on.  The caller completes the
+    /// drained entries (with an error) outside the lock.
+    pub fn kill(&self) -> Vec<(u64, C)> {
+        let mut state = self.lock();
+        state.dead = true;
+        state.entries.drain().collect()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_take_roundtrip() {
+        let d: Dispatch<&'static str> = Dispatch::new();
+        assert!(d.register(7, "a"));
+        assert_eq!(d.with(7, |c| *c), Some("a"));
+        assert_eq!(d.take(7), Some("a"));
+        assert_eq!(d.take(7), None);
+        assert_eq!(d.with(7, |c| *c), None);
+    }
+
+    #[test]
+    fn kill_drains_and_refuses_later_registrations() {
+        let d: Dispatch<u32> = Dispatch::new();
+        assert!(d.register(1, 10));
+        assert!(d.register(2, 20));
+        assert!(!d.is_dead());
+        let mut drained = d.kill();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![(1, 10), (2, 20)]);
+        assert!(d.is_dead());
+        assert!(!d.register(3, 30), "registration after death must refuse");
+        assert_eq!(d.take(3), None);
+        assert!(d.kill().is_empty(), "second kill has nothing to drain");
+    }
+}

@@ -47,6 +47,7 @@
 //! ```
 
 mod client;
+pub mod dispatch;
 mod metrics;
 mod pool;
 pub mod proto;

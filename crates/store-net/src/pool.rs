@@ -12,10 +12,9 @@
 //! the engine's existing retry policy heal a severed connection — the
 //! error kind is the same one the fault-injection stores produce.
 
-use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -23,6 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use ripple_kv::KvError;
 use ripple_wire::{msg_len, read_msg_from, write_msg, MsgFrame};
 
+use crate::dispatch::Dispatch;
 use crate::metrics::NetCounters;
 use crate::proto::{self, RESP_CHUNK, RESP_ERR, RESP_OK};
 
@@ -36,17 +36,17 @@ type FrameResult = Result<MsgFrame, KvError>;
 /// the socket handle kept for shutdown.
 struct Connection {
     writer: Mutex<TcpStream>,
-    pending: Mutex<HashMap<u64, Sender<FrameResult>>>,
-    dead: AtomicBool,
+    dispatch: Dispatch<Sender<FrameResult>>,
     stream: TcpStream,
 }
 
 impl Connection {
+    /// Marks the connection dead and fails every in-flight request.  The
+    /// dispatch table's kill is atomic with its death mark, so a request
+    /// racing this call either gets drained here or is refused at
+    /// registration — it can never be stranded waiting for a response.
     fn fail_all(&self, detail: &str) {
-        self.dead.store(true, Ordering::SeqCst);
-        let drained: Vec<(u64, Sender<FrameResult>)> =
-            self.pending.lock().expect("pending lock").drain().collect();
-        for (_, tx) in drained {
+        for (_, tx) in self.dispatch.kill() {
             let _ = tx.send(Err(KvError::Transient {
                 op: "recv",
                 part: 0,
@@ -139,7 +139,16 @@ impl Pool {
         let conn = self.connection(server)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
-        conn.pending.lock().expect("pending lock").insert(id, tx);
+        if !conn.dispatch.register(id, tx) {
+            // The reader thread declared the connection dead between our
+            // lookup and this registration; fail fast instead of waiting a
+            // full response timeout for a reply that cannot arrive.
+            return Err(KvError::Transient {
+                op: "send",
+                part: 0,
+                detail: format!("connection to {} lost before send", self.addrs[server]),
+            });
+        }
         let started = Instant::now();
 
         let mut buf = Vec::with_capacity(msg_len(payload.len()));
@@ -149,7 +158,7 @@ impl Pool {
             writer.write_all(&buf)
         };
         if let Err(e) = write_result {
-            conn.pending.lock().expect("pending lock").remove(&id);
+            conn.dispatch.take(id);
             conn.fail_all(&format!("write failed: {e}"));
             return Err(KvError::Transient {
                 op: "send",
@@ -200,7 +209,7 @@ impl Pool {
     fn connection(&self, server: usize) -> Result<Arc<Connection>, KvError> {
         let mut slot = self.conns[server].lock().expect("conn slot lock");
         if let Some(conn) = slot.as_ref() {
-            if !conn.dead.load(Ordering::SeqCst) {
+            if !conn.dispatch.is_dead() {
                 return Ok(Arc::clone(conn));
             }
             let _ = conn.stream.shutdown(Shutdown::Both);
@@ -224,8 +233,7 @@ impl Pool {
                 part: 0,
                 detail: format!("cloning stream to {addr}: {e}"),
             })?),
-            pending: Mutex::new(HashMap::new()),
-            dead: AtomicBool::new(false),
+            dispatch: Dispatch::new(),
             stream,
         });
         spawn_reader(Arc::clone(&conn), reader, Arc::clone(&self.metrics));
@@ -251,16 +259,16 @@ fn spawn_reader(conn: Arc<Connection>, mut stream: TcpStream, metrics: Arc<NetCo
             };
             NetCounters::add(&metrics.bytes_in, msg_len(frame.payload.len()) as u64);
             let id = frame.id;
-            let terminal = frame.kind != RESP_CHUNK;
-            let mut pending = conn.pending.lock().expect("pending lock");
-            if terminal {
-                if let Some(tx) = pending.remove(&id) {
-                    let _ = tx.send(Ok(frame));
-                }
-            } else if let Some(tx) = pending.get(&id) {
-                if tx.send(Ok(frame)).is_err() {
+            if frame.kind == RESP_CHUNK {
+                let abandoned = conn.dispatch.with(id, |tx| tx.send(Ok(frame)).is_err());
+                if abandoned == Some(true) {
                     // Receiver abandoned the stream; stop routing to it.
-                    pending.remove(&id);
+                    conn.dispatch.take(id);
+                }
+            } else {
+                // Terminal frame: retire the pending entry.
+                if let Some(tx) = conn.dispatch.take(id) {
+                    let _ = tx.send(Ok(frame));
                 }
             }
         })

@@ -1,0 +1,102 @@
+//! Loom models of the connection pool's response-dispatch table.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p ripple-store-net --test
+//! loom_pool`.  Compiles to nothing in ordinary builds.
+//!
+//! The property under check is the anti-stranding invariant documented on
+//! [`ripple_store_net::dispatch::Dispatch`]: a request racing the reader
+//! thread's connection-death declaration is either *refused at
+//! registration* (the writer fails it fast) or *drained by the kill* (the
+//! reader fails it) — under no interleaving does a registered completer
+//! survive unanswered.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use ripple_store_net::dispatch::Dispatch;
+
+/// One writer registers while the reader kills: the completer must end up
+/// completed by exactly one side.
+#[test]
+fn racing_register_and_kill_never_strand_a_request() {
+    loom::model(|| {
+        let dispatch: Arc<Dispatch<Arc<AtomicUsize>>> = Arc::new(Dispatch::new());
+        let completions = Arc::new(AtomicUsize::new(0));
+
+        let writer = {
+            let dispatch = Arc::clone(&dispatch);
+            let completions = Arc::clone(&completions);
+            loom::thread::spawn(move || {
+                let completer = Arc::clone(&completions);
+                if dispatch.register(1, completer) {
+                    true // registered: someone must complete it
+                } else {
+                    // Refused: the writer side fails the request itself.
+                    completions.fetch_add(1, Ordering::SeqCst);
+                    false
+                }
+            })
+        };
+        let reader = {
+            let dispatch = Arc::clone(&dispatch);
+            loom::thread::spawn(move || {
+                for (_, completer) in dispatch.kill() {
+                    completer.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        let registered = writer.join().unwrap();
+        reader.join().unwrap();
+
+        if registered {
+            // The registration won the race; the kill may have missed it
+            // (kill ran first), in which case a later terminal frame or a
+            // second kill must still find it.
+            for (_, completer) in dispatch.kill() {
+                completer.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        assert_eq!(
+            completions.load(Ordering::SeqCst),
+            1,
+            "the request must be completed exactly once, by either side"
+        );
+    });
+}
+
+/// Death is permanent: once any thread observes a refusal, every later
+/// registration is refused too, so a reconnect (a fresh `Dispatch`) is the
+/// only way forward — there is no revival window that could strand a
+/// request registered "in between".
+#[test]
+fn death_is_monotonic_across_threads() {
+    loom::model(|| {
+        let dispatch: Arc<Dispatch<usize>> = Arc::new(Dispatch::new());
+
+        let killer = {
+            let dispatch = Arc::clone(&dispatch);
+            loom::thread::spawn(move || dispatch.kill().len())
+        };
+        let probe = {
+            let dispatch = Arc::clone(&dispatch);
+            loom::thread::spawn(move || {
+                let first = dispatch.register(1, 10);
+                let second = dispatch.register(2, 20);
+                (first, second)
+            })
+        };
+
+        let drained_by_killer = killer.join().unwrap();
+        let (first, second) = probe.join().unwrap();
+        assert!(
+            first || !second,
+            "a refusal must never be followed by an acceptance"
+        );
+        // Every accepted registration was drained exactly once — by the
+        // racing kill or by this final one.  Nothing leaks, nothing doubles.
+        let leftover = dispatch.kill();
+        let accepted = usize::from(first) + usize::from(second);
+        assert_eq!(drained_by_killer + leftover.len(), accepted);
+    });
+}

@@ -106,6 +106,59 @@ pub struct SummaJob {
     trace: Option<Arc<CollectingExporter<u32, u32>>>,
 }
 
+impl SummaJob {
+    /// A SUMMA job on a `grid × grid` component grid whose schedule state
+    /// lives in `table`, without a multiply trace.
+    pub fn new(table: impl Into<String>, grid: u8) -> Self {
+        Self {
+            table: table.into(),
+            n: grid,
+            trace: None,
+        }
+    }
+}
+
+/// A loader seeding the `grid × grid` SUMMA component states from `a` and
+/// `b`: component `(i, j)` starts with `A[i][j]`, `B[i][j]` and a zero `C`
+/// block.  Public so external harnesses (e.g. the property auditor) can
+/// drive [`SummaJob`] directly; [`multiply`] validates dimensions before
+/// calling this.
+pub fn block_loader(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    grid: u8,
+) -> Box<dyn ripple_core::Loader<SummaJob>> {
+    let n = grid as usize;
+    let a_blocks = a.split(n);
+    let b_blocks = b.split(n);
+    let (c_rows, c_cols) = (a.rows() / n, b.cols() / n);
+    let mut entries = Vec::with_capacity(n * n);
+    for (bi, row) in a_blocks.into_iter().enumerate() {
+        for (bj, a_block) in row.into_iter().enumerate() {
+            let b_block = b_blocks[bi][bj].clone();
+            entries.push(((bi as u32, bj as u32), a_block, b_block));
+        }
+    }
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<SummaJob>| {
+        for ((i, j), a_block, b_block) in entries {
+            sink.state(
+                0,
+                (i, j),
+                SummaState {
+                    c: DenseMatrix::zeros(c_rows, c_cols),
+                    a_have: vec![(j as u8, a_block)],
+                    b_have: vec![(i as u8, b_block)],
+                    next_mul: 0,
+                    h_sent: 0,
+                    v_sent: 0,
+                },
+            )?;
+            sink.enable((i, j))?;
+        }
+        Ok(())
+    }))
+}
+
 impl Job for SummaJob {
     type Key = (u32, u32);
     type State = SummaState;
@@ -311,8 +364,6 @@ pub fn multiply<S: KvStore>(
             reason: format!("matrices do not divide into a {n}x{n} grid"),
         });
     }
-    let a_blocks = a.split(n);
-    let b_blocks = b.split(n);
     let table = fresh_table_name();
     let trace = options.trace.then(|| Arc::new(CollectingExporter::new()));
     let job = Arc::new(SummaJob {
@@ -320,35 +371,7 @@ pub fn multiply<S: KvStore>(
         n: n as u8,
         trace: trace.clone(),
     });
-    let (c_rows, c_cols) = (a.rows() / n, b.cols() / n);
-
-    let loader = {
-        let mut entries = Vec::with_capacity(n * n);
-        for (bi, row) in a_blocks.into_iter().enumerate() {
-            for (bj, a_block) in row.into_iter().enumerate() {
-                let b_block = b_blocks[bi][bj].clone();
-                entries.push(((bi as u32, bj as u32), a_block, b_block));
-            }
-        }
-        Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<SummaJob>| {
-            for ((i, j), a_block, b_block) in entries {
-                sink.state(
-                    0,
-                    (i, j),
-                    SummaState {
-                        c: DenseMatrix::zeros(c_rows, c_cols),
-                        a_have: vec![(j as u8, a_block)],
-                        b_have: vec![(i as u8, b_block)],
-                        next_mul: 0,
-                        h_sent: 0,
-                        v_sent: 0,
-                    },
-                )?;
-                sink.enable((i, j))?;
-            }
-            Ok(())
-        }))
-    };
+    let loader = block_loader(a, b, n as u8);
 
     let mut runner = JobRunner::new(store.clone());
     runner.force_mode(options.mode).profile(options.profile);

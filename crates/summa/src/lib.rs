@@ -47,5 +47,5 @@
 mod job;
 mod matrix;
 
-pub use job::{multiply, BlockMsg, SummaJob, SummaOptions, SummaReport};
+pub use job::{block_loader, multiply, BlockMsg, SummaJob, SummaOptions, SummaReport};
 pub use matrix::DenseMatrix;

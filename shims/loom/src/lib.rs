@@ -1,0 +1,288 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API slice its concurrency models use: [`model`],
+//! [`thread`], and [`sync`] wrappers over the std primitives.
+//!
+//! **This is not an exhaustive model checker.**  Real loom enumerates
+//! every legal interleaving; this shim is a *seeded preemption fuzzer*:
+//! [`model`] runs the closure many times, and every wrapped lock, condvar,
+//! and atomic operation consults a deterministic per-iteration RNG to
+//! decide whether to yield (or briefly sleep) at that point, driving the
+//! OS scheduler through a different interleaving per iteration.  Models
+//! written against this shim compile unchanged against real loom — swap
+//! the dependency when crates.io access is available and the same tests
+//! become exhaustive.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Iterations one [`model`] call explores.
+const ITERATIONS: u64 = 64;
+
+/// Global schedule state for the current model iteration.
+static SCHEDULE_SEED: StdAtomicU64 = StdAtomicU64::new(0);
+static SCHEDULE_CLOCK: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Called by every wrapped synchronization operation: advances the
+/// iteration's deterministic sequence and preempts the calling thread at
+/// a seed-dependent subset of points.
+fn preemption_point() {
+    let seed = SCHEDULE_SEED.load(StdOrdering::Relaxed);
+    if seed == 0 {
+        return; // outside a model run: wrappers behave like plain std
+    }
+    let tick = SCHEDULE_CLOCK.fetch_add(1, StdOrdering::Relaxed);
+    // xorshift* over (seed, tick): cheap, deterministic, full-period.
+    let mut x = seed ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    let draw = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    if draw % 7 == 0 {
+        std::thread::yield_now();
+    } else if draw % 61 == 0 {
+        // A longer stall lets a racing thread run a whole critical section.
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+/// Runs `f` under [`ITERATIONS`] seeded preemption schedules.
+///
+/// # Panics
+///
+/// Propagates any panic from `f` (the failing iteration's seed is printed
+/// first so the schedule can be replayed by fixing `SCHEDULE_SEED`).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for iteration in 1..=ITERATIONS {
+        SCHEDULE_SEED.store(iteration.wrapping_mul(0x5851_f42d_4c95_7f2d) | 1, StdOrdering::SeqCst);
+        SCHEDULE_CLOCK.store(0, StdOrdering::SeqCst);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        SCHEDULE_SEED.store(0, StdOrdering::SeqCst);
+        if let Err(panic) = result {
+            eprintln!("loom (shim) model failed on iteration {iteration}/{ITERATIONS}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+pub mod thread {
+    //! Preemption-aware forwarding of `std::thread`.
+
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a model thread; the spawn itself is a preemption point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preemption_point();
+        std::thread::spawn(f)
+    }
+
+    /// Explicit yield, mirroring `loom::thread::yield_now`.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! Preemption-injecting wrappers over `std::sync`.
+
+    pub use std::sync::{Arc, LockResult, MutexGuard, WaitTimeoutResult};
+
+    /// `std::sync::Mutex` with a preemption point before each acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// # Errors
+        ///
+        /// Returns the poison error exactly as `std::sync::Mutex` does.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            super::preemption_point();
+            let guard = self.0.lock();
+            super::preemption_point();
+            guard
+        }
+    }
+
+    /// `std::sync::Condvar` with preemption points around waits and
+    /// notifications.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// # Errors
+        ///
+        /// Returns the poison error exactly as `std::sync::Condvar` does.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            super::preemption_point();
+            self.0.wait(guard)
+        }
+
+        /// # Errors
+        ///
+        /// Returns the poison error exactly as `std::sync::Condvar` does.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            super::preemption_point();
+            self.0.wait_timeout(guard, dur)
+        }
+
+        pub fn notify_one(&self) {
+            super::preemption_point();
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            super::preemption_point();
+            self.0.notify_all();
+        }
+    }
+
+    pub mod atomic {
+        //! Preemption-injecting wrappers over `std::sync::atomic`.
+
+        pub use std::sync::atomic::Ordering;
+
+        /// Preemption-injecting `AtomicU64`.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            pub fn new(value: u64) -> Self {
+                Self(std::sync::atomic::AtomicU64::new(value))
+            }
+
+            pub fn load(&self, order: Ordering) -> u64 {
+                crate::preemption_point();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, value: u64, order: Ordering) {
+                crate::preemption_point();
+                self.0.store(value, order);
+            }
+
+            pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+                crate::preemption_point();
+                self.0.fetch_add(value, order)
+            }
+
+            pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+                crate::preemption_point();
+                self.0.fetch_sub(value, order)
+            }
+        }
+
+        /// Preemption-injecting `AtomicUsize`.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            pub fn new(value: usize) -> Self {
+                Self(std::sync::atomic::AtomicUsize::new(value))
+            }
+
+            pub fn load(&self, order: Ordering) -> usize {
+                crate::preemption_point();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, value: usize, order: Ordering) {
+                crate::preemption_point();
+                self.0.store(value, order);
+            }
+
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                crate::preemption_point();
+                self.0.fetch_add(value, order)
+            }
+        }
+
+        /// Preemption-injecting `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(value: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(value))
+            }
+
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::preemption_point();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, value: bool, order: Ordering) {
+                crate::preemption_point();
+                self.0.store(value, order);
+            }
+
+            pub fn swap(&self, value: bool, order: Ordering) -> bool {
+                crate::preemption_point();
+                self.0.swap(value, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_schedules_vary() {
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        super::model(move || {
+            t.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn wrapped_primitives_behave_like_std() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    let a = Arc::clone(&a);
+                    super::thread::spawn(move || {
+                        *m.lock().unwrap() += 1;
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+}
