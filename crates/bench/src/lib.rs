@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use ripple_kv::KvStore;
 use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
-use ripple_store_net::LoopbackCluster;
+use ripple_store_net::{ChaosCluster, LoopbackCluster, NetConfig, NetFaultPlan};
 use ripple_store_simple::SimpleStore;
 
 /// Mean and (sample) standard deviation of a set of measurements.
@@ -198,7 +198,11 @@ pub trait StoreBench {
 /// `disk` factories give each instance its own subdirectory of
 /// [`disk_data_dir`] (experiments may keep two stores live at once);
 /// `net` factories spawn a fresh loopback cluster with one part server
-/// per part, kept alive until the bench body returns.
+/// per part, kept alive until the bench body returns.  The `net` backend
+/// additionally honours `--replicas <n>` (replicated part servers with
+/// failover, default 1) and `--chaos-seed <seed>` (route traffic through
+/// a deterministic fault-injecting proxy; mutually exclusive with
+/// `--replicas`).
 pub fn dispatch<B: StoreBench>(args: &Args, bin: &str, parts: u32, bench: B) {
     let choice = StoreChoice::from_args(args);
     match choice {
@@ -218,15 +222,61 @@ pub fn dispatch<B: StoreBench>(args: &Args, bin: &str, parts: u32, bench: B) {
             });
         }
         StoreChoice::Net => {
-            let mut clusters = Vec::new();
-            bench.run(choice, move || {
-                let cluster = LoopbackCluster::spawn(parts as usize, parts);
-                let store = cluster.store.clone();
-                clusters.push(cluster);
-                store
-            });
+            let replicas: usize = args.get("replicas", 1);
+            let chaos_seed: Option<u64> = args.get_opt("chaos-seed");
+            assert!(replicas >= 1, "--replicas needs at least 1");
+            assert!(
+                chaos_seed.is_none() || replicas == 1,
+                "--chaos-seed and --replicas cannot be combined"
+            );
+            if let Some(seed) = chaos_seed {
+                println!(
+                    "chaos: seed {seed} (delay 1% 200us, corrupt 0.2% of gets, \
+                     sever 0.1% of puts); replay with --chaos-seed {seed}"
+                );
+                let mut clusters = Vec::new();
+                bench.run(choice, move || {
+                    let plan = mild_chaos_plan(seed);
+                    let cluster =
+                        ChaosCluster::spawn(parts as usize, parts, &plan, &NetConfig::default());
+                    let store = cluster.store.clone();
+                    clusters.push(cluster);
+                    store
+                });
+            } else {
+                let mut clusters = Vec::new();
+                bench.run(choice, move || {
+                    let cluster = if replicas > 1 {
+                        LoopbackCluster::spawn_replicated(
+                            parts as usize,
+                            replicas,
+                            parts,
+                            &NetConfig::default(),
+                        )
+                    } else {
+                        LoopbackCluster::spawn(parts as usize, parts)
+                    };
+                    let store = cluster.store.clone();
+                    clusters.push(cluster);
+                    store
+                });
+            }
         }
     }
+}
+
+/// The default fault mix for `--chaos-seed`: rare enough that runs finish,
+/// frequent enough that the retry and reconnect paths actually fire.
+/// Delays hit every frame; the destructive faults are scoped to the hot
+/// state read/write plane, where the engines retry — an unscoped sever
+/// can land on a one-shot control frame and fail the run outright.
+pub fn mild_chaos_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan::seeded(seed)
+        .delay(10_000, Duration::from_micros(200))
+        .corrupt(2_000)
+        .on_kind(ripple_store_net::proto::REQ_GET)
+        .sever(1_000)
+        .on_kind(ripple_store_net::proto::REQ_PUT)
 }
 
 impl std::fmt::Display for StoreChoice {

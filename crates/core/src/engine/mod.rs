@@ -515,11 +515,14 @@ impl<J: Job> LoadBuffer<J> {
 }
 
 /// The engine-side [`LoadSink`]: initial states go straight to the state
-/// tables; messages and enables buffer as step-0 envelopes.
+/// tables (retried through the run's policy, since against a networked
+/// store a load-time put can fail transiently like any other operation);
+/// messages and enables buffer as step-0 envelopes.
 pub(crate) struct EngineLoadSink<'a, S: KvStore, J: Job> {
     pub(crate) tables: &'a [S::Table],
     pub(crate) registry: &'a AggregatorRegistry,
     pub(crate) buffer: &'a mut LoadBuffer<J>,
+    pub(crate) retry: Option<&'a crate::retry::FaultRetry>,
 }
 
 impl<S: KvStore, J: Job> LoadSink<J> for EngineLoadSink<'_, S, J> {
@@ -528,7 +531,11 @@ impl<S: KvStore, J: Job> LoadSink<J> for EngineLoadSink<'_, S, J> {
             index: tab,
             tables: self.tables.len(),
         })?;
-        table.put(key_to_routed(&key), to_wire(&state))?;
+        let routed = key_to_routed(&key);
+        let value = to_wire(&state);
+        crate::retry::kv_with_retry(self.retry, routed.part_for(table.part_count()).0, || {
+            table.put(routed.clone(), value.clone())
+        })?;
         Ok(())
     }
 

@@ -188,6 +188,7 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
             tables: &env.tables,
             registry: &env.registry,
             buffer: &mut buffer,
+            retry: Some(&retry),
         };
         for loader in loaders {
             loader.load(&mut sink)?;

@@ -45,7 +45,7 @@ use crate::engine::{
 };
 use crate::metrics::PartCounters;
 use crate::profile::{PartStepProfile, StepCounters, StepProfile};
-use crate::retry::FaultRetry;
+use crate::retry::{kv_with_retry, FaultRetry};
 use crate::{
     AggValue, AggregateSnapshot, EbspError, ExecMode, Job, Loader, RetryPolicy, RunMetrics,
     RunObserver, RunOutcome,
@@ -173,22 +173,27 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
         None => run_nonce().to_string(),
     };
     let resuming = durable.as_ref().is_some_and(|d| d.resume.is_some());
+    // Temp-table DDL is retried like every other store operation: against
+    // a networked store a transient fault here would otherwise kill the
+    // run before the first step.
     let make_table = |name: &str| {
-        if resuming {
-            // The interrupted run's durable temporaries carry the messages
-            // the resume continues from; rewind has already cut them to
-            // the journalled barrier.
-            if let Ok(t) = env.store.lookup_table(name) {
-                return Ok(t);
+        kv_with_retry(Some(&fault_retry), 0, || {
+            if resuming {
+                // The interrupted run's durable temporaries carry the
+                // messages the resume continues from; rewind has already
+                // cut them to the journalled barrier.
+                if let Ok(t) = env.store.lookup_table(name) {
+                    return Ok(t);
+                }
             }
-        }
-        if fast {
-            // Replicated, so a crashed part's transport/inbox slices can
-            // be promoted back to their crash-instant contents.
-            env.store.create_table_like_replicated(name, &env.reference)
-        } else {
-            env.store.create_table_like(name, &env.reference)
-        }
+            if fast {
+                // Replicated, so a crashed part's transport/inbox slices
+                // can be promoted back to their crash-instant contents.
+                env.store.create_table_like_replicated(name, &env.reference)
+            } else {
+                env.store.create_table_like(name, &env.reference)
+            }
+        })
     };
     let transport_name = format!("__ebsp_xport_{nonce}");
     let inbox_name = format!("__ebsp_inbox_{nonce}");
@@ -266,6 +271,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 tables: &env.tables,
                 registry: &env.registry,
                 buffer: &mut buffer,
+                retry: Some(&fault_retry),
             };
             for loader in loaders {
                 loader.load(&mut sink)?;

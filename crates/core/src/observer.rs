@@ -48,6 +48,19 @@ pub trait RunObserver: Send + Sync + 'static {
         let _ = (part, attempt);
     }
 
+    /// The store's failure detector declared the server hosting `part`
+    /// down while its replica group was fenced at `epoch`.  Fired by
+    /// networked backends; in-process stores never emit it.
+    fn on_part_down(&self, part: u32, epoch: u64) {
+        let _ = (part, epoch);
+    }
+
+    /// The store promoted a standby to primary for the group hosting
+    /// `part`; `epoch` is the new fencing epoch after promotion.
+    fn on_failover(&self, part: u32, epoch: u64) {
+        let _ = (part, epoch);
+    }
+
     /// A synchronized step's profile, emitted right after the step's
     /// barrier when profiling is enabled
     /// ([`JobRunner::profile`](crate::JobRunner::profile)).
@@ -115,6 +128,16 @@ impl RunObserver for FanoutObserver {
             o.on_retry(part, attempt);
         }
     }
+    fn on_part_down(&self, part: u32, epoch: u64) {
+        for o in &self.observers {
+            o.on_part_down(part, epoch);
+        }
+    }
+    fn on_failover(&self, part: u32, epoch: u64) {
+        for o in &self.observers {
+            o.on_failover(part, epoch);
+        }
+    }
     fn on_step_profile(&self, profile: &StepProfile) {
         for o in &self.observers {
             o.on_step_profile(profile);
@@ -153,6 +176,10 @@ pub enum ObservedEvent {
     FaultInjected(u32, String),
     /// `on_retry(part, attempt)`.
     Retry(u32, u32),
+    /// `on_part_down(part, epoch)`.
+    PartDown(u32, u64),
+    /// `on_failover(part, epoch)`.
+    Failover(u32, u64),
     /// `on_step_profile(profile)` — the step number.
     StepProfile(u32),
     /// `on_worker_profile(profile)` — the part.
@@ -199,6 +226,16 @@ impl RunObserver for RecordingObserver {
     }
     fn on_retry(&self, part: u32, attempt: u32) {
         self.events.lock().push(ObservedEvent::Retry(part, attempt));
+    }
+    fn on_part_down(&self, part: u32, epoch: u64) {
+        self.events
+            .lock()
+            .push(ObservedEvent::PartDown(part, epoch));
+    }
+    fn on_failover(&self, part: u32, epoch: u64) {
+        self.events
+            .lock()
+            .push(ObservedEvent::Failover(part, epoch));
     }
     fn on_step_profile(&self, profile: &StepProfile) {
         self.events

@@ -278,6 +278,9 @@ impl<S: KvStore> JobRunner<S> {
         job: Arc<J>,
         options: RunOptions<J, M>,
     ) -> Result<RunOutcome, EbspError> {
+        if let Some(deadline) = options.op_deadline_opt() {
+            self.store.set_op_deadline(Some(deadline));
+        }
         M::launch_on(self, job, options)
     }
 
@@ -372,6 +375,12 @@ impl<S: KvStore> JobRunner<S> {
     /// Resolves the effective profiling flag and observer: `trace_to`
     /// implies profiling and splices an internal [`crate::TraceRecorder`]
     /// in front of any user observer via [`crate::FanoutObserver`].
+    ///
+    /// When an observer exists it is also installed as the store's event
+    /// sink, so store-level failure detection (part down, replica
+    /// promotion) surfaces through [`crate::RunObserver::on_part_down`] /
+    /// [`crate::RunObserver::on_failover`] instead of being visible only
+    /// as latency.  In-process stores ignore the sink.
     #[allow(clippy::type_complexity)]
     fn profiling_setup(
         &self,
@@ -394,6 +403,10 @@ impl<S: KvStore> JobRunner<S> {
             (None, Some(rec)) => Some(Arc::clone(rec) as Arc<dyn crate::RunObserver>),
             (None, None) => None,
         };
+        if let Some(obs) = &observer {
+            self.store
+                .set_event_sink(Arc::new(ObserverEventSink(Arc::clone(obs))));
+        }
         (profile, observer, recorder)
     }
 
@@ -526,6 +539,21 @@ impl<S: HealableStore> JobRunner<S> {
         extra_loaders: Vec<Box<dyn Loader<J>>>,
     ) -> Result<RunOutcome, EbspError> {
         self.launch(job, RunOptions::new().loaders(extra_loaders).healing())
+    }
+}
+
+/// Adapts a [`crate::RunObserver`] to the store SPI's event sink so
+/// store-internal failure detection lands in the same observer stream as
+/// engine events.  Calls may arrive from store threads; the observer
+/// contract (cheap, non-blocking) already covers that.
+struct ObserverEventSink(Arc<dyn crate::RunObserver>);
+
+impl ripple_kv::StoreEventSink for ObserverEventSink {
+    fn on_part_down(&self, part: u32, epoch: u64) {
+        self.0.on_part_down(part, epoch);
+    }
+    fn on_failover(&self, part: u32, epoch: u64) {
+        self.0.on_failover(part, epoch);
     }
 }
 

@@ -210,6 +210,17 @@ impl RunObserver for TraceRecorder {
                 profile.store.net_bytes_in + profile.store.net_bytes_out,
             );
         }
+        // Failure tracks only appear once something actually went wrong,
+        // so healthy traces stay uncluttered.
+        if profile.store.retries != 0 {
+            self.push_counter("store retries", end, profile.store.retries);
+        }
+        if profile.store.reconnects != 0 {
+            self.push_counter("reconnects", end, profile.store.reconnects);
+        }
+        if profile.store.failovers != 0 {
+            self.push_counter("failovers", end, profile.store.failovers);
+        }
     }
 
     fn on_worker_profile(&self, profile: &WorkerProfile) {
@@ -251,7 +262,8 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
              \"state_reads\":{},\"state_writes\":{},\"state_deletes\":{},\"creates\":{},\
              \"direct_outputs\":{},\"spill_batches\":{},\"local_ops\":{},\"remote_ops\":{},\
              \"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\"replayed_records\":{},\
-             \"rpcs\":{},\"net_bytes_in\":{},\"net_bytes_out\":{},\"rpc_p50_us\":{},\
+             \"rpcs\":{},\"net_bytes_in\":{},\"net_bytes_out\":{},\"retries\":{},\
+             \"reconnects\":{},\"failovers\":{},\"rpc_p50_us\":{},\
              \"rpc_p99_us\":{},\"parts\":[",
             p.step,
             micros(p.start),
@@ -277,6 +289,9 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             p.store.rpcs,
             p.store.net_bytes_in,
             p.store.net_bytes_out,
+            p.store.retries,
+            p.store.reconnects,
+            p.store.failovers,
             p.store.rpc_latency.quantile_upper_us(0.50),
             p.store.rpc_latency.quantile_upper_us(0.99),
         );

@@ -93,6 +93,18 @@ pub enum KvError {
         /// Bytes truncated off the end of the log.
         discarded_bytes: u64,
     },
+    /// A request carried a fencing epoch older than the one its server has
+    /// been fenced at: the sender's view of the replica group is stale
+    /// (typically a client, or a demoted primary, that has not yet observed
+    /// a promotion).  The request was refused without touching state; the
+    /// caller must refresh its membership view and re-handshake at the
+    /// current epoch.
+    StaleEpoch {
+        /// The epoch the request carried.
+        seen: u64,
+        /// The epoch the server is fenced at.
+        current: u64,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -130,6 +142,12 @@ impl fmt::Display for KvError {
                     f,
                     "table {table:?} part {part}: WAL tail discarded \
                      ({valid_records} records replayed, {discarded_bytes} B dropped)"
+                )
+            }
+            KvError::StaleEpoch { seen, current } => {
+                write!(
+                    f,
+                    "stale epoch {seen} refused (replica group is fenced at epoch {current})"
                 )
             }
         }
@@ -203,6 +221,14 @@ mod tests {
         .is_transient());
         assert!(!KvError::PartFailed { part: 0 }.is_transient());
         assert!(!KvError::StoreClosed.is_transient());
+        // Stale epochs need a membership refresh, not a blind retry; the
+        // networked client converts them to `Transient` only *after*
+        // observing the newer fence.
+        assert!(!KvError::StaleEpoch {
+            seen: 1,
+            current: 2
+        }
+        .is_transient());
     }
 
     #[test]

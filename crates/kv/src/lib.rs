@@ -33,6 +33,7 @@ mod durable;
 mod error;
 mod handle;
 mod key;
+mod member;
 mod metrics;
 mod recover;
 mod spec;
@@ -45,6 +46,7 @@ pub use durable::{DurableStore, SyncPolicy};
 pub use error::{panic_message, KvError};
 pub use handle::TaskHandle;
 pub use key::{fnv64, PartId, RoutedKey};
+pub use member::{MembershipView, ReplicaSet, StoreEventSink};
 pub use metrics::{LatencyBuckets, StoreMetrics};
 pub use recover::{HealableStore, RecoverableStore};
 pub use spec::TableSpec;

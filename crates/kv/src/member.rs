@@ -1,0 +1,159 @@
+//! Replica-group membership types and the store event sink.
+//!
+//! A replicated store hosts each part slot on a small **replica group**: a
+//! primary plus zero or more standbys.  Promotion of a standby is fenced by
+//! a monotonically increasing **epoch** so a deposed primary (a "zombie")
+//! can never accept writes that the rest of the system no longer expects it
+//! to hold (requests carrying an older epoch are refused with
+//! [`KvError::StaleEpoch`](crate::KvError::StaleEpoch)).
+//!
+//! These types are deliberately plain data: the SPI layer only describes
+//! membership; the mechanics of heartbeats, suspicion, and promotion live in
+//! the store implementations.  The [`StoreEventSink`] trait is the reverse
+//! channel — a store calls it to tell whoever is running a job that a part
+//! went down or failed over, so observers can log the event instead of the
+//! job silently stalling.
+
+use std::fmt;
+
+/// Receiver for store-level failure events.
+///
+/// Engines install a sink via
+/// [`KvStore::set_event_sink`](crate::KvStore::set_event_sink) so failure
+/// detection inside the store (missed heartbeats, dead connections, replica
+/// promotion) surfaces as observer callbacks rather than being visible only
+/// as latency.  All methods have empty defaults; implementations override
+/// what they care about.  Calls may arrive from store-internal threads, so
+/// implementations must be cheap and must not call back into the store.
+pub trait StoreEventSink: Send + Sync + 'static {
+    /// A member serving `part` was declared down while the group was at
+    /// `epoch`.
+    fn on_part_down(&self, part: u32, epoch: u64) {
+        let _ = (part, epoch);
+    }
+
+    /// A standby was promoted to primary for `part`; the group is now
+    /// fenced at `epoch` (the epoch *after* the promotion).
+    fn on_failover(&self, part: u32, epoch: u64) {
+        let _ = (part, epoch);
+    }
+}
+
+/// One part slot's replica group: an ordered member list, the index of the
+/// current primary, the fencing epoch, and per-member down flags.
+///
+/// `A` is the member address type (a socket address for the networked
+/// store; tests may use plain indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet<A> {
+    /// The group's members in configuration order.  The first member is the
+    /// initial primary.
+    pub members: Vec<A>,
+    /// Index into `members` of the current primary.
+    pub primary: usize,
+    /// The group's fencing epoch.  Starts at 1 and increases by exactly one
+    /// per promotion; requests fenced at an older epoch are refused.
+    pub epoch: u64,
+    /// Per-member down flags, parallel to `members`.  A down member is
+    /// never selected as primary and no longer receives replicated writes.
+    pub down: Vec<bool>,
+}
+
+impl<A> ReplicaSet<A> {
+    /// Number of members still considered alive.
+    #[must_use]
+    pub fn live_members(&self) -> usize {
+        self.down.iter().filter(|d| !**d).count()
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for ReplicaSet<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}: [", self.epoch)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+            if i == self.primary {
+                write!(f, "*")?;
+            }
+            if self.down[i] {
+                write!(f, " (down)")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A snapshot of every part slot's replica group.
+///
+/// Parts map onto slots by modulo: part `p` is served by
+/// `groups[p % groups.len()]`, matching how the networked store assigns
+/// parts to servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView<A> {
+    /// One replica group per part slot.
+    pub groups: Vec<ReplicaSet<A>>,
+}
+
+impl<A> MembershipView<A> {
+    /// The replica group serving `part`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view has no groups.
+    #[must_use]
+    pub fn group_for_part(&self, part: u32) -> &ReplicaSet<A> {
+        assert!(!self.groups.is_empty(), "membership view has no groups");
+        &self.groups[part as usize % self.groups.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(primary: usize, epoch: u64, down: &[bool]) -> ReplicaSet<u32> {
+        ReplicaSet {
+            members: (0..down.len() as u32).collect(),
+            primary,
+            epoch,
+            down: down.to_vec(),
+        }
+    }
+
+    #[test]
+    fn parts_map_to_groups_by_modulo() {
+        let view = MembershipView {
+            groups: vec![group(0, 1, &[false]), group(1, 3, &[true, false])],
+        };
+        assert_eq!(view.group_for_part(0).epoch, 1);
+        assert_eq!(view.group_for_part(1).epoch, 3);
+        assert_eq!(view.group_for_part(2).epoch, 1);
+        assert_eq!(view.group_for_part(5).epoch, 3);
+    }
+
+    #[test]
+    fn live_member_count_skips_down_members() {
+        assert_eq!(group(1, 2, &[true, false, false]).live_members(), 2);
+        assert_eq!(group(0, 1, &[false]).live_members(), 1);
+    }
+
+    #[test]
+    fn display_marks_primary_and_down_members() {
+        let s = group(1, 2, &[true, false]).to_string();
+        assert!(s.contains("epoch 2"));
+        assert!(s.contains("0 (down)"));
+        assert!(s.contains("1*"));
+    }
+
+    #[test]
+    fn default_sink_methods_are_no_ops() {
+        struct Quiet;
+        impl StoreEventSink for Quiet {}
+        let q = Quiet;
+        q.on_part_down(3, 7);
+        q.on_failover(3, 8);
+    }
+}

@@ -119,6 +119,18 @@ pub struct StoreMetrics {
     /// Bytes written to the network (frame bytes, headers included).
     /// Zero on in-process backends.
     pub net_bytes_out: u64,
+    /// Operations the store re-issued internally (fencing handshake redos,
+    /// stale-epoch refreshes) — retries *below* the engine's own retry
+    /// policy.  Zero on in-process backends.
+    pub retries: u64,
+    /// Connections opened to a destination beyond its first — each one is
+    /// a heal after a lost or severed connection.  Zero on in-process
+    /// backends.
+    pub reconnects: u64,
+    /// Primary promotions: a replica group's primary was declared down and
+    /// a standby took over at a higher epoch.  Zero on in-process and
+    /// unreplicated backends.
+    pub failovers: u64,
     /// Request-latency histogram for the networked operations counted in
     /// [`StoreMetrics::rpcs`], measured send-to-completion.
     pub rpc_latency: LatencyBuckets,
@@ -147,6 +159,9 @@ impl Sub for StoreMetrics {
             rpcs: self.rpcs.saturating_sub(rhs.rpcs),
             net_bytes_in: self.net_bytes_in.saturating_sub(rhs.net_bytes_in),
             net_bytes_out: self.net_bytes_out.saturating_sub(rhs.net_bytes_out),
+            retries: self.retries.saturating_sub(rhs.retries),
+            reconnects: self.reconnects.saturating_sub(rhs.reconnects),
+            failovers: self.failovers.saturating_sub(rhs.failovers),
             rpc_latency: self.rpc_latency - rhs.rpc_latency,
         }
     }
@@ -184,6 +199,15 @@ impl fmt::Display for StoreMetrics {
                 self.rpc_latency.quantile_upper_us(0.99)
             )?;
         }
+        // Failure-handling counters only appear when something actually
+        // went wrong (or over); healthy runs print compactly.
+        if self.retries != 0 || self.reconnects != 0 || self.failovers != 0 {
+            write!(
+                f,
+                ", {} store retries, {} reconnects, {} failovers",
+                self.retries, self.reconnects, self.failovers
+            )?;
+        }
         Ok(())
     }
 }
@@ -206,6 +230,9 @@ mod tests {
             rpcs: 20,
             net_bytes_in: 512,
             net_bytes_out: 256,
+            retries: 8,
+            reconnects: 4,
+            failovers: 2,
             rpc_latency: LatencyBuckets([2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
         };
         let b = StoreMetrics {
@@ -220,6 +247,9 @@ mod tests {
             rpcs: 5,
             net_bytes_in: 12,
             net_bytes_out: 56,
+            retries: 3,
+            reconnects: 1,
+            failovers: 2,
             rpc_latency: LatencyBuckets([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
         };
         let d = a - b;
@@ -235,6 +265,9 @@ mod tests {
         assert_eq!(d.rpcs, 15);
         assert_eq!(d.net_bytes_in, 500);
         assert_eq!(d.net_bytes_out, 200);
+        assert_eq!(d.retries, 5);
+        assert_eq!(d.reconnects, 3);
+        assert_eq!(d.failovers, 0);
         assert_eq!(d.rpc_latency.total(), 1);
     }
 
@@ -276,6 +309,21 @@ mod tests {
         .to_string();
         assert!(netted.contains("7 rpcs"));
         assert!(netted.contains("100 B in / 50 B out"));
+    }
+
+    #[test]
+    fn display_mentions_failover_only_when_nonzero() {
+        assert!(!StoreMetrics::default().to_string().contains("failovers"));
+        let failed_over = StoreMetrics {
+            retries: 2,
+            reconnects: 3,
+            failovers: 1,
+            ..StoreMetrics::default()
+        }
+        .to_string();
+        assert!(failed_over.contains("2 store retries"));
+        assert!(failed_over.contains("3 reconnects"));
+        assert!(failed_over.contains("1 failovers"));
     }
 
     #[test]

@@ -115,6 +115,36 @@ pub trait KvStore: Clone + Send + Sync + Sized + 'static {
     /// A snapshot of the store's operation/marshalling counters.
     fn metrics(&self) -> crate::StoreMetrics;
 
+    /// Installs a sink for store-level failure events (part down, replica
+    /// promotion).  Stores without failure detection ignore the sink — the
+    /// default implementation drops it — so callers must treat event
+    /// delivery as best-effort.  Installing a new sink replaces the old.
+    fn set_event_sink(&self, sink: std::sync::Arc<dyn crate::StoreEventSink>) {
+        let _ = sink;
+    }
+
+    /// Bounds how long a single store operation may wait on a silent peer
+    /// before failing with [`KvError::Transient`]; `None` restores the
+    /// store's default.  Purely local stores have no silent-peer hazard and
+    /// ignore the deadline (the default implementation).
+    fn set_op_deadline(&self, deadline: Option<std::time::Duration>) {
+        let _ = deadline;
+    }
+
+    /// Probes liveness of the member currently serving `part` and returns
+    /// the fencing epoch of its replica group.  Local stores are always
+    /// live at epoch 0 (the default implementation); a networked store
+    /// performs a heartbeat RPC.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::Transient`] when the peer cannot be reached
+    /// within the operation deadline.
+    fn ping_part(&self, part: PartId) -> Result<u64, KvError> {
+        let _ = part;
+        Ok(0)
+    }
+
     /// Per-part snapshots of the store's counters, indexed by part id —
     /// the attribution layer step profiling uses to charge store traffic
     /// to the part that served it.

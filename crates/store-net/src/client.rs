@@ -3,13 +3,31 @@
 //!
 //! # Topology
 //!
-//! The store is constructed from an ordered list of server addresses.
-//! Part `p` of every table is owned by server `p % servers`; ubiquitous
-//! tables are replicated on every server (writes broadcast, reads hit
-//! server 0 on the client path and any local replica on the server path).
-//! DDL is broadcast to all servers under a client-side lock so every
-//! server keeps an identically-shaped inner store; table metadata is
-//! taken from server 0's response and cached in a client-side catalog.
+//! The store is constructed from an ordered list of part slots, each
+//! served by a **replica group** (a primary plus optional standbys; see
+//! [`NetStore::connect_replicated`]).  Part `p` of every table belongs to
+//! slot `p % slots`; ubiquitous tables are replicated on every server
+//! (writes broadcast, reads hit slot 0 on the client path and any local
+//! replica on the server path).  DDL is broadcast to all servers under a
+//! client-side lock so every server keeps an identically-shaped inner
+//! store; table metadata is taken from slot 0's response and cached in a
+//! client-side catalog.
+//!
+//! # Replication and failover
+//!
+//! Data-plane writes to a replicated slot reach every live group member
+//! (primary first — it must succeed — then standbys, which are retried
+//! once and then marked permanently down); reads and enumerations go to
+//! the primary only.  When the primary dies, the connection pool promotes
+//! a standby at a higher fencing epoch and the operation surfaces
+//! [`KvError::Transient`], which the engines' retry policies already heal
+//! — so a job killed mid-superstep replays from the last barrier against
+//! the promoted replica.  An optional heartbeat thread
+//! ([`NetConfig::heartbeat_interval`]) probes primaries so a silent
+//! server is detected even between requests.  Mutations performed inside
+//! *named tasks* ([`KvStore::run_named_at`]) run on the primary only and
+//! are **not** replicated to standbys — replicated deployments should
+//! confine named-task writes to recomputable state.
 //!
 //! # Mobile code
 //!
@@ -24,19 +42,50 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use ripple_kv::{
-    KvError, KvStore, PartId, PartView, RoutedKey, ScanControl, StoreMetrics, Table, TableSpec,
-    TaskHandle,
+    KvError, KvStore, MembershipView, PartId, PartView, RoutedKey, ScanControl, StoreEventSink,
+    StoreMetrics, Table, TableSpec, TaskHandle,
 };
 use ripple_wire::{from_wire, to_wire};
 
+use crate::membership::Membership;
 use crate::metrics::NetCounters;
-use crate::pool::{Pending, Pool};
+use crate::pool::{Pending, Pool, CONNECT_TIMEOUT, RESPONSE_TIMEOUT};
 use crate::proto::{self, TableMeta};
+
+/// Tunables for a [`NetStore`]'s failure behaviour.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bound on establishing a TCP connection to a part server.
+    pub connect_timeout: Duration,
+    /// Bound on waiting for any single response frame (overridable at
+    /// runtime through
+    /// [`KvStore::set_op_deadline`](ripple_kv::KvStore::set_op_deadline)).
+    pub response_timeout: Duration,
+    /// Interval of the background heartbeat probe against each replicated
+    /// slot's primary; `None` (the default) disables the detector and
+    /// leaves failure detection to the request path.
+    pub heartbeat_interval: Option<Duration>,
+    /// Consecutive heartbeat misses tolerated before the primary is
+    /// deposed.
+    pub heartbeat_grace: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: CONNECT_TIMEOUT,
+            response_timeout: RESPONSE_TIMEOUT,
+            heartbeat_interval: None,
+            heartbeat_grace: 3,
+        }
+    }
+}
 
 fn decode<T: ripple_wire::Decode>(payload: &[u8]) -> Result<T, KvError> {
     from_wire(payload).map_err(|e| KvError::Backend {
@@ -58,48 +107,82 @@ impl Shared {
         self.pool.servers()
     }
 
-    /// The server owning part `part` of any table.
+    fn membership(&self) -> &Arc<Membership> {
+        self.pool.membership()
+    }
+
+    /// The slot owning part `part` of any table.
     fn owner(&self, part: u32) -> usize {
         part as usize % self.servers()
     }
 
-    fn unary(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
-        self.pool.unary(server, kind, payload)
+    fn unary(&self, slot: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        self.pool.unary(slot, kind, payload)
     }
 
-    /// Sends the same request to every server in index order and returns
-    /// server 0's response.  Used for DDL and ubiquitous-table writes,
-    /// which must reach every replica.
+    /// A write that must reach every live member of `slot`'s group: the
+    /// primary synchronously and fatally, standbys with one retry before
+    /// they are marked permanently down (a down standby is never promoted,
+    /// so giving up on it cannot resurrect stale data).  Returns the
+    /// primary's response.
+    fn replicated_write(&self, slot: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        let resp = self.pool.unary(slot, kind, payload)?;
+        let membership = self.membership();
+        if membership.replicated(slot) {
+            for member in membership.live_standbys(slot) {
+                if self.pool.unary_member(slot, member, kind, payload).is_err() {
+                    NetCounters::add(&self.metrics.retries, 1);
+                    if self.pool.unary_member(slot, member, kind, payload).is_err() {
+                        membership.mark_standby_down(slot, member);
+                    }
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// Sends the same request to every server (all slots, all live group
+    /// members) in index order and returns slot 0's primary response.
+    /// Used for DDL and ubiquitous-table writes, which must reach every
+    /// replica.
     fn broadcast(&self, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
         let mut first = None;
-        for server in 0..self.servers() {
-            let resp = self.unary(server, kind, payload)?;
-            if server == 0 {
+        for slot in 0..self.servers() {
+            let resp = self.replicated_write(slot, kind, payload)?;
+            if slot == 0 {
                 first = Some(resp);
             }
         }
         Ok(first.expect("at least one server"))
     }
 
-    /// Table metadata by name: catalog hit, or a lookup on server 0.
+    /// Table metadata by name: catalog hit, or a lookup on slot 0.
     fn meta_for(&self, table: &str) -> Result<TableMeta, KvError> {
-        if let Some(meta) = self.catalog.lock().expect("catalog lock").get(table) {
+        if let Some(meta) = self.lock_catalog().get(table) {
             return Ok(*meta);
         }
         let meta =
             TableMeta::decode(&self.unary(0, proto::REQ_LOOKUP, &to_wire(&table.to_owned()))?)?;
-        self.catalog
-            .lock()
-            .expect("catalog lock")
-            .insert(table.to_owned(), meta);
+        self.lock_catalog().insert(table.to_owned(), meta);
         Ok(meta)
     }
 
-    /// Issues a data-plane unary op, charging the data-op counters.
-    fn data_op(&self, server: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+    fn lock_catalog(&self) -> std::sync::MutexGuard<'_, HashMap<String, TableMeta>> {
+        self.catalog.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Issues a data-plane unary read, charging the data-op counters.
+    fn data_op(&self, slot: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
         NetCounters::add(&self.metrics.remote_ops, 1);
         NetCounters::add(&self.metrics.bytes_marshalled, payload.len() as u64);
-        self.unary(server, kind, payload)
+        self.unary(slot, kind, payload)
+    }
+
+    /// Issues a data-plane unary write, replicated across `slot`'s group.
+    fn data_write(&self, slot: usize, kind: u8, payload: &[u8]) -> Result<Vec<u8>, KvError> {
+        NetCounters::add(&self.metrics.remote_ops, 1);
+        NetCounters::add(&self.metrics.bytes_marshalled, payload.len() as u64);
+        self.replicated_write(slot, kind, payload)
     }
 
     /// Consumes a scan/drain stream.  Pairs are fed to `each` until it
@@ -141,30 +224,99 @@ pub struct NetStore {
 }
 
 impl NetStore {
-    /// Creates a store speaking to `addrs`, one address per part server.
-    /// Connections open lazily on first use.
+    /// Creates a store speaking to `addrs`, one address per part server
+    /// (no replication).  Connections open lazily on first use.
     ///
     /// # Panics
     ///
     /// Panics if `addrs` is empty.
     #[must_use]
     pub fn connect(addrs: Vec<SocketAddr>) -> Self {
-        assert!(!addrs.is_empty(), "a NetStore needs at least one server");
+        Self::connect_with(addrs, &NetConfig::default())
+    }
+
+    /// Like [`NetStore::connect`], with explicit failure tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    #[must_use]
+    pub fn connect_with(addrs: Vec<SocketAddr>, config: &NetConfig) -> Self {
+        Self::connect_replicated_with(addrs.into_iter().map(|a| vec![a]).collect(), config)
+    }
+
+    /// Creates a store over replica groups: one address list per part
+    /// slot, the first member of each being the initial primary.
+    /// Single-member groups behave exactly like [`NetStore::connect`];
+    /// larger groups get replicated writes, epoch-fenced failover, and
+    /// (if configured) heartbeat-based failure detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or any group is empty.
+    #[must_use]
+    pub fn connect_replicated(groups: Vec<Vec<SocketAddr>>) -> Self {
+        Self::connect_replicated_with(groups, &NetConfig::default())
+    }
+
+    /// Like [`NetStore::connect_replicated`], with explicit failure
+    /// tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or any group is empty.
+    #[must_use]
+    pub fn connect_replicated_with(groups: Vec<Vec<SocketAddr>>, config: &NetConfig) -> Self {
+        assert!(!groups.is_empty(), "a NetStore needs at least one server");
         let metrics = Arc::new(NetCounters::default());
-        Self {
+        let membership = Arc::new(Membership::new(groups, Arc::clone(&metrics)));
+        let store = Self {
             inner: Arc::new(Shared {
-                pool: Pool::new(addrs, Arc::clone(&metrics)),
+                pool: Pool::new(
+                    Arc::clone(&membership),
+                    Arc::clone(&metrics),
+                    config.connect_timeout,
+                    config.response_timeout,
+                ),
                 metrics,
                 catalog: Mutex::new(HashMap::new()),
                 ddl: Mutex::new(()),
             }),
+        };
+        if let Some(interval) = config.heartbeat_interval {
+            spawn_heartbeat(
+                Arc::downgrade(&store.inner),
+                interval,
+                config.heartbeat_grace,
+            );
         }
+        store
     }
 
-    /// Number of part servers this store speaks to.
+    /// Number of part slots this store speaks to.
     #[must_use]
     pub fn servers(&self) -> usize {
         self.inner.servers()
+    }
+
+    /// A snapshot of the client's replica-group membership view.
+    #[must_use]
+    pub fn membership(&self) -> MembershipView<SocketAddr> {
+        self.inner.membership().view()
+    }
+
+    /// Administratively advances `slot`'s fencing epoch and returns the
+    /// new value.  Connections handshaken at the old epoch are refused by
+    /// servers as soon as any connection announces the new one — the hook
+    /// zombie-fencing tests use to simulate an external promotion.
+    #[must_use]
+    pub fn advance_epoch(&self, slot: usize) -> u64 {
+        let epoch = self.inner.membership().advance_epoch(slot);
+        // This client's own connections are fenced at the old epoch too;
+        // sever them so the next request re-handshakes at the new one and
+        // raises the server-side watermark.
+        self.inner.pool.sever();
+        epoch
     }
 
     /// Severs every open connection at the socket level, failing in-flight
@@ -175,17 +327,43 @@ impl NetStore {
     }
 
     fn table_from_meta(&self, name: &str, meta: TableMeta) -> NetTable {
-        self.inner
-            .catalog
-            .lock()
-            .expect("catalog lock")
-            .insert(name.to_owned(), meta);
+        self.inner.lock_catalog().insert(name.to_owned(), meta);
         NetTable {
             store: Arc::clone(&self.inner),
             name: name.to_owned(),
             meta,
         }
     }
+}
+
+/// Background failure detector: pings the primary of every replicated
+/// slot each `interval`; `grace` consecutive misses depose it.  The
+/// thread holds only a weak reference and exits once the store is gone.
+fn spawn_heartbeat(shared: Weak<Shared>, interval: Duration, grace: u32) {
+    let _ = std::thread::Builder::new()
+        .name("net-store-heartbeat".to_owned())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            let Some(shared) = shared.upgrade() else {
+                return;
+            };
+            let membership = Arc::clone(shared.membership());
+            for slot in 0..membership.slots() {
+                if !membership.replicated(slot) {
+                    continue;
+                }
+                match shared.unary(slot, proto::REQ_PING, &to_wire(&())) {
+                    Ok(payload) => {
+                        if let Ok(epoch) = from_wire::<u64>(&payload) {
+                            membership.observe_epoch(slot, epoch);
+                        }
+                    }
+                    Err(_) => {
+                        membership.record_heartbeat_miss(slot, grace);
+                    }
+                }
+            }
+        });
 }
 
 /// Handle to a table hosted on part servers.
@@ -197,7 +375,7 @@ pub struct NetTable {
 }
 
 impl NetTable {
-    /// The server that owns `key` (server 0 for ubiquitous tables).
+    /// The slot that owns `key` (slot 0 for ubiquitous tables).
     fn server_for(&self, key: &RoutedKey) -> usize {
         if self.meta.ubiquitous {
             0
@@ -240,7 +418,7 @@ impl Table for NetTable {
             NetCounters::add(&self.store.metrics.bytes_marshalled, payload.len() as u64);
             self.store.broadcast(proto::REQ_PUT, &payload)?
         } else {
-            self.store.data_op(server, proto::REQ_PUT, &payload)?
+            self.store.data_write(server, proto::REQ_PUT, &payload)?
         };
         decode(&resp)
     }
@@ -253,7 +431,7 @@ impl Table for NetTable {
             NetCounters::add(&self.store.metrics.bytes_marshalled, payload.len() as u64);
             self.store.broadcast(proto::REQ_DELETE, &payload)?
         } else {
-            self.store.data_op(server, proto::REQ_DELETE, &payload)?
+            self.store.data_write(server, proto::REQ_DELETE, &payload)?
         };
         decode(&resp)
     }
@@ -264,8 +442,8 @@ impl Table for NetTable {
             let n: u64 = decode(&self.store.unary(0, proto::REQ_LEN, &payload)?)?;
             return Ok(usize::try_from(n).unwrap_or(usize::MAX));
         }
-        // Each server holds only the parts it owns, so the per-server
-        // totals sum to the table size.
+        // Each slot holds only the parts it owns, so the per-slot totals
+        // sum to the table size.
         let mut total = 0u64;
         for server in 0..self.store.servers() {
             let n: u64 = decode(&self.store.unary(server, proto::REQ_LEN, &payload)?)?;
@@ -285,7 +463,11 @@ impl KvStore for NetStore {
     type Table = NetTable;
 
     fn create_table(&self, spec: &TableSpec) -> Result<NetTable, KvError> {
-        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let _ddl = self
+            .inner
+            .ddl
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let payload = to_wire(&(
             spec.name().to_owned(),
             spec.part_count(),
@@ -297,7 +479,11 @@ impl KvStore for NetStore {
     }
 
     fn create_table_like(&self, name: &str, like: &NetTable) -> Result<NetTable, KvError> {
-        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let _ddl = self
+            .inner
+            .ddl
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let payload = to_wire(&(name.to_owned(), like.name.clone()));
         let meta = TableMeta::decode(&self.inner.broadcast(proto::REQ_CREATE_LIKE, &payload)?)?;
         Ok(self.table_from_meta(name, meta))
@@ -308,7 +494,11 @@ impl KvStore for NetStore {
         name: &str,
         like: &NetTable,
     ) -> Result<NetTable, KvError> {
-        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let _ddl = self
+            .inner
+            .ddl
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let payload = to_wire(&(name.to_owned(), like.name.clone()));
         let meta = TableMeta::decode(
             &self
@@ -328,14 +518,14 @@ impl KvStore for NetStore {
     }
 
     fn drop_table(&self, name: &str) -> Result<(), KvError> {
-        let _ddl = self.inner.ddl.lock().expect("ddl lock");
+        let _ddl = self
+            .inner
+            .ddl
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         self.inner
             .broadcast(proto::REQ_DROP, &to_wire(&name.to_owned()))?;
-        self.inner
-            .catalog
-            .lock()
-            .expect("catalog lock")
-            .remove(name);
+        self.inner.lock_catalog().remove(name);
         Ok(())
     }
 
@@ -413,6 +603,22 @@ impl KvStore for NetStore {
     fn metrics(&self) -> StoreMetrics {
         self.inner.metrics.snapshot()
     }
+
+    fn set_event_sink(&self, sink: Arc<dyn StoreEventSink>) {
+        self.inner.membership().set_sink(sink);
+    }
+
+    fn set_op_deadline(&self, deadline: Option<Duration>) {
+        self.inner.pool.set_deadline(deadline);
+    }
+
+    fn ping_part(&self, part: PartId) -> Result<u64, KvError> {
+        let slot = self.inner.owner(part.0);
+        let payload = self.inner.unary(slot, proto::REQ_PING, &to_wire(&()))?;
+        let epoch: u64 = decode(&payload)?;
+        self.inner.membership().observe_epoch(slot, epoch);
+        Ok(epoch)
+    }
 }
 
 /// The client-side [`PartView`] handed to `run_at` closures: every
@@ -454,8 +660,8 @@ impl RemotePartView {
         }
     }
 
-    /// The `(server, part)` a part-scoped enumeration addresses: the
-    /// anchored part's owner, or part 0 on server 0 for ubiquitous tables
+    /// The `(slot, part)` a part-scoped enumeration addresses: the
+    /// anchored part's owner, or part 0 on slot 0 for ubiquitous tables
     /// (whose every replica holds the full contents).
     fn scan_target(&self, meta: TableMeta) -> (usize, u32) {
         if meta.ubiquitous {
@@ -484,16 +690,16 @@ impl PartView for RemotePartView {
         let meta = self.resolve(table, true)?;
         let server = self.server_for(meta, &key);
         let payload = to_wire(&(table.to_owned(), key, value));
-        let resp = self.shared.data_op(server, proto::REQ_PUT, &payload)?;
+        let resp = self.shared.data_write(server, proto::REQ_PUT, &payload)?;
         decode(&resp)
     }
 
     fn delete(&self, table: &str, key: &RoutedKey) -> Result<bool, KvError> {
         let meta = self.resolve(table, true)?;
         let payload = to_wire(&(table.to_owned(), key.clone()));
-        let resp = self
-            .shared
-            .data_op(self.server_for(meta, key), proto::REQ_DELETE, &payload)?;
+        let resp =
+            self.shared
+                .data_write(self.server_for(meta, key), proto::REQ_DELETE, &payload)?;
         decode(&resp)
     }
 
@@ -557,7 +763,8 @@ impl PartView for RemotePartView {
             NetCounters::add(&self.shared.metrics.remote_ops, count);
             let payload = to_wire(&(table.to_owned(), ops));
             NetCounters::add(&self.shared.metrics.bytes_marshalled, payload.len() as u64);
-            self.shared.unary(server, proto::REQ_APPLY, &payload)?;
+            self.shared
+                .replicated_write(server, proto::REQ_APPLY, &payload)?;
         }
         Ok(())
     }

@@ -46,8 +46,10 @@
 //! assert!(cluster.store.metrics().rpcs > 0);
 //! ```
 
+pub mod chaos;
 mod client;
 pub mod dispatch;
+mod membership;
 mod metrics;
 mod pool;
 pub mod proto;
@@ -55,8 +57,10 @@ mod server;
 
 pub mod loopback;
 
-pub use client::{NetStore, NetTable};
-pub use loopback::LoopbackCluster;
+pub use chaos::{ChaosProxy, Direction, NetFault, NetFaultPlan, NetFaultRecord, PPM_ALWAYS};
+pub use client::{NetConfig, NetStore, NetTable};
+pub use loopback::{ChaosCluster, LoopbackCluster};
+pub use membership::Membership;
 pub use metrics::NetCounters;
-pub use pool::{Pending, Pool, RESPONSE_TIMEOUT};
-pub use server::{PartServer, ServerHandle};
+pub use pool::{Pending, Pool, CONNECT_TIMEOUT, RESPONSE_TIMEOUT};
+pub use server::{PartServer, ServerHandle, STOP_GRACE};

@@ -11,8 +11,18 @@ use std::net::{Ipv4Addr, SocketAddr};
 use ripple_kv::TaskRegistry;
 use ripple_store_mem::MemStore;
 
-use crate::client::NetStore;
+use crate::chaos::{ChaosProxy, NetFaultPlan};
+use crate::client::{NetConfig, NetStore};
 use crate::server::{PartServer, ServerHandle};
+
+fn spawn_server(default_parts: u32, registry: &TaskRegistry) -> ServerHandle {
+    let any: SocketAddr = (Ipv4Addr::LOCALHOST, 0).into();
+    let inner = MemStore::builder().default_parts(default_parts).build();
+    PartServer::new(inner)
+        .with_registry(registry.clone())
+        .bind(any)
+        .expect("bind loopback part server")
+}
 
 /// A [`NetStore`] plus the in-process servers backing it.  Dropping the
 /// cluster stops the servers.
@@ -50,20 +60,102 @@ impl LoopbackCluster {
         registry: &TaskRegistry,
     ) -> Self {
         assert!(servers > 0, "a cluster needs at least one server");
-        let any: SocketAddr = (Ipv4Addr::LOCALHOST, 0).into();
         let handles: Vec<ServerHandle> = (0..servers)
-            .map(|_| {
-                let inner = MemStore::builder().default_parts(default_parts).build();
-                PartServer::new(inner)
-                    .with_registry(registry.clone())
-                    .bind(any)
-                    .expect("bind loopback part server")
-            })
+            .map(|_| spawn_server(default_parts, registry))
             .collect();
         let addrs = handles.iter().map(ServerHandle::addr).collect();
         Self {
             store: NetStore::connect(addrs),
             handles,
         }
+    }
+
+    /// Spawns a replicated cluster: `groups` part slots, each served by
+    /// `replicas` servers (one primary plus `replicas - 1` standbys), and
+    /// connects a replication-aware [`NetStore`] configured by `config`.
+    /// Handles are grouped slot-major: `handles[slot * replicas + r]` is
+    /// replica `r` of `slot` (replica 0 is the initial primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or `replicas` is zero, or a listener cannot be
+    /// bound.
+    #[must_use]
+    pub fn spawn_replicated(
+        groups: usize,
+        replicas: usize,
+        default_parts: u32,
+        config: &NetConfig,
+    ) -> Self {
+        assert!(groups > 0, "a cluster needs at least one group");
+        assert!(replicas > 0, "a group needs at least one replica");
+        let registry = TaskRegistry::default();
+        let handles: Vec<ServerHandle> = (0..groups * replicas)
+            .map(|_| spawn_server(default_parts, &registry))
+            .collect();
+        let addr_groups: Vec<Vec<SocketAddr>> = (0..groups)
+            .map(|g| {
+                (0..replicas)
+                    .map(|r| handles[g * replicas + r].addr())
+                    .collect()
+            })
+            .collect();
+        Self {
+            store: NetStore::connect_replicated_with(addr_groups, config),
+            handles,
+        }
+    }
+}
+
+/// A loopback cluster whose client traffic passes through one
+/// [`ChaosProxy`] per part server, all driven by the same seeded
+/// [`NetFaultPlan`].  Dropping the cluster stops proxies and servers.
+#[derive(Debug)]
+pub struct ChaosCluster {
+    /// The client store; its connections go through the proxies.
+    pub store: NetStore,
+    /// Handles on the running servers (stopped on drop).
+    pub handles: Vec<ServerHandle>,
+    /// The interposed proxies, for traces and seeds.
+    pub proxies: Vec<ChaosProxy>,
+}
+
+impl ChaosCluster {
+    /// Spawns `servers` part servers, each fronted by a chaos proxy
+    /// running `plan`, and connects a [`NetStore`] (configured by
+    /// `config`) through the proxies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero or a listener cannot be bound.
+    #[must_use]
+    pub fn spawn(
+        servers: usize,
+        default_parts: u32,
+        plan: &NetFaultPlan,
+        config: &NetConfig,
+    ) -> Self {
+        assert!(servers > 0, "a cluster needs at least one server");
+        let registry = TaskRegistry::default();
+        let handles: Vec<ServerHandle> = (0..servers)
+            .map(|_| spawn_server(default_parts, &registry))
+            .collect();
+        let proxies: Vec<ChaosProxy> = handles
+            .iter()
+            .map(|h| ChaosProxy::spawn(h.addr(), plan.clone()).expect("spawn chaos proxy"))
+            .collect();
+        let addrs = proxies.iter().map(ChaosProxy::addr).collect();
+        Self {
+            store: NetStore::connect_with(addrs, config),
+            handles,
+            proxies,
+        }
+    }
+
+    /// The faults injected so far across every proxy, flattened in proxy
+    /// order (each proxy's slice sorted by `(conn, direction, frame)`).
+    #[must_use]
+    pub fn trace(&self) -> Vec<crate::chaos::NetFaultRecord> {
+        self.proxies.iter().flat_map(ChaosProxy::trace).collect()
     }
 }

@@ -29,6 +29,16 @@ pub struct NetCounters {
     pub tasks: AtomicU64,
     /// Part enumerations (scan/drain streams opened).
     pub enumerations: AtomicU64,
+    /// Operations re-issued inside the store (fencing handshake redone
+    /// after observing a newer epoch, replicated writes retried on a fresh
+    /// connection).
+    pub retries: AtomicU64,
+    /// Connections established beyond a destination's first — every
+    /// reconnect after a severed or poisoned connection.
+    pub reconnects: AtomicU64,
+    /// Primary promotions: a standby took over a part slot at a higher
+    /// epoch.
+    pub failovers: AtomicU64,
     lat: [AtomicU64; LatencyBuckets::BUCKETS],
 }
 
@@ -53,6 +63,9 @@ impl NetCounters {
             rpcs: self.rpcs.load(Ordering::Relaxed),
             net_bytes_in: self.bytes_in.load(Ordering::Relaxed),
             net_bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
             rpc_latency,
             ..StoreMetrics::default()
         }
@@ -75,12 +88,18 @@ mod tests {
         NetCounters::add(&c.bytes_in, 100);
         NetCounters::add(&c.bytes_out, 200);
         NetCounters::add(&c.remote_ops, 5);
+        NetCounters::add(&c.retries, 2);
+        NetCounters::add(&c.reconnects, 4);
+        NetCounters::add(&c.failovers, 1);
         c.observe_latency(Instant::now());
         let m = c.snapshot();
         assert_eq!(m.rpcs, 3);
         assert_eq!(m.net_bytes_in, 100);
         assert_eq!(m.net_bytes_out, 200);
         assert_eq!(m.remote_ops, 5);
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.reconnects, 4);
+        assert_eq!(m.failovers, 1);
         assert_eq!(m.rpc_latency.total(), 1);
         assert_eq!(m.local_ops, 0);
     }

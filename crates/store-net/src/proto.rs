@@ -29,6 +29,8 @@
 //! | [`REQ_DRAIN`] | → | `(table, part)` — streamed response |
 //! | [`REQ_APPLY`] | → | `(table, Vec<(op, key, value)>)` — batched writes |
 //! | [`REQ_RUN_TASK`] | → | `(reference, part, task, arg)` |
+//! | [`REQ_HELLO`] | → | `epoch` — fencing handshake; `RESP_OK` echoes the server epoch |
+//! | [`REQ_PING`] | → | `()` — liveness probe; `RESP_OK` carries the server epoch |
 //! | [`RESP_OK`] | ← | per request (see the handler) |
 //! | [`RESP_ERR`] | ← | encoded [`KvError`] |
 //! | [`RESP_CHUNK`] | ← | `Vec<(key, value)>` — one slice of a stream |
@@ -74,6 +76,13 @@ pub const REQ_DRAIN: u8 = 0x21;
 pub const REQ_APPLY: u8 = 0x30;
 /// Dispatch a registered named task adjacent to a part.
 pub const REQ_RUN_TASK: u8 = 0x40;
+/// Fencing handshake: the client announces the replica-group epoch it is
+/// operating at; the server remembers the highest epoch it has seen and
+/// refuses the handshake (and all later data-plane requests on the
+/// connection) when the announced epoch is stale.
+pub const REQ_HELLO: u8 = 0x50;
+/// Liveness probe; the response carries the server's fencing epoch.
+pub const REQ_PING: u8 = 0x51;
 
 /// Success response; payload depends on the request kind.
 pub const RESP_OK: u8 = 0x80;
@@ -153,7 +162,7 @@ pub fn decode_pairs(payload: &[u8]) -> Result<Vec<(RoutedKey, Bytes)>, KvError> 
 pub fn static_op(op: &str) -> &'static str {
     for known in [
         "get", "put", "delete", "scan", "drain", "len", "clear", "apply", "connect", "send",
-        "recv", "run_task", "ddl",
+        "recv", "run_task", "ddl", "hello", "ping",
     ] {
         if op == known {
             return known;
@@ -203,6 +212,9 @@ pub fn encode_err(err: &KvError) -> Bytes {
             u64::from(*part) | (valid_records << 32),
             *discarded_bytes,
         ),
+        KvError::StaleEpoch { seen, current } => {
+            (13, String::new(), String::new(), *seen, *current)
+        }
         // `KvError` is `#[non_exhaustive]`; future variants degrade to a
         // backend error carrying their display form.
         other => (11, other.to_string(), String::new(), 0, 0),
@@ -249,6 +261,12 @@ pub fn decode_err(payload: &[u8]) -> KvError {
             valid_records: n1 >> 32,
             discarded_bytes: n2,
         },
+        // Epochs use the full width of both counters, not the packed
+        // part-number halves above.
+        13 => KvError::StaleEpoch {
+            seen: n1,
+            current: n2,
+        },
         _ => KvError::Backend { detail: s1 },
     }
 }
@@ -284,6 +302,10 @@ mod tests {
             },
             KvError::NoSuchTask { name: "sum".into() },
             KvError::Backend { detail: "x".into() },
+            KvError::StaleEpoch {
+                seen: u64::from(u32::MAX) + 7,
+                current: u64::from(u32::MAX) + 8,
+            },
         ];
         for e in cases {
             assert_eq!(decode_err(&encode_err(&e)), e, "{e}");

@@ -15,19 +15,82 @@
 //! (the paper's pre-registered operation model).  Unregistered names fail
 //! with [`KvError::NoSuchTask`]; ad-hoc closures fall back to data
 //! shipping through the client's remote `PartView`.
+//!
+//! # Fencing and lifecycle
+//!
+//! When the server participates in a replica group, clients announce
+//! their group epoch with [`REQ_HELLO`](crate::proto::REQ_HELLO); the
+//! server remembers the highest epoch it has ever seen and refuses both
+//! stale handshakes and data-plane requests on connections handshaken
+//! below that watermark with [`KvError::StaleEpoch`].  That is the whole
+//! zombie defence: a deposed primary only ever *refuses* writes, because
+//! the first connection fenced at the post-promotion epoch raises the
+//! watermark for good.
+//!
+//! The handle distinguishes planned shutdown from a crash:
+//! [`ServerHandle::stop`] drains in-flight requests within a bounded
+//! grace period before closing, while [`ServerHandle::abort`] drops
+//! everything on the floor mid-flight — which is what failover tests use
+//! to kill a primary.
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ripple_kv::{KvError, KvStore, PartId, RoutedKey, ScanControl, Table, TableSpec, TaskRegistry};
-use ripple_wire::{from_wire, msg_len, read_msg_from, write_msg};
+use ripple_wire::{from_wire, msg_len, read_msg_from, to_wire, write_msg};
 
 use crate::proto::{self, TableMeta};
+
+/// Shared lifecycle state between the handle, the accept loop, and every
+/// connection thread.
+#[derive(Debug, Default)]
+struct ServerState {
+    /// Highest fencing epoch any client has announced.
+    epoch: AtomicU64,
+    /// Requests currently being processed (including spawned task
+    /// dispatches).
+    inflight: AtomicU64,
+    /// Planned shutdown: stop accepting, let in-flight work drain.
+    stopping: AtomicBool,
+    /// Crash-like shutdown: refuse everything immediately.
+    aborted: AtomicBool,
+    /// Accepted connection sockets, kept so shutdown can sever them.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl ServerState {
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn sever_conns(&self) {
+        for stream in self.lock_conns().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Decrements the in-flight count when the request finishes, however it
+/// finishes.
+struct InflightGuard(Arc<ServerState>);
+
+impl InflightGuard {
+    fn enter(state: &Arc<ServerState>) -> Self {
+        state.inflight.fetch_add(1, Ordering::SeqCst);
+        Self(Arc::clone(state))
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A part server ready to be bound to an address.
 #[derive(Debug, Clone)]
@@ -69,24 +132,28 @@ impl<S: KvStore> PartServer<S> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
+        let state = Arc::new(ServerState::default());
+        let accept_state = Arc::clone(&state);
         let join = std::thread::Builder::new()
             .name(format!("part-server-{local}"))
-            .spawn(move || accept_loop(&listener, &self, &flag))?;
+            .spawn(move || accept_loop(&listener, &self, &accept_state))?;
         Ok(ServerHandle {
             addr: local,
-            shutdown,
+            state,
             join: Some(join),
         })
     }
 }
 
-/// Handle on a running part server; stops it when dropped.
+/// Grace period [`ServerHandle::stop`] allows in-flight requests before
+/// severing their connections.
+pub const STOP_GRACE: Duration = Duration::from_secs(1);
+
+/// Handle on a running part server; stops it (gracefully) when dropped.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    state: Arc<ServerState>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -97,14 +164,53 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.  Already
-    /// established connections drain on their own threads until the peer
-    /// disconnects.
+    /// The highest fencing epoch any client has announced to this server.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently being processed — observable while a graceful
+    /// stop drains.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.state.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Planned shutdown with the default grace ([`STOP_GRACE`]): stops
+    /// accepting connections, waits for in-flight requests to drain, then
+    /// severs remaining connections and joins the accept thread.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.stop_with_grace(STOP_GRACE);
+    }
+
+    /// Planned shutdown with an explicit drain bound.  In-flight requests
+    /// that finish within `grace` get their responses; only then (or at
+    /// the bound) are connections severed — so a planned stop of a quiet
+    /// server is loss-free, unlike [`ServerHandle::abort`].
+    pub fn stop_with_grace(&mut self, grace: Duration) {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        if !self.state.aborted.load(Ordering::SeqCst) {
+            let deadline = Instant::now() + grace;
+            while self.state.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.state.sever_conns();
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
+    }
+
+    /// Crash-like shutdown: refuses all further requests and severs every
+    /// connection immediately, abandoning in-flight work mid-frame.  Takes
+    /// `&self` so a test observer can kill the server from inside a
+    /// running job; the accept thread is reaped by the eventual
+    /// [`ServerHandle::stop`] (or drop).
+    pub fn abort(&self) {
+        self.state.aborted.store(true, Ordering::SeqCst);
+        self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.sever_conns();
     }
 }
 
@@ -114,16 +220,24 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop<S: KvStore>(listener: &TcpListener, server: &PartServer<S>, stop: &AtomicBool) {
-    while !stop.load(Ordering::SeqCst) {
+fn accept_loop<S: KvStore>(
+    listener: &TcpListener,
+    server: &PartServer<S>,
+    state: &Arc<ServerState>,
+) {
+    while !state.stopping.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_nonblocking(false);
+                if let Ok(clone) = stream.try_clone() {
+                    state.lock_conns().push(clone);
+                }
                 let server = server.clone();
+                let state = Arc::clone(state);
                 let _ = std::thread::Builder::new()
                     .name("part-server-conn".to_owned())
-                    .spawn(move || serve_conn(&server, stream));
+                    .spawn(move || serve_conn(&server, &state, stream));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -137,7 +251,10 @@ fn accept_loop<S: KvStore>(listener: &TcpListener, server: &PartServer<S>, stop:
 fn send(writer: &Mutex<TcpStream>, kind: u8, id: u64, payload: &[u8]) -> io::Result<()> {
     let mut buf = Vec::with_capacity(msg_len(payload.len()));
     write_msg(&mut buf, kind, id, payload);
-    writer.lock().expect("writer lock").write_all(&buf)
+    writer
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .write_all(&buf)
 }
 
 fn send_result(writer: &Mutex<TcpStream>, id: u64, result: Result<Bytes, KvError>) {
@@ -147,19 +264,60 @@ fn send_result(writer: &Mutex<TcpStream>, id: u64, result: Result<Bytes, KvError
     };
 }
 
-fn serve_conn<S: KvStore>(server: &PartServer<S>, mut stream: TcpStream) {
+fn serve_conn<S: KvStore>(server: &PartServer<S>, state: &Arc<ServerState>, mut stream: TcpStream) {
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // The epoch this connection announced via `REQ_HELLO`; connections
+    // that never handshake (unreplicated clients) stay at 0, which is
+    // never stale because the server's watermark also starts at 0.
+    let mut hello_epoch = 0u64;
     loop {
         // A read error means the peer is gone or the stream is corrupt;
-        // either way the connection is done.
+        // either way the connection is done.  Shut the socket down
+        // explicitly — the lifecycle state holds a clone of it, so a
+        // plain drop would leave the TCP connection half-open and the
+        // peer waiting out its timeout instead of seeing the close.
         let Ok(frame) = read_msg_from(&mut stream) else {
+            let _ = stream.shutdown(Shutdown::Both);
             return;
         };
+        if state.aborted.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         match frame.kind {
+            proto::REQ_PING => {
+                let epoch = state.epoch.load(Ordering::SeqCst);
+                let _ = send(&writer, proto::RESP_OK, frame.id, &to_wire(&epoch));
+            }
+            proto::REQ_HELLO => {
+                let announced: u64 = from_wire(&frame.payload).unwrap_or(0);
+                let current = state.epoch.fetch_max(announced, Ordering::SeqCst);
+                if announced < current {
+                    let err = KvError::StaleEpoch {
+                        seen: announced,
+                        current,
+                    };
+                    let _ = send(&writer, proto::RESP_ERR, frame.id, &proto::encode_err(&err));
+                } else {
+                    hello_epoch = announced;
+                    let _ = send(&writer, proto::RESP_OK, frame.id, &to_wire(&announced));
+                }
+            }
+            _ if hello_epoch < state.epoch.load(Ordering::SeqCst) => {
+                // This connection was fenced at an epoch the group has
+                // moved past: refuse without touching state, so a zombie
+                // primary's clients cannot corrupt a promoted replica.
+                let err = KvError::StaleEpoch {
+                    seen: hello_epoch,
+                    current: state.epoch.load(Ordering::SeqCst),
+                };
+                let _ = send(&writer, proto::RESP_ERR, frame.id, &proto::encode_err(&err));
+            }
             proto::REQ_SCAN | proto::REQ_DRAIN => {
+                let _guard = InflightGuard::enter(state);
                 let drain = frame.kind == proto::REQ_DRAIN;
                 match enumerate(&server.store, &frame.payload, drain) {
                     Ok(pairs) => stream_pairs(&writer, frame.id, &pairs),
@@ -171,19 +329,26 @@ fn serve_conn<S: KvStore>(server: &PartServer<S>, mut stream: TcpStream) {
             proto::REQ_RUN_TASK => {
                 // Tasks may block on other parts (even ones on this same
                 // connection), so they must not occupy the service loop.
+                let guard = InflightGuard::enter(state);
                 let server = server.clone();
                 let writer = Arc::clone(&writer);
                 let id = frame.id;
                 let payload = frame.payload;
                 let _ = std::thread::Builder::new()
                     .name("part-server-task".to_owned())
-                    .spawn(move || send_result(&writer, id, run_task(&server, &payload)));
+                    .spawn(move || {
+                        let _guard = guard;
+                        send_result(&writer, id, run_task(&server, &payload));
+                    });
             }
-            kind => send_result(
-                &writer,
-                frame.id,
-                unary(&server.store, kind, &frame.payload),
-            ),
+            kind => {
+                let _guard = InflightGuard::enter(state);
+                send_result(
+                    &writer,
+                    frame.id,
+                    unary(&server.store, kind, &frame.payload),
+                );
+            }
         }
     }
 }
