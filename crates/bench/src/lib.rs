@@ -10,6 +10,9 @@
 use std::time::{Duration, Instant};
 
 use ripple_kv::KvStore;
+
+pub mod json;
+pub mod trajectory;
 use ripple_store_disk::DiskStore;
 use ripple_store_mem::MemStore;
 use ripple_store_net::{ChaosCluster, LoopbackCluster, NetConfig, NetFaultPlan};
@@ -44,7 +47,13 @@ impl Stats {
 
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.3} ± {:.3}", self.mean, self.stddev)
+        // A single sample has no spread to report: print the mean alone
+        // instead of a meaningless (once upon a time NaN) "± 0.000".
+        if self.n < 2 {
+            write!(f, "{:.3}", self.mean)
+        } else {
+            write!(f, "{:.3} ± {:.3}", self.mean, self.stddev)
+        }
     }
 }
 
@@ -331,6 +340,14 @@ mod tests {
     fn single_sample_has_zero_stddev() {
         let s = Stats::of(&[3.5]);
         assert_eq!(s.stddev, 0.0);
+        assert!(s.stddev.is_finite(), "n == 1 must not produce NaN");
+    }
+
+    #[test]
+    fn single_sample_displays_mean_only() {
+        assert_eq!(Stats::of(&[3.5]).to_string(), "3.500");
+        assert_eq!(Stats::of(&[1.0, 3.0]).to_string(), "2.000 ± 1.414");
+        assert!(!Stats::of(&[3.5]).to_string().contains("NaN"));
     }
 
     #[test]

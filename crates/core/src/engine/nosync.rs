@@ -238,6 +238,7 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
 
     // ----- Workers ------------------------------------------------------
     let worker_env = Arc::new(WorkerEnv {
+        started,
         job: Arc::clone(&env.job),
         table_names: Arc::clone(&env.table_names),
         broadcast: env.broadcast_name.clone(),
@@ -298,6 +299,9 @@ fn drive<S: KvStore, J: Job, Q: QueueSet>(
 }
 
 struct WorkerEnv<J: Job> {
+    /// When the run started — the shared timeline origin worker profiles
+    /// anchor their first-activity offsets to.
+    started: Instant,
     job: Arc<J>,
     table_names: Arc<Vec<String>>,
     broadcast: Option<String>,
@@ -472,6 +476,12 @@ fn worker_inner<J: Job, Q: QueueSet>(
         };
         profile.idle += wait_started.elapsed();
         let busy_started = Instant::now();
+        if profile.batches == 0 && profile.start.is_zero() {
+            // First activity: anchor this worker's lane on the run
+            // timeline (a heal-respawn re-enters with batches > 0 and
+            // keeps the original anchor).
+            profile.start = busy_started.duration_since(wenv.started);
+        }
         let mut stop_after_batch = false;
         let mut batch: Vec<(u64, Envelope<J>)> = Vec::new();
         match from_wire::<NosyncMsg<J>>(&first)? {

@@ -47,6 +47,7 @@
 mod aggregate;
 mod audit;
 mod context;
+mod cost;
 mod envelope;
 mod error;
 mod export;
@@ -71,6 +72,7 @@ pub use aggregate::{
 };
 pub use audit::{AuditFinding, AuditProbe, FindingKind, StateOp};
 pub use context::ComputeContext;
+pub use cost::{estimated_network_time, useful_h_bytes, CostModel, StepCost};
 pub use envelope::Envelope;
 pub use error::EbspError;
 pub use export::{export_state_table, CollectingExporter, DiscardExporter, Exporter};

@@ -157,6 +157,10 @@ impl StepProfile {
 pub struct WorkerProfile {
     /// The part this worker served.
     pub part: u32,
+    /// When this worker first went busy (its first batch arrived), as an
+    /// offset from run start — the anchor for this worker's lane on the
+    /// shared run timeline.  Zero if the worker never saw work.
+    pub start: Duration,
     /// Wall time spent processing batches (decode through weight
     /// give-back, including compute and sends).
     pub busy: Duration,

@@ -215,6 +215,9 @@ impl RunObserver for TraceRecorder {
         if profile.store.retries != 0 {
             self.push_counter("store retries", end, profile.store.retries);
         }
+        if profile.store.retry_bytes != 0 {
+            self.push_counter("retry bytes", end, profile.store.retry_bytes);
+        }
         if profile.store.reconnects != 0 {
             self.push_counter("reconnects", end, profile.store.reconnects);
         }
@@ -224,24 +227,41 @@ impl RunObserver for TraceRecorder {
     }
 
     fn on_worker_profile(&self, profile: &WorkerProfile) {
-        // Unsynchronized workers report run-level aggregates, not spans; a
-        // single busy-length span per worker lane summarizes the split.
+        // Unsynchronized workers report run-level aggregates, not
+        // interleaved spans: one parent span per worker lane, anchored at
+        // the worker's first activity on the run timeline, with the
+        // busy/idle split as two aggregate sub-spans inside it.  (The
+        // aggregates compress the real interleaving — busy first, idle
+        // after — but the anchor and extents are faithful.)
+        let args = format!(
+            "\"part\":{},\"start_us\":{:.3},\"busy_us\":{:.3},\"idle_us\":{:.3},\
+             \"utilization\":{:.4},\"batches\":{},\"envelopes\":{},\"max_batch\":{},\
+             \"empty_polls\":{}",
+            profile.part,
+            micros(profile.start),
+            micros(profile.busy),
+            micros(profile.idle),
+            profile.utilization(),
+            profile.batches,
+            profile.envelopes,
+            profile.max_batch,
+            profile.empty_polls,
+        );
+        let lane = profile.part + 1;
         self.push_span(
-            "busy (aggregate)",
-            profile.part + 1,
-            Duration::ZERO,
-            profile.busy,
-            &format!(
-                "\"part\":{},\"idle_us\":{:.3},\"utilization\":{:.4},\"batches\":{},\
-                 \"envelopes\":{},\"max_batch\":{},\"empty_polls\":{}",
-                profile.part,
-                micros(profile.idle),
-                profile.utilization(),
-                profile.batches,
-                profile.envelopes,
-                profile.max_batch,
-                profile.empty_polls,
-            ),
+            "worker (aggregate)",
+            lane,
+            profile.start,
+            profile.busy + profile.idle,
+            &args,
+        );
+        self.push_span("busy (aggregate)", lane, profile.start, profile.busy, &args);
+        self.push_span(
+            "idle (aggregate)",
+            lane,
+            profile.start + profile.busy,
+            profile.idle,
+            &args,
         );
     }
 }
@@ -263,7 +283,7 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
              \"direct_outputs\":{},\"spill_batches\":{},\"local_ops\":{},\"remote_ops\":{},\
              \"bytes_marshalled\":{},\"wal_bytes\":{},\"fsyncs\":{},\"replayed_records\":{},\
              \"rpcs\":{},\"net_bytes_in\":{},\"net_bytes_out\":{},\"retries\":{},\
-             \"reconnects\":{},\"failovers\":{},\"rpc_p50_us\":{},\
+             \"retry_bytes\":{},\"reconnects\":{},\"failovers\":{},\"rpc_p50_us\":{},\
              \"rpc_p99_us\":{},\"parts\":[",
             p.step,
             micros(p.start),
@@ -290,6 +310,7 @@ pub fn step_profiles_json(profiles: &[StepProfile]) -> String {
             p.store.net_bytes_in,
             p.store.net_bytes_out,
             p.store.retries,
+            p.store.retry_bytes,
             p.store.reconnects,
             p.store.failovers,
             p.store.rpc_latency.quantile_upper_us(0.50),
@@ -332,9 +353,11 @@ pub fn worker_profiles_json(profiles: &[WorkerProfile]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"part\":{},\"busy_us\":{:.3},\"idle_us\":{:.3},\"utilization\":{:.4},\
+            "{{\"part\":{},\"start_us\":{:.3},\"busy_us\":{:.3},\"idle_us\":{:.3},\
+             \"utilization\":{:.4},\
              \"batches\":{},\"envelopes\":{},\"max_batch\":{},\"empty_polls\":{}}}",
             w.part,
+            micros(w.start),
             micros(w.busy),
             micros(w.idle),
             w.utilization(),
@@ -426,6 +449,28 @@ mod tests {
         assert!(json.contains("thread_name"));
         assert!(json.contains("\"name\":\"controller\""));
         assert!(json.contains("\"name\":\"part 0\""));
+    }
+
+    #[test]
+    fn worker_spans_anchor_at_first_activity() {
+        let r = TraceRecorder::new();
+        r.on_worker_profile(&WorkerProfile {
+            part: 2,
+            start: Duration::from_micros(500),
+            busy: Duration::from_micros(40),
+            idle: Duration::from_micros(60),
+            ..Default::default()
+        });
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        // The parent and busy spans anchor at the first-activity offset,
+        // not t=0; the idle sub-span follows the busy one.
+        assert!(json.contains("\"name\":\"worker (aggregate)\""));
+        assert!(json.contains("\"name\":\"busy (aggregate)\""));
+        assert!(json.contains("\"name\":\"idle (aggregate)\""));
+        assert!(json.contains("\"ts\":500.000"));
+        assert!(json.contains("\"ts\":540.000"));
+        assert!(!json.contains("\"ts\":0.000"));
     }
 
     #[test]

@@ -123,6 +123,13 @@ pub struct StoreMetrics {
     /// stale-epoch refreshes) — retries *below* the engine's own retry
     /// policy.  Zero on in-process backends.
     pub retries: u64,
+    /// Network bytes attributable to retried or reconnect traffic: frame
+    /// bytes re-sent after a stale-epoch refresh, a fencing handshake redo,
+    /// a standby write retry, or a reconnect handshake.  Always a subset of
+    /// the traffic already counted in [`StoreMetrics::net_bytes_out`], kept
+    /// separately so cost accounting can report the useful h-relation
+    /// (first-attempt bytes) under chaos.  Zero on in-process backends.
+    pub retry_bytes: u64,
     /// Connections opened to a destination beyond its first — each one is
     /// a heal after a lost or severed connection.  Zero on in-process
     /// backends.
@@ -160,6 +167,7 @@ impl Sub for StoreMetrics {
             net_bytes_in: self.net_bytes_in.saturating_sub(rhs.net_bytes_in),
             net_bytes_out: self.net_bytes_out.saturating_sub(rhs.net_bytes_out),
             retries: self.retries.saturating_sub(rhs.retries),
+            retry_bytes: self.retry_bytes.saturating_sub(rhs.retry_bytes),
             reconnects: self.reconnects.saturating_sub(rhs.reconnects),
             failovers: self.failovers.saturating_sub(rhs.failovers),
             rpc_latency: self.rpc_latency - rhs.rpc_latency,
@@ -208,6 +216,9 @@ impl fmt::Display for StoreMetrics {
                 self.retries, self.reconnects, self.failovers
             )?;
         }
+        if self.retry_bytes != 0 {
+            write!(f, ", {} retry B", self.retry_bytes)?;
+        }
         Ok(())
     }
 }
@@ -231,6 +242,7 @@ mod tests {
             net_bytes_in: 512,
             net_bytes_out: 256,
             retries: 8,
+            retry_bytes: 120,
             reconnects: 4,
             failovers: 2,
             rpc_latency: LatencyBuckets([2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
@@ -248,6 +260,7 @@ mod tests {
             net_bytes_in: 12,
             net_bytes_out: 56,
             retries: 3,
+            retry_bytes: 20,
             reconnects: 1,
             failovers: 2,
             rpc_latency: LatencyBuckets([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
@@ -266,6 +279,7 @@ mod tests {
         assert_eq!(d.net_bytes_in, 500);
         assert_eq!(d.net_bytes_out, 200);
         assert_eq!(d.retries, 5);
+        assert_eq!(d.retry_bytes, 100);
         assert_eq!(d.reconnects, 3);
         assert_eq!(d.failovers, 0);
         assert_eq!(d.rpc_latency.total(), 1);
@@ -316,6 +330,7 @@ mod tests {
         assert!(!StoreMetrics::default().to_string().contains("failovers"));
         let failed_over = StoreMetrics {
             retries: 2,
+            retry_bytes: 64,
             reconnects: 3,
             failovers: 1,
             ..StoreMetrics::default()
@@ -324,6 +339,8 @@ mod tests {
         assert!(failed_over.contains("2 store retries"));
         assert!(failed_over.contains("3 reconnects"));
         assert!(failed_over.contains("1 failovers"));
+        assert!(failed_over.contains("64 retry B"));
+        assert!(!StoreMetrics::default().to_string().contains("retry B"));
     }
 
     #[test]

@@ -51,7 +51,7 @@ use ripple_kv::{
     KvError, KvStore, MembershipView, PartId, PartView, RoutedKey, ScanControl, StoreEventSink,
     StoreMetrics, Table, TableSpec, TaskHandle,
 };
-use ripple_wire::{from_wire, to_wire};
+use ripple_wire::{from_wire, msg_len, to_wire};
 
 use crate::membership::Membership;
 use crate::metrics::NetCounters;
@@ -132,6 +132,9 @@ impl Shared {
             for member in membership.live_standbys(slot) {
                 if self.pool.unary_member(slot, member, kind, payload).is_err() {
                     NetCounters::add(&self.metrics.retries, 1);
+                    // The retry re-sends the whole frame; that second send
+                    // is heal traffic, not useful h-relation bytes.
+                    NetCounters::add(&self.metrics.retry_bytes, msg_len(payload.len()) as u64);
                     if self.pool.unary_member(slot, member, kind, payload).is_err() {
                         membership.mark_standby_down(slot, member);
                     }

@@ -33,6 +33,11 @@ pub struct NetCounters {
     /// after observing a newer epoch, replicated writes retried on a fresh
     /// connection).
     pub retries: AtomicU64,
+    /// Frame bytes re-sent because of a retry: stale-epoch re-issues,
+    /// fencing handshake redos, standby write retries, and reconnect
+    /// handshakes.  A subset of `bytes_out`, tracked separately so cost
+    /// accounting can subtract wasted traffic from the useful h-relation.
+    pub retry_bytes: AtomicU64,
     /// Connections established beyond a destination's first — every
     /// reconnect after a severed or poisoned connection.
     pub reconnects: AtomicU64,
@@ -64,6 +69,7 @@ impl NetCounters {
             net_bytes_in: self.bytes_in.load(Ordering::Relaxed),
             net_bytes_out: self.bytes_out.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            retry_bytes: self.retry_bytes.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             rpc_latency,
@@ -89,6 +95,7 @@ mod tests {
         NetCounters::add(&c.bytes_out, 200);
         NetCounters::add(&c.remote_ops, 5);
         NetCounters::add(&c.retries, 2);
+        NetCounters::add(&c.retry_bytes, 64);
         NetCounters::add(&c.reconnects, 4);
         NetCounters::add(&c.failovers, 1);
         c.observe_latency(Instant::now());
@@ -98,6 +105,7 @@ mod tests {
         assert_eq!(m.net_bytes_out, 200);
         assert_eq!(m.remote_ops, 5);
         assert_eq!(m.retries, 2);
+        assert_eq!(m.retry_bytes, 64);
         assert_eq!(m.reconnects, 4);
         assert_eq!(m.failovers, 1);
         assert_eq!(m.rpc_latency.total(), 1);

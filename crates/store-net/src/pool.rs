@@ -95,6 +95,10 @@ pub struct Pending {
     conn: Arc<Connection>,
     membership: Arc<Membership>,
     metrics: Arc<NetCounters>,
+    /// Frame bytes the request put on the wire, so a transiently failed
+    /// request can attribute its wasted send to `retry_bytes` (the retry
+    /// re-sends an equivalent frame).
+    req_bytes: u64,
     /// Whether stale-epoch refusals should be absorbed (epoch observed,
     /// connection recycled, `Transient` surfaced).  False only for the
     /// handshake itself, which handles the refusal directly.
@@ -110,20 +114,29 @@ impl Pending {
     /// [`KvError::Transient`] on timeout or connection loss; the decoded
     /// remote error if the server answered with `RESP_ERR`.
     pub fn recv(&self) -> Result<MsgFrame, KvError> {
-        let frame = if let Ok(frame) = self.rx.recv_timeout(self.deadline) {
-            frame?
-        } else {
-            // A silent peer within the deadline: recycle the
-            // connection (its responses can no longer be trusted to
-            // arrive) and count the evidence against the member.
-            let _ = self.conn.stream.shutdown(Shutdown::Both);
-            self.conn.fail_all("response deadline exceeded");
-            self.conn.report_failure(&self.membership);
-            return Err(KvError::Transient {
-                op: "recv",
-                part: 0,
-                detail: format!("no part-server response within {:?}", self.deadline),
-            });
+        let frame = match self.rx.recv_timeout(self.deadline) {
+            Ok(Ok(frame)) => frame,
+            Ok(Err(e)) => {
+                // The connection died under this request; its send was
+                // wasted and the engine's retry re-sends an equivalent
+                // frame, so attribute the bytes to retry traffic.
+                NetCounters::add(&self.metrics.retry_bytes, self.req_bytes);
+                return Err(e);
+            }
+            Err(_) => {
+                // A silent peer within the deadline: recycle the
+                // connection (its responses can no longer be trusted to
+                // arrive) and count the evidence against the member.
+                let _ = self.conn.stream.shutdown(Shutdown::Both);
+                self.conn.fail_all("response deadline exceeded");
+                self.conn.report_failure(&self.membership);
+                NetCounters::add(&self.metrics.retry_bytes, self.req_bytes);
+                return Err(KvError::Transient {
+                    op: "recv",
+                    part: 0,
+                    detail: format!("no part-server response within {:?}", self.deadline),
+                });
+            }
         };
         if frame.kind == RESP_ERR {
             self.metrics.observe_latency(self.started);
@@ -135,6 +148,7 @@ impl Pending {
                     // retried operation re-handshake at the current fence.
                     self.membership.observe_epoch(self.conn.slot, current);
                     NetCounters::add(&self.metrics.retries, 1);
+                    NetCounters::add(&self.metrics.retry_bytes, self.req_bytes);
                     let _ = self.conn.stream.shutdown(Shutdown::Both);
                     self.conn.fail_all("stale-epoch connection retired");
                     return Err(KvError::Transient {
@@ -365,6 +379,7 @@ impl Pool {
             conn: Arc::clone(conn),
             membership: Arc::clone(&self.membership),
             metrics: Arc::clone(&self.metrics),
+            req_bytes: buf.len() as u64,
             fenced,
         })
     }
@@ -421,7 +436,8 @@ impl Pool {
                 detail: format!("connecting to {addr}: {e}"),
             }
         })?;
-        if self.ever_connected[slot][member].swap(true, Ordering::Relaxed) {
+        let reconnected = self.ever_connected[slot][member].swap(true, Ordering::Relaxed);
+        if reconnected {
             NetCounters::add(&self.metrics.reconnects, 1);
         }
         let _ = stream.set_nodelay(true);
@@ -446,7 +462,7 @@ impl Pool {
             Arc::clone(&self.membership),
         );
         if self.membership.replicated(slot) {
-            self.handshake(&conn)?;
+            self.handshake(&conn, reconnected)?;
         }
         *cell = Some(Arc::clone(&conn));
         Ok(conn)
@@ -455,10 +471,16 @@ impl Pool {
     /// Announces the client's group epoch on a fresh connection to a
     /// replicated member.  A stale-epoch refusal adopts the server's
     /// newer epoch and redoes the handshake once.
-    fn handshake(&self, conn: &Arc<Connection>) -> Result<(), KvError> {
+    ///
+    /// Handshake frames on a *re*-connected (or redone) handshake are
+    /// heal traffic, attributed to `retry_bytes`.
+    fn handshake(&self, conn: &Arc<Connection>, reconnect: bool) -> Result<(), KvError> {
         for redo in 0..2 {
             let epoch = self.membership.epoch(conn.slot);
             let pending = self.start_request(conn, proto::REQ_HELLO, &to_wire(&epoch), false)?;
+            if reconnect || redo > 0 {
+                NetCounters::add(&self.metrics.retry_bytes, pending.req_bytes);
+            }
             match pending.recv() {
                 Ok(frame) => {
                     let current: u64 = from_wire(&frame.payload).unwrap_or(epoch);

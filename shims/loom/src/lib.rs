@@ -57,7 +57,10 @@ where
     F: Fn() + Send + Sync + 'static,
 {
     for iteration in 1..=ITERATIONS {
-        SCHEDULE_SEED.store(iteration.wrapping_mul(0x5851_f42d_4c95_7f2d) | 1, StdOrdering::SeqCst);
+        SCHEDULE_SEED.store(
+            iteration.wrapping_mul(0x5851_f42d_4c95_7f2d) | 1,
+            StdOrdering::SeqCst,
+        );
         SCHEDULE_CLOCK.store(0, StdOrdering::SeqCst);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
         SCHEDULE_SEED.store(0, StdOrdering::SeqCst);
