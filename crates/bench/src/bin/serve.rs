@@ -1,0 +1,260 @@
+//! **Serving-mode experiment** — a resident multi-tenant job server under
+//! mixed load.
+//!
+//! The paper's runtime is a standing service that many jobs share (§III);
+//! this bench stands one up in-process and measures it: a serving-mode
+//! incremental SSSP tenant answers point queries from the last barrier
+//! snapshot while graph mutations stream in, and a crowd of background
+//! batch jobs contends for the same worker pool under the fair scheduler.
+//! At the end the served distances are checked against a BFS oracle over
+//! the mutated graph — concurrency must never change answers.
+//!
+//! Usage: `cargo run --release -p ripple-bench --bin serve --
+//! [--scale 50] [--jobs 3] [--bg-steps 12] [--bg-keys 64]
+//! [--mutations 400] [--queries 2000] [--trials 2] [--parts 6]
+//! [--workers 4] [--store mem|simple|disk|net] [--data-dir path]
+//! [--profile accounting.json] [--bench-out BENCH_<date>.json]`
+//!
+//! `--profile <path>` writes the server's per-job accounting JSON
+//! (launches, steps, BSP cost terms, scheduler grants and queue wait per
+//! tenant) for the last trial.
+//!
+//! `--bench-out <path>` appends a BSP cost trajectory record for one
+//! profiled mutation wave driven through the server's gated resident
+//! runner (see `ripple-bench compare`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ripple_bench::trajectory::BenchOut;
+use ripple_bench::{dispatch, Args, Stats, StoreBench, StoreChoice};
+use ripple_core::{FnLoader, LoadSink, RunOptions, SimpleJob};
+use ripple_graph::generate::{random_change_batch, random_undirected};
+use ripple_graph::sssp::{bfs_oracle, distances_from_snapshot, SelectiveInstance};
+use ripple_kv::KvStore;
+use ripple_server::{JobServer, JobSpec, ServerConfig, ServingSssp};
+
+type BgJob = SimpleJob<u32, u32, u32>;
+
+struct Serve {
+    args: Args,
+    parts: u32,
+}
+
+impl StoreBench for Serve {
+    fn run<S: KvStore>(self, choice: StoreChoice, make_store: impl FnMut() -> S) {
+        run(&self.args, self.parts, choice, make_store);
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let parts = args.get("parts", 6u32);
+    let bench = Serve {
+        args: args.clone(),
+        parts,
+    };
+    dispatch(&args, "serve", parts, bench);
+}
+
+/// A background tenant: `keys` counters that each tick down once per
+/// step for `steps` steps — pure worker-pool pressure.
+fn bg_job(name: &str) -> BgJob {
+    SimpleJob::<u32, u32, u32>::builder(name)
+        .compute(|ctx| {
+            let v = ctx.read_state(0)?.unwrap_or(0);
+            ctx.write_state(0, &v.saturating_sub(1))?;
+            Ok(v > 1)
+        })
+        .build()
+}
+
+fn bg_loader(keys: u32, steps: u32) -> Box<dyn ripple_core::Loader<BgJob>> {
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<BgJob>| {
+        for k in 0..keys {
+            sink.state(0, k, steps)?;
+            sink.enable(k)?;
+        }
+        Ok(())
+    }))
+}
+
+fn run<S: KvStore>(
+    args: &Args,
+    parts: u32,
+    choice: StoreChoice,
+    mut make_store: impl FnMut() -> S,
+) {
+    let scale = args.get("scale", 50u64);
+    let jobs = args.get("jobs", 3usize);
+    let bg_steps = args.get("bg-steps", 12u32);
+    let bg_keys = args.get("bg-keys", 64u32);
+    let mutations = args.get("mutations", 400usize);
+    let queries = args.get("queries", 2000u64);
+    let trials = args.get("trials", 2usize);
+    let workers = args.get("workers", 4usize);
+    let profile_path = args.get_opt::<String>("profile");
+    let bench_out = BenchOut::from_args(args, choice.name(), parts);
+
+    let n = (100_000u64 / scale).max(500) as u32;
+    let edges = 1_800_000u64 / scale;
+    println!(
+        "serve: {n}-vertex graph (~{edges} edges), 1 serving tenant + \
+         {jobs} background jobs ({bg_keys} keys x {bg_steps} steps), \
+         {mutations} streamed mutations, {queries} point queries, \
+         {workers} workers, {parts} parts, {trials} trials, {choice} store"
+    );
+
+    let mut wall_times = Vec::new();
+    let mut query_lat_us = Vec::new();
+    let mut total_waves = 0u64;
+    let mut last_accounting = String::new();
+
+    for trial in 0..trials {
+        let seed = 0x5E12E + trial as u64;
+        let mut graph = random_undirected(n, edges, 0.8, seed);
+        let source = 0;
+
+        let store = make_store();
+        let server = JobServer::single(ServerConfig::with_workers(workers), store);
+
+        let t = std::time::Instant::now();
+        let serving =
+            ServingSssp::start(&server, "serve", JobSpec::new(parts), graph.graph(), source)
+                .expect("start serving tenant");
+
+        // Background tenants pile onto the same worker pool.
+        let mut handles = Vec::new();
+        for j in 0..jobs {
+            let name = format!("bg{j}");
+            let handle = server
+                .submit(
+                    &name,
+                    JobSpec::new(parts),
+                    Arc::new(bg_job(&name)),
+                    RunOptions::new().loader(bg_loader(bg_keys, bg_steps)),
+                )
+                .expect("admit background job");
+            handles.push(handle);
+        }
+
+        // A client hammers point queries while mutations stream in.
+        let stop = Arc::new(AtomicBool::new(false));
+        let client = {
+            let serving = &serving;
+            let stop = Arc::clone(&stop);
+            std::thread::scope(|scope| {
+                let stop_q = Arc::clone(&stop);
+                let query_thread = scope.spawn(move || {
+                    let stop = stop_q;
+                    let mut lat_us = Vec::new();
+                    let mut last_version = 0u64;
+                    let mut q = 0u64;
+                    while q < queries && !stop.load(Ordering::Relaxed) {
+                        let v = ((q * 2_654_435_761) % u64::from(n)) as u32;
+                        let t = std::time::Instant::now();
+                        let answer = serving.query(v);
+                        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        assert!(
+                            answer.version >= last_version,
+                            "snapshot version went backwards"
+                        );
+                        last_version = answer.version;
+                        q += 1;
+                        if q.is_multiple_of(64) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    lat_us
+                });
+
+                // Stream mutations in bursts on this thread.
+                let mut sent = 0usize;
+                let mut burst = 0u64;
+                while sent < mutations {
+                    let batch = random_change_batch(
+                        n,
+                        (mutations - sent).min(50),
+                        0.8,
+                        seed * 1000 + burst,
+                    );
+                    for c in &batch {
+                        graph.apply(*c);
+                    }
+                    sent += serving.push_batch(&batch);
+                    burst += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                // Let the serving loop drain, then release the querier.
+                while serving.pending() > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                stop.store(true, Ordering::Relaxed);
+                query_thread.join().expect("query thread")
+            })
+        };
+        query_lat_us.extend(client);
+
+        for handle in handles {
+            let outcome = handle.wait().expect("background job");
+            assert_eq!(outcome.steps, bg_steps, "background tenant ran short");
+        }
+        let report = serving.finish().expect("finish serving");
+        total_waves += report.waves;
+        wall_times.push(t.elapsed().as_secs_f64());
+
+        // Concurrency must not have changed answers: check the final
+        // table against a BFS oracle over the mutated graph.
+        let oracle = bfs_oracle(&graph, source);
+        let table = server
+            .store(0)
+            .lookup_table("serve__sssp")
+            .expect("serving table");
+        let snapshot = server.store(0).snapshot_table(&table).expect("snapshot");
+        for (v, d) in distances_from_snapshot(&snapshot).expect("decode") {
+            assert_eq!(d, oracle[v as usize], "served distance diverged at {v}");
+        }
+
+        last_accounting = server.accounting_json();
+    }
+
+    let wall = Stats::of(&wall_times);
+    let lat = Stats::of(&query_lat_us);
+    println!("  mixed load wall time: {wall} s ({total_waves} waves across {trials} trials)");
+    println!(
+        "  point query latency:  {:.1} us mean, {:.1} us max ({} queries)",
+        lat.mean,
+        query_lat_us.iter().cloned().fold(0.0, f64::max),
+        query_lat_us.len()
+    );
+
+    if let Some(path) = profile_path {
+        std::fs::write(&path, &last_accounting).expect("write accounting JSON");
+        println!("  wrote per-job accounting to {path}");
+    }
+
+    if let Some(bench_out) = bench_out {
+        // One profiled mutation wave through the server's gated resident
+        // runner — the serving analogue of sssp_incremental's profiled
+        // batch.
+        let graph = random_undirected(n, edges, 0.8, 0x5E12E);
+        let store = make_store();
+        let server = JobServer::single(ServerConfig::with_workers(workers), store);
+        let resident = server
+            .admit_resident("profiled", JobSpec::new(parts))
+            .expect("admit profiled resident");
+        let (sel, _) = SelectiveInstance::initialize_on(
+            resident.runner(),
+            resident.store(),
+            "profiled__sssp",
+            graph.graph(),
+            0,
+        )
+        .expect("profiled init");
+        let batch = random_change_batch(n, (mutations / 4).max(10), 0.8, 0x5E12E * 7919);
+        let out = sel
+            .apply_batch_on(resident.runner(), &batch)
+            .expect("profiled wave");
+        bench_out.record("serve/wave", trials, Some(wall.mean), &out);
+    }
+}

@@ -75,6 +75,10 @@ pub(crate) struct SyncOptions {
     /// Replace invocation ordering with a seeded permutation
     /// ([`RunOptions::shuffle_delivery`](crate::RunOptions::shuffle_delivery)).
     pub(crate) shuffle: Option<u64>,
+    /// Permit gate bracketing every compute and inbox-build part-task
+    /// ([`JobRunner::task_gate`](crate::JobRunner::task_gate)) — the
+    /// worker-sharing hook for a resident multi-tenant job service.
+    pub(crate) task_gate: Option<Arc<dyn crate::TaskGate>>,
 }
 
 /// A captured, type-erased shard checkpoint.
@@ -306,6 +310,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             &fault_retry,
             fast,
             opts.probe.clone(),
+            opts.task_gate.clone(),
         )?;
         enabled = n;
         if fast {
@@ -368,6 +373,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
                 &fault_retry,
                 opts.probe.clone(),
                 opts.shuffle,
+                opts.task_gate.clone(),
             );
             let mut aggs = env.registry.identities();
             let mut counters = PartCounters::default();
@@ -514,6 +520,7 @@ pub(crate) fn run_sync<S: KvStore, J: Job>(
             &fault_retry,
             fast,
             opts.probe.clone(),
+            opts.task_gate.clone(),
         ) {
             Ok((n, inbox_counters, recorded, inbox_times)) => {
                 let inbox_wall = inbox_begin.elapsed();
@@ -737,6 +744,7 @@ fn run_compute_phase<S: KvStore, J: Job>(
     retry: &Arc<FaultRetry>,
     probe: Option<Arc<dyn crate::AuditProbe>>,
     shuffle: Option<u64>,
+    gate: Option<Arc<dyn crate::TaskGate>>,
 ) -> Vec<(
     Result<(HashMap<String, AggValue>, PartCounters), EbspError>,
     Option<(Instant, Instant)>,
@@ -757,7 +765,12 @@ fn run_compute_phase<S: KvStore, J: Job>(
             let agg_table = agg_table.clone();
             let retry = Arc::clone(retry);
             let probe = probe.clone();
+            let gate = gate.clone();
             env.store.run_at(&env.reference, PartId(p), move |view| {
+                // Acquire before the timed span: per-part compute walls then
+                // measure actual work, while scheduler queueing shows up in
+                // the gate's own accounting (and as barrier skew).
+                let _permit = gate.as_ref().map(crate::GatePermit::acquire);
                 let begun = Instant::now();
                 let result = compute_at_part::<S::Table, J>(
                     &job,
@@ -807,6 +820,7 @@ fn run_inbox_phase<S: KvStore, J: Job>(
     retry: &Arc<FaultRetry>,
     record: bool,
     probe: Option<Arc<dyn crate::AuditProbe>>,
+    gate: Option<Arc<dyn crate::TaskGate>>,
 ) -> Result<
     (
         u64,
@@ -825,7 +839,9 @@ fn run_inbox_phase<S: KvStore, J: Job>(
             let inbox = inbox_name.to_owned();
             let retry = Arc::clone(retry);
             let probe = probe.clone();
+            let gate = gate.clone();
             env.store.run_at(&env.reference, PartId(p), move |view| {
+                let _permit = gate.as_ref().map(crate::GatePermit::acquire);
                 let begun = Instant::now();
                 let result = build_inbox_at_part::<J>(
                     &job,

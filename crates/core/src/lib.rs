@@ -60,6 +60,7 @@ mod profile;
 mod properties;
 mod retry;
 mod runner;
+mod sched;
 mod simple;
 mod termination;
 mod trace;
@@ -85,6 +86,7 @@ pub use profile::{PartStepProfile, StepCounters, StepProfile, WorkerProfile};
 pub use properties::{ExecMode, ExecutionPlan, JobProperties};
 pub use retry::RetryPolicy;
 pub use runner::{JobRunner, QueueKind, RunOutcome};
+pub use sched::{GatePermit, SemaphoreGate, TaskGate};
 pub use simple::{SimpleJob, SimpleJobBuilder};
 pub use termination::WeightThrow;
 pub use trace::{step_profiles_json, worker_profiles_json, TraceRecorder};

@@ -69,7 +69,7 @@ pub struct RunMetrics {
     /// every part for every rewound step, fast recovery counts only the
     /// failed part's replayed steps.
     pub replayed_part_steps: u64,
-    /// Durable barrier commits performed by a `run_durable` run: barrier
+    /// Durable barrier commits performed by a durable launch: barrier
     /// markers logged, resume journal flushed, logs optionally compacted.
     /// Zero for every other entry point.
     pub durable_barriers: u64,

@@ -2,8 +2,8 @@
 //!
 //! [`JobRunner::launch`](crate::JobRunner::launch) replaced five parallel
 //! entry points (`run`, `run_with_loaders`, `run_healable`,
-//! `run_recoverable`, `run_durable`) with a single method taking a
-//! [`RunOptions`].  The options value starts basic and is upgraded by
+//! `run_recoverable`, `run_durable` — deprecated for a release cycle, now
+//! removed) with a single method taking a [`RunOptions`].  The options value starts basic and is upgraded by
 //! builder methods — [`RunOptions::healing`], [`RunOptions::recovery`],
 //! [`RunOptions::durable`] — each of which moves the value into a new
 //! *mode* type.  The mode is checked against the store at compile time:
@@ -213,16 +213,16 @@ impl<J: Job, M> RunOptions<J, M> {
 }
 
 impl<J: Job> RunOptions<J, Basic> {
-    /// Selects store-side part healing for unsynchronized runs (the old
-    /// `run_healable`): a worker whose part fails underneath it promotes
+    /// Selects store-side part healing for unsynchronized runs (formerly
+    /// the `run_healable` wrapper): a worker whose part fails underneath it promotes
     /// replicas and redelivers in-flight work.  Launching then requires a
     /// [`HealableStore`](ripple_kv::HealableStore).
     pub fn healing(self) -> RunOptions<J, Heal> {
         self.into_mode()
     }
 
-    /// Selects barrier checkpointing and automatic rollback recovery (the
-    /// old `run_recoverable`).  Launching then requires a
+    /// Selects barrier checkpointing and automatic rollback recovery
+    /// (formerly the `run_recoverable` wrapper).  Launching then requires a
     /// [`RecoverableStore`](ripple_kv::RecoverableStore) that is also
     /// healable; the checkpoint cadence comes from
     /// [`JobRunner::checkpoint_interval`] (default: every barrier).
@@ -233,7 +233,7 @@ impl<J: Job> RunOptions<J, Basic> {
 
 impl<J: Job> RunOptions<J, Recover> {
     /// Upgrades recovery to durable barrier commits with cross-restart
-    /// resume (the old `run_durable`).  Launching then additionally
+    /// resume (formerly the `run_durable` wrapper).  Launching then additionally
     /// requires a [`DurableStore`](ripple_kv::DurableStore).
     pub fn durable(self) -> RunOptions<J, Durable> {
         self.into_mode()

@@ -120,6 +120,7 @@ pub struct JobRunner<S: KvStore> {
     fast_recovery: bool,
     profile: bool,
     trace_to: Option<std::path::PathBuf>,
+    task_gate: Option<Arc<dyn crate::TaskGate>>,
 }
 
 impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
@@ -136,6 +137,7 @@ impl<S: KvStore> std::fmt::Debug for JobRunner<S> {
             .field("fast_recovery", &self.fast_recovery)
             .field("profile", &self.profile)
             .field("trace_to", &self.trace_to)
+            .field("task_gate", &self.task_gate.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -156,7 +158,21 @@ impl<S: KvStore> JobRunner<S> {
             fast_recovery: true,
             profile: false,
             trace_to: None,
+            task_gate: None,
         }
+    }
+
+    /// Throttles this runner's synchronized part-tasks through `gate`: every
+    /// compute and inbox-build task acquires a permit before touching its
+    /// part and releases it when done.  This is the worker-sharing hook a
+    /// resident multi-tenant service uses to interleave part-tasks from
+    /// concurrent jobs fairly over a bounded worker pool; a solo runner
+    /// (the default, `None`) runs ungated.  The gate does not alter
+    /// results — it only schedules *when* each part-task runs within its
+    /// phase, never reordering work across a barrier.
+    pub fn task_gate(&mut self, gate: Arc<dyn crate::TaskGate>) -> &mut Self {
+        self.task_gate = Some(gate);
+        self
     }
 
     /// Collects step-level profiles: synchronized runs yield one
@@ -191,10 +207,10 @@ impl<S: KvStore> JobRunner<S> {
         self
     }
 
-    /// Whether [`JobRunner::run_recoverable`] may replay a single failed
-    /// part alone instead of rolling the whole group back.  Enabled by
-    /// default; it only takes effect when the job's declared determinism
-    /// lets the plan allow it.
+    /// Whether recovery launches ([`RunOptions::recovery`]) may replay a
+    /// single failed part alone instead of rolling the whole group back.
+    /// Enabled by default; it only takes effect when the job's declared
+    /// determinism lets the plan allow it.
     pub fn fast_recovery(&mut self, enabled: bool) -> &mut Self {
         self.fast_recovery = enabled;
         self
@@ -222,10 +238,10 @@ impl<S: KvStore> JobRunner<S> {
         self
     }
 
-    /// Enables barrier checkpoints every `steps` steps for runs started
-    /// with [`JobRunner::run_recoverable`].  Deterministic jobs can afford
-    /// larger intervals (replay is exact); non-deterministic jobs should
-    /// checkpoint every barrier.
+    /// Enables barrier checkpoints every `steps` steps for recovery and
+    /// durable launches ([`RunOptions::recovery`]).  Deterministic jobs can
+    /// afford larger intervals (replay is exact); non-deterministic jobs
+    /// should checkpoint every barrier.
     pub fn checkpoint_interval(&mut self, steps: u32) -> &mut Self {
         self.checkpoint_interval = Some(steps.max(1));
         self
@@ -284,33 +300,6 @@ impl<S: KvStore> JobRunner<S> {
         M::launch_on(self, job, options)
     }
 
-    /// Runs `job` using only the loaders the job itself declares.
-    ///
-    /// # Errors
-    ///
-    /// Any [`EbspError`]; see [`JobRunner::launch`].
-    #[deprecated(since = "0.1.0", note = "use `launch(job, RunOptions::new())`")]
-    pub fn run<J: Job>(&self, job: Arc<J>) -> Result<RunOutcome, EbspError> {
-        self.launch(job, RunOptions::new())
-    }
-
-    /// Runs `job` with extra loaders appended after the job's own.
-    ///
-    /// # Errors
-    ///
-    /// See [`JobRunner::launch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `launch(job, RunOptions::new().loaders(extra_loaders))`"
-    )]
-    pub fn run_with_loaders<J: Job>(
-        &self,
-        job: Arc<J>,
-        extra_loaders: Vec<Box<dyn Loader<J>>>,
-    ) -> Result<RunOutcome, EbspError> {
-        self.launch(job, RunOptions::new().loaders(extra_loaders))
-    }
-
     fn run_inner<J: Job>(
         &self,
         job: Arc<J>,
@@ -321,8 +310,8 @@ impl<S: KvStore> JobRunner<S> {
         if self.checkpoint_interval.is_some() {
             return Err(EbspError::ConfigUnsupported {
                 option: "checkpoint_interval",
-                reason: "this entry point takes no checkpoints; call run_recoverable on a \
-                         store with shard snapshots"
+                reason: "this entry point takes no checkpoints; launch with \
+                         RunOptions::new().recovery() on a store with shard snapshots"
                     .to_owned(),
             });
         }
@@ -344,6 +333,7 @@ impl<S: KvStore> JobRunner<S> {
                     profile,
                     probe: audit.probe.clone(),
                     shuffle: audit.shuffle_seed,
+                    task_gate: self.task_gate.clone(),
                 },
                 None,
                 None,
@@ -523,25 +513,6 @@ impl<S: KvStore> JobRunner<S> {
     }
 }
 
-impl<S: HealableStore> JobRunner<S> {
-    /// Runs `job` with store-side part healing enabled.
-    ///
-    /// # Errors
-    ///
-    /// See [`JobRunner::launch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).healing())`"
-    )]
-    pub fn run_healable<J: Job>(
-        &self,
-        job: Arc<J>,
-        extra_loaders: Vec<Box<dyn Loader<J>>>,
-    ) -> Result<RunOutcome, EbspError> {
-        self.launch(job, RunOptions::new().loaders(extra_loaders).healing())
-    }
-}
-
 /// Adapts a [`crate::RunObserver`] to the store SPI's event sink so
 /// store-internal failure detection lands in the same observer stream as
 /// engine events.  Calls may arrive from store threads; the observer
@@ -625,23 +596,6 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
         }
     }
 
-    /// Runs `job` with barrier checkpointing and automatic recovery.
-    ///
-    /// # Errors
-    ///
-    /// See [`JobRunner::launch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).recovery())`"
-    )]
-    pub fn run_recoverable<J: Job>(
-        &self,
-        job: Arc<J>,
-        extra_loaders: Vec<Box<dyn Loader<J>>>,
-    ) -> Result<RunOutcome, EbspError> {
-        self.launch(job, RunOptions::new().loaders(extra_loaders).recovery())
-    }
-
     /// Barrier checkpointing and automatic recovery from part failures:
     /// whole-group rollback-replay by default, or — when the job's
     /// determinism allows it and [`JobRunner::fast_recovery`] is left
@@ -677,6 +631,7 @@ impl<S: RecoverableStore + HealableStore> JobRunner<S> {
                 profile,
                 probe: audit.probe,
                 shuffle: audit.shuffle_seed,
+                task_gate: self.task_gate.clone(),
             },
             Some(hooks),
             None,
@@ -710,7 +665,7 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
     /// the cut (step, enabled count, aggregate snapshot) written and
     /// flushed, then log compaction ([`DurableStore::compact_group`]).
     /// If the process dies mid-run — crash, kill, step-limit abort — a
-    /// later `run_durable` of the same job against a reopened store finds
+    /// later durable launch of the same job against a reopened store finds
     /// the journal, rewinds the store to the journalled barrier
     /// ([`DurableStore::rewind_group`]), skips the loaders, and continues
     /// from the step after it.  For deterministic jobs the resumed run's
@@ -824,6 +779,7 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
                 profile,
                 probe: audit.probe,
                 shuffle: audit.shuffle_seed,
+                task_gate: self.task_gate.clone(),
             },
             Some(hooks),
             Some(durable),
@@ -833,29 +789,6 @@ impl<S: RecoverableStore + HealableStore + DurableStore> JobRunner<S> {
         trace_result?;
         self.apply_state_exporters(&env)?;
         Ok(outcome)
-    }
-
-    /// Runs `job` with durable barrier commits and cross-restart resume.
-    ///
-    /// # Errors
-    ///
-    /// See [`JobRunner::launch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `launch(job, RunOptions::new().loaders(extra_loaders).recovery().durable())`"
-    )]
-    pub fn run_durable<J: Job>(
-        &self,
-        job: Arc<J>,
-        extra_loaders: Vec<Box<dyn Loader<J>>>,
-    ) -> Result<RunOutcome, EbspError> {
-        self.launch(
-            job,
-            RunOptions::new()
-                .loaders(extra_loaders)
-                .recovery()
-                .durable(),
-        )
     }
 }
 

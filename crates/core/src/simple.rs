@@ -22,7 +22,7 @@ type CombineFn<K, M> = dyn Fn(&K, &M, &M) -> Option<M> + Send + Sync;
 ///
 /// ```
 /// use std::sync::Arc;
-/// use ripple_core::{FnLoader, JobRunner, LoadSink, SimpleJob};
+/// use ripple_core::{FnLoader, JobRunner, LoadSink, RunOptions, SimpleJob};
 /// use ripple_store_mem::MemStore;
 ///
 /// # fn main() -> Result<(), ripple_core::EbspError> {
@@ -35,12 +35,12 @@ type CombineFn<K, M> = dyn Fn(&K, &M, &M) -> Option<M> + Send + Sync;
 ///     })
 ///     .build();
 /// let store = MemStore::builder().default_parts(2).build();
-/// let outcome = JobRunner::new(store).run_with_loaders(
+/// let outcome = JobRunner::new(store).launch(
 ///     Arc::new(job),
-///     vec![Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
+///     RunOptions::new().loader(Box::new(FnLoader::new(|sink: &mut dyn LoadSink<_>| {
 ///         sink.state(0, 7, 5)?;
 ///         sink.enable(7)
-///     }))],
+///     }))),
 /// )?;
 /// assert_eq!(outcome.steps, 5);
 /// # Ok(())

@@ -55,7 +55,7 @@ fn escape(s: &str) -> String {
 /// use ripple_core::TraceRecorder;
 ///
 /// let recorder = Arc::new(TraceRecorder::new());
-/// // runner.observer(recorder.clone()); runner.profile(true); runner.run(...)
+/// // runner.observer(recorder.clone()); runner.profile(true); runner.launch(...)
 /// let json = recorder.to_json();
 /// assert!(json.starts_with("{\"traceEvents\":["));
 /// ```

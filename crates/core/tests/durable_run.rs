@@ -1,4 +1,4 @@
-//! `run_durable` semantics that do not need a disk: the protocol runs on
+//! Durable-launch semantics that do not need a disk: the protocol runs on
 //! any `DurableStore` (memory stores implement it with no-op defaults),
 //! the journal is cleared on success, temporaries are dropped, and an
 //! in-memory store that cannot rewind reports the limitation instead of

@@ -1,0 +1,150 @@
+//! Mode equivalence through the one entry point.  The legacy `run_*`
+//! wrappers are gone; what their compat suite really pinned was that the
+//! *modes* agree where they overlap — a mode upgrade changes failure
+//! handling, never the converged result.  So: the same countdown job must
+//! take the same number of steps and do the same work through every
+//! launch mode the store supports, and a gated launch must match an
+//! ungated one byte-for-byte.
+
+use std::sync::Arc;
+
+use ripple_core::{FnLoader, JobRunner, LoadSink, RunOptions, SemaphoreGate, SimpleJob};
+use ripple_kv::KvStore;
+use ripple_store_mem::MemStore;
+
+type CountDown = SimpleJob<u32, u32, u32>;
+
+fn countdown(name: &str) -> CountDown {
+    SimpleJob::<u32, u32, u32>::builder(name)
+        .compute(|ctx| {
+            let v = ctx.read_state(0)?.unwrap_or(0);
+            ctx.write_state(0, &v.saturating_sub(1))?;
+            Ok(v > 1)
+        })
+        .build()
+}
+
+fn seed(n: u32) -> Box<dyn ripple_core::Loader<CountDown>> {
+    Box::new(FnLoader::new(move |sink: &mut dyn LoadSink<CountDown>| {
+        for k in 0..4u32 {
+            sink.state(0, k, n)?;
+            sink.enable(k)?;
+        }
+        Ok(())
+    }))
+}
+
+fn store() -> MemStore {
+    MemStore::builder().default_parts(4).build()
+}
+
+/// Digest of the job's state table after a run, for byte-identity checks.
+fn state_digest(store: &MemStore, table: &str) -> u64 {
+    let table = store.lookup_table(table).expect("state table exists");
+    store.snapshot_table(&table).expect("snapshot").digest()
+}
+
+#[test]
+fn basic_launch_converges() {
+    let outcome = JobRunner::new(store())
+        .launch(Arc::new(countdown("a")), RunOptions::new())
+        .unwrap();
+    assert_eq!(outcome.steps, 0); // no loader: nothing enabled, no steps
+}
+
+#[test]
+fn all_modes_agree_on_steps_and_work() {
+    let basic = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("b")),
+            RunOptions::new().loaders(vec![seed(5)]),
+        )
+        .unwrap();
+    assert_eq!(basic.steps, 5);
+
+    let healing = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("b")),
+            RunOptions::new().loaders(vec![seed(5)]).healing(),
+        )
+        .unwrap();
+    let recovery = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("b")),
+            RunOptions::new().loaders(vec![seed(5)]).recovery(),
+        )
+        .unwrap();
+    let durable = JobRunner::new(store())
+        .launch(
+            Arc::new(countdown("b")),
+            RunOptions::new()
+                .loaders(vec![seed(5)])
+                .recovery()
+                .durable(),
+        )
+        .unwrap();
+
+    for outcome in [&healing, &recovery, &durable] {
+        assert_eq!(outcome.steps, basic.steps);
+        assert!(!outcome.aborted);
+    }
+    assert_eq!(basic.metrics.invocations, healing.metrics.invocations);
+    assert_eq!(basic.metrics.invocations, recovery.metrics.invocations);
+    assert_eq!(basic.metrics.invocations, durable.metrics.invocations);
+}
+
+#[test]
+fn modes_agree_on_final_state_bytes() {
+    let mut digests = Vec::new();
+    for upgrade in 0..3 {
+        let s = store();
+        let runner = JobRunner::new(s.clone());
+        let job = Arc::new(countdown("c"));
+        let outcome = match upgrade {
+            0 => runner.launch(job, RunOptions::new().loaders(vec![seed(4)])),
+            1 => runner.launch(job, RunOptions::new().loaders(vec![seed(4)]).recovery()),
+            _ => runner.launch(
+                job,
+                RunOptions::new()
+                    .loaders(vec![seed(4)])
+                    .recovery()
+                    .durable(),
+            ),
+        }
+        .unwrap();
+        assert_eq!(outcome.steps, 4);
+        digests.push(state_digest(&s, "c"));
+    }
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+}
+
+#[test]
+fn gated_launch_is_byte_identical_to_ungated() {
+    let plain_store = store();
+    let plain = JobRunner::new(plain_store.clone())
+        .launch(
+            Arc::new(countdown("d")),
+            RunOptions::new().loaders(vec![seed(6)]),
+        )
+        .unwrap();
+
+    // A two-permit gate over 4 parts: tasks queue, results must not change.
+    let gated_store = store();
+    let mut runner = JobRunner::new(gated_store.clone());
+    runner.task_gate(Arc::new(SemaphoreGate::new(2)));
+    let gated = runner
+        .launch(
+            Arc::new(countdown("d")),
+            RunOptions::new().loaders(vec![seed(6)]),
+        )
+        .unwrap();
+
+    assert_eq!(plain.steps, gated.steps);
+    assert_eq!(plain.metrics.invocations, gated.metrics.invocations);
+    assert_eq!(
+        state_digest(&plain_store, "d"),
+        state_digest(&gated_store, "d"),
+        "a task gate must schedule work, not change it"
+    );
+}

@@ -21,9 +21,12 @@
 
 pub mod algorithms;
 pub mod generate;
+pub mod mutation;
 pub mod pagerank;
 pub mod sssp;
 pub mod vertex;
+
+pub use mutation::MutationQueue;
 
 /// Vertex identifier.  The paper identifies vertices by a Java `int`; we
 /// use `u32`.

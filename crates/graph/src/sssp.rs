@@ -211,6 +211,26 @@ impl<S: KvStore> SelectiveInstance<S> {
         graph: &Graph,
         source: VertexId,
     ) -> Result<(Self, RunMetrics), EbspError> {
+        let runner = JobRunner::new(store.clone());
+        Self::initialize_on(&runner, store, table, graph, source)
+            .map(|(instance, outcome)| (instance, outcome.metrics))
+    }
+
+    /// As [`SelectiveInstance::initialize`], but runs the initial solve on
+    /// a caller-configured [`JobRunner`] (which must wrap `store`) and
+    /// returns the full [`RunOutcome`] — how a job service runs the
+    /// initial solve under its own scheduling gate and observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and store errors.
+    pub fn initialize_on(
+        runner: &JobRunner<S>,
+        store: &S,
+        table: &str,
+        graph: &Graph,
+        source: VertexId,
+    ) -> Result<(Self, RunOutcome), EbspError> {
         let n = graph.vertex_count();
         let instance = Self {
             store: store.clone(),
@@ -221,7 +241,7 @@ impl<S: KvStore> SelectiveInstance<S> {
         let entries: Vec<(VertexId, Vec<VertexId>)> =
             graph.iter().map(|(v, adj)| (v, adj.to_vec())).collect();
         let job = instance.job();
-        let outcome = JobRunner::new(store.clone()).launch(
+        let outcome = runner.launch(
             job,
             RunOptions::new().loaders(vec![Box::new(FnLoader::new(
                 move |sink: &mut dyn LoadSink<SelectiveSssp>| {
@@ -242,7 +262,7 @@ impl<S: KvStore> SelectiveInstance<S> {
                 },
             ))]),
         )?;
-        Ok((instance, outcome.metrics))
+        Ok((instance, outcome))
     }
 
     fn job(&self) -> Arc<SelectiveSssp> {
@@ -371,6 +391,43 @@ impl<S: KvStore> SelectiveInstance<S> {
         out.sort_by_key(|(v, _)| *v);
         Ok(out)
     }
+
+    /// The state table this instance's annotated graph lives in.
+    pub fn table_name(&self) -> &str {
+        &self.table
+    }
+
+    /// The source vertex distances are measured from.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The vertex count the instance was initialized with.
+    pub fn vertex_count(&self) -> u32 {
+        self.n
+    }
+}
+
+/// Decodes the distance annotations out of a raw state-table snapshot
+/// ([`KvStore::snapshot_table`]), sorted by vertex — how a serving loop
+/// turns the last barrier's consistent cut into a queryable distance map
+/// without touching the live table again.
+///
+/// # Errors
+///
+/// Fails with a wire error if an entry is not a `(VertexId, SelState)`
+/// pair — i.e. the snapshot is of some other table.
+pub fn distances_from_snapshot(
+    snapshot: &ripple_kv::TableSnapshot,
+) -> Result<Vec<(VertexId, u32)>, EbspError> {
+    let mut out = Vec::with_capacity(snapshot.len());
+    for (key, value) in snapshot.iter() {
+        let v: VertexId = ripple_wire::from_wire(key.body())?;
+        let state: SelState = ripple_wire::from_wire(value)?;
+        out.push((v, state.dist));
+    }
+    out.sort_by_key(|(v, _)| *v);
+    Ok(out)
 }
 
 impl<S: RecoverableStore + HealableStore> SelectiveInstance<S> {

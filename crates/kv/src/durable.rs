@@ -23,7 +23,7 @@ pub enum SyncPolicy {
 /// Every method has a default that makes a memory-only store a trivially
 /// correct (if amnesiac) implementor: flushing nothing is durable enough
 /// for data that never outlives the process.  The synchronized engine's
-/// `run_durable` entry point drives the barrier-commit protocol through
+/// durable launch mode drives the barrier-commit protocol through
 /// this trait:
 ///
 /// 1. [`DurableStore::commit_barrier`] — mark and persist every shard of

@@ -36,6 +36,7 @@ mod key;
 mod member;
 mod metrics;
 mod recover;
+mod snapshot;
 mod spec;
 mod store;
 mod table;
@@ -49,6 +50,7 @@ pub use key::{fnv64, PartId, RoutedKey};
 pub use member::{MembershipView, ReplicaSet, StoreEventSink};
 pub use metrics::{LatencyBuckets, StoreMetrics};
 pub use recover::{HealableStore, RecoverableStore};
+pub use snapshot::{CollectPairs, TableSnapshot};
 pub use spec::TableSpec;
 pub use store::KvStore;
 pub use table::{PartView, Table};

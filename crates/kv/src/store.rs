@@ -224,4 +224,24 @@ pub trait KvStore: Clone + Send + Sync + Sized + 'static {
         let first = iter.next().expect("tables have at least one part")?;
         iter.try_fold(first, |acc, o| Ok(combiner.combine(acc, o?)))
     }
+
+    /// Captures a point-in-time copy of `table`'s raw pairs — the
+    /// *snapshot-read handle* a resident job service answers point queries
+    /// from.
+    ///
+    /// The default implementation scans via [`KvStore::enumerate_pairs`],
+    /// which is per-part atomic but only a consistent cross-part cut when
+    /// writers are quiescent — e.g. taken from a `RunObserver::on_step`
+    /// callback, where the engine is paused at the barrier.  Stores whose
+    /// locking allows it (single global lock, or all-part lock acquisition)
+    /// may override this with a cut that is consistent even against
+    /// concurrent writers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any part scan panicked or the store closed.
+    fn snapshot_table(&self, table: &Self::Table) -> Result<crate::TableSnapshot, KvError> {
+        let pairs = self.enumerate_pairs(table, crate::CollectPairs::default())?;
+        Ok(crate::TableSnapshot::from_entries(pairs))
+    }
 }

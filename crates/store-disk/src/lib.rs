@@ -30,7 +30,7 @@
 //! Mutations append to a userspace buffer and reach the file (and the
 //! disk) according to the store's [`SyncPolicy`](ripple_kv::SyncPolicy):
 //! every record, every N records (group commit), or only at explicit
-//! flush/barrier points.  The engine's `run_durable` entry point drives
+//! flush/barrier points.  The engine's durable launch mode drives
 //! the [`DurableStore`](ripple_kv::DurableStore) barrier protocol:
 //! barrier markers into every shard log, then the resume journal, then
 //! optional snapshot compaction.  On restart,

@@ -248,6 +248,6 @@ impl ripple_kv::HealableStore for MemStore {
 }
 
 /// Memory-only durability: flushes are no-ops and nothing survives the
-/// process, but the defaults let `run_durable` drive the same barrier
+/// process, but the defaults let durable launches drive the same barrier
 /// protocol it uses against a disk store (minus the resume).
 impl ripple_kv::DurableStore for MemStore {}

@@ -420,4 +420,19 @@ impl KvStore for MemStore {
     fn part_metrics(&self) -> Vec<StoreMetrics> {
         self.inner.counters.part_snapshots()
     }
+
+    /// Unlike the default scan-based implementation, this holds every part
+    /// lock at once, so the cut is consistent even against concurrent
+    /// writers — not just at a barrier.
+    fn snapshot_table(&self, table: &MemTable) -> Result<ripple_kv::TableSnapshot, KvError> {
+        table.inner.check_live()?;
+        let guards: Vec<_> = table.inner.parts.iter().map(|m| m.lock()).collect();
+        let mut entries = Vec::new();
+        for (p, guard) in guards.iter().enumerate() {
+            self.inner.counters.enumeration(PartId(p as u32));
+            entries.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        drop(guards);
+        Ok(ripple_kv::TableSnapshot::from_entries(entries))
+    }
 }

@@ -354,6 +354,21 @@ impl KvStore for SimpleStore {
             ..StoreMetrics::default()
         }
     }
+
+    /// One map, one mutex: a single lock acquisition is a consistent cut
+    /// even against concurrent writers.
+    fn snapshot_table(&self, table: &SimpleTable) -> Result<ripple_kv::TableSnapshot, KvError> {
+        table.inner.check_live()?;
+        self.inner.enumerations.fetch_add(1, Ordering::Relaxed);
+        let entries = table
+            .inner
+            .data
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(ripple_kv::TableSnapshot::from_entries(entries))
+    }
 }
 
 /// Memory-only durability: every method keeps its no-op default.

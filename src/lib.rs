@@ -28,6 +28,7 @@
 //! | [`mapreduce`] | `ripple-mapreduce` | (iterated) MapReduce atop K/V EBSP |
 //! | [`graph`] | `ripple-graph` | Graph EBSP, generators, PageRank, SSSP |
 //! | [`summa`] | `ripple-summa` | SUMMA dense matrix multiplication |
+//! | [`server`] | `ripple-server` | resident multi-tenant job service + serving-mode SSSP |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -36,6 +37,7 @@ pub use ripple_graph as graph;
 pub use ripple_kv as kv;
 pub use ripple_mapreduce as mapreduce;
 pub use ripple_mq as mq;
+pub use ripple_server as server;
 pub use ripple_store_disk as store_disk;
 pub use ripple_store_mem as store;
 pub use ripple_store_net as store_net;
@@ -51,6 +53,7 @@ pub mod prelude {
         LoadSink, Loader, PairsLoader, QueueKind, RetryPolicy, RunOptions, RunOutcome,
     };
     pub use ripple_kv::{KvStore, PartId, RoutedKey, Table, TableSpec, TaskRegistry};
+    pub use ripple_server::{JobServer, JobSpec, ServerConfig, ServingSssp};
     pub use ripple_store_mem::MemStore;
     pub use ripple_store_net::{LoopbackCluster, NetStore, PartServer};
 }
